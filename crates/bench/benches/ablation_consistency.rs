@@ -1,0 +1,39 @@
+//! Ablation: store handling — sequentially consistent switch-on-store-miss
+//! (the paper's default) vs a release-consistent write buffer, one of the
+//! alternative latency-tolerance techniques from the introduction.
+
+use interleave_bench::uni_sim;
+use interleave_core::{Scheme, StorePolicy};
+use interleave_stats::Table;
+use interleave_workloads::mixes;
+
+fn run(scheme: Scheme, contexts: usize, policy: StorePolicy) -> f64 {
+    let mut sim = uni_sim(mixes::dc(), scheme, contexts);
+    sim.quota /= 2;
+    sim.store_policy = policy;
+    sim.run().throughput()
+}
+
+fn main() {
+    let mut t = Table::new("Ablation: store-miss policy (DC workload)");
+    t.headers(["Configuration", "switch-on-miss IPC", "write-buffer IPC", "gain"]);
+    for (label, scheme, contexts) in [
+        ("blocked x2", Scheme::Blocked, 2),
+        ("interleaved x2", Scheme::Interleaved, 2),
+        ("blocked x4", Scheme::Blocked, 4),
+        ("interleaved x4", Scheme::Interleaved, 4),
+    ] {
+        let sc = run(scheme, contexts, StorePolicy::SwitchOnMiss);
+        let wb = run(scheme, contexts, StorePolicy::WriteBuffer);
+        t.row([
+            label.to_string(),
+            format!("{sc:.3}"),
+            format!("{wb:.3}"),
+            format!("{:+.0}%", (wb / sc - 1.0) * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!("Expected shape: buffered stores remove the store-miss switches, helping both");
+    println!("schemes; the blocked scheme benefits more because each avoided switch saves");
+    println!("its full pipeline flush.");
+}

@@ -1,0 +1,50 @@
+//! Ablation: the fine-grained (Denelcor HEP style) scheme of paper
+//! Section 2.1 — no pipeline interlocks, one instruction per context in
+//! flight, and (historically) no data caches. Quantifies the paper's two
+//! criticisms: extremely poor single-thread performance and the large
+//! number of threads needed to fill the machine.
+
+use interleave_core::{ProcConfig, Processor, Scheme};
+use interleave_mem::{MemConfig, UniMemSystem};
+use interleave_stats::Table;
+use interleave_workloads::{spec, SyntheticApp};
+
+fn run(scheme: Scheme, hw_contexts: usize, threads: usize, cached: bool) -> f64 {
+    let mut mem_cfg = MemConfig::workstation();
+    mem_cfg.tlbs_enabled = false;
+    mem_cfg.data_cache_enabled = cached;
+    let mut cpu = Processor::new(ProcConfig::new(scheme, hw_contexts), UniMemSystem::new(mem_cfg));
+    let quota = 20_000u64;
+    for t in 0..threads {
+        cpu.attach(t, Box::new(SyntheticApp::new(spec::emit(), t, 3).with_limit(quota)));
+    }
+    let cycles = cpu.run_until_done(200_000_000);
+    assert!(cpu.is_done(), "fine-grained ablation did not complete");
+    (threads as u64 * quota) as f64 / cycles as f64
+}
+
+fn main() {
+    println!("Ablation: fine-grained (HEP-like) vs interleaved (paper Section 2.1)\n");
+
+    let mut t = Table::new("single-thread performance (IPC, one loaded thread)");
+    t.headers(["Machine", "IPC"]);
+    t.row(["Single-context (interlocked, cached)".to_string(), format!("{:.3}", run(Scheme::Single, 1, 1, true))]);
+    t.row(["Fine-grained (no interlocks, cached)".to_string(), format!("{:.3}", run(Scheme::FineGrained, 16, 1, true))]);
+    t.row(["Fine-grained (no interlocks, no D-cache)".to_string(), format!("{:.3}", run(Scheme::FineGrained, 16, 1, false))]);
+    println!("{t}");
+
+    let mut t = Table::new("threads needed to fill the pipeline (aggregate IPC)");
+    t.headers(["Threads", "Fine-grained", "Interleaved"]);
+    for threads in [1usize, 2, 4, 8, 12, 16] {
+        t.row([
+            threads.to_string(),
+            format!("{:.3}", run(Scheme::FineGrained, 16, threads, true)),
+            format!("{:.3}", run(Scheme::Interleaved, 16, threads, true)),
+        ]);
+    }
+    println!("{t}");
+    println!("Paper's criticism quantified: without interlocks a thread issues at best one");
+    println!("instruction per pipeline depth, so serial sections are ~7x slower, and many");
+    println!("threads are needed to reach the utilization the interleaved scheme gets");
+    println!("from one or two.");
+}

@@ -1,0 +1,31 @@
+//! Ablation: compiler latency hints (backoff / explicit switch after
+//! divides) on the divide-heavy SP workload.
+
+use interleave_bench::uni_sim;
+use interleave_core::Scheme;
+use interleave_stats::Table;
+use interleave_workloads::mixes;
+
+fn main() {
+    let mut t = Table::new("Ablation: latency hints after divides (SP workload, 4 contexts)");
+    t.headers(["Scheme", "hints", "IPC"]);
+    for scheme in [Scheme::Blocked, Scheme::Interleaved] {
+        for hints in [true, false] {
+            let mut workload = mixes::sp();
+            for app in &mut workload.apps {
+                app.latency_hints = hints;
+            }
+            let mut sim = uni_sim(workload, scheme, 4);
+            sim.quota /= 2;
+            let r = sim.run();
+            t.row([
+                format!("{scheme:?}"),
+                if hints { "on" } else { "off" }.to_string(),
+                format!("{:.3}", r.throughput()),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!("Expected shape: hints help both multiple-context schemes (the context");
+    println!("yields instead of clogging the issue stage while a divide completes).");
+}

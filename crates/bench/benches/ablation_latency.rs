@@ -1,0 +1,48 @@
+//! Ablation: multiprocessor memory latency sensitivity — scale the
+//! Table 8 ranges and watch the multiple-context gains shift.
+
+use interleave_bench::{mp_nodes, mp_sim};
+use interleave_core::Scheme;
+use interleave_mp::LatencyModel;
+use interleave_stats::Table;
+
+fn scaled(model: LatencyModel, factor: f64) -> LatencyModel {
+    let s = |x: u64| ((x as f64 * factor) as u64).max(2);
+    LatencyModel {
+        hit: model.hit,
+        local: (s(model.local.0), s(model.local.1)),
+        remote: (s(model.remote.0), s(model.remote.1)),
+        remote_cache: (s(model.remote_cache.0), s(model.remote_cache.1)),
+    }
+}
+
+fn main() {
+    let app = interleave_mp::splash_suite()[0].clone(); // MP3D
+    println!(
+        "Ablation: memory latency sensitivity (MP3D, {} nodes, 4 contexts)\n",
+        mp_nodes()
+    );
+    let mut t = Table::new("speedup of 4-context interleaved over single-context, per latency scale");
+    t.headers(["Latency scale", "single cycles", "interleaved-4 cycles", "speedup"]);
+    for factor in [0.5, 1.0, 2.0] {
+        let latency = scaled(LatencyModel::dash_like(), factor);
+        let mut single = mp_sim(app.clone(), Scheme::Single, 1);
+        single.latency = latency;
+        single.total_work /= 2;
+        let s = single.run();
+        let mut inter = mp_sim(app.clone(), Scheme::Interleaved, 4);
+        inter.latency = latency;
+        inter.total_work /= 2;
+        let i = inter.run();
+        t.row([
+            format!("{factor}x"),
+            s.cycles.to_string(),
+            i.cycles.to_string(),
+            format!("{:.2}", s.cycles as f64 / i.cycles as f64),
+        ]);
+    }
+    println!("{t}");
+    println!("Expected shape: the longer the latency, the more there is to tolerate and");
+    println!("the larger the multiple-context speedup (the paper's motivation for");
+    println!("multiprocessors as the natural first home of multithreading).");
+}

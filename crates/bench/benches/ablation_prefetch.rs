@@ -1,0 +1,39 @@
+//! Ablation: software prefetching vs multiple contexts — the alternative
+//! latency-tolerance techniques the paper's introduction compares.
+//! Prefetching covers the *predictable* (streaming) misses; multiple
+//! contexts are "universal" and cover the rest too.
+
+use interleave_bench::uni_sim;
+use interleave_core::Scheme;
+use interleave_stats::Table;
+use interleave_workloads::mixes;
+
+fn run(scheme: Scheme, contexts: usize, prefetch: bool) -> f64 {
+    let mut workload = mixes::dc();
+    for app in &mut workload.apps {
+        app.software_prefetch = prefetch;
+    }
+    let mut sim = uni_sim(workload, scheme, contexts);
+    sim.quota /= 2;
+    sim.run().throughput()
+}
+
+fn main() {
+    let base = run(Scheme::Single, 1, false);
+    let mut t = Table::new("Ablation: software prefetch vs multiple contexts (DC workload)");
+    t.headers(["Configuration", "IPC", "vs baseline"]);
+    for (label, scheme, contexts, prefetch) in [
+        ("single", Scheme::Single, 1, false),
+        ("single + prefetch", Scheme::Single, 1, true),
+        ("interleaved x2", Scheme::Interleaved, 2, false),
+        ("interleaved x4", Scheme::Interleaved, 4, false),
+        ("interleaved x4 + prefetch", Scheme::Interleaved, 4, true),
+    ] {
+        let ipc = run(scheme, contexts, prefetch);
+        t.row([label.to_string(), format!("{ipc:.3}"), format!("{:.2}x", ipc / base)]);
+    }
+    println!("{t}");
+    println!("Expected shape: prefetching recovers part of the streaming miss latency on a");
+    println!("single context; multiple contexts tolerate all miss classes and compose with");
+    println!("prefetching (the paper calls multiple contexts a universal mechanism).");
+}

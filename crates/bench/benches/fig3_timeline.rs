@@ -1,0 +1,78 @@
+//! Figure 3: execution of four threads (A: 2 instructions; B: 3 with a
+//! two-cycle pipeline dependency; C: 4; D: 6 — each ending with a cache
+//! miss) under the blocked and interleaved schemes, as an issue-slot
+//! timeline.
+
+use interleave_core::{IssueRecord, ProcConfig, Processor, Scheme, VecSource};
+use interleave_isa::{Instr, Reg};
+use interleave_mem::{MemConfig, UniMemSystem};
+
+fn alu(pc: u64) -> Instr {
+    Instr::alu(pc, Some(Reg::int(1)), Some(Reg::int(2)), None)
+}
+
+fn threads() -> [Vec<Instr>; 4] {
+    let a = vec![alu(0x100), Instr::load(0x104, Reg::int(4), Reg::int(29), 0x8000_0000)];
+    let b = vec![
+        Instr::load(0x200, Reg::int(4), Reg::int(29), 0x10), // hit: two delay slots
+        Instr::alu(0x204, Some(Reg::int(5)), Some(Reg::int(4)), None), // 2-cycle dependency
+        Instr::load(0x208, Reg::int(6), Reg::int(29), 0x8000_0040),
+    ];
+    let c = vec![
+        alu(0x300),
+        alu(0x304),
+        alu(0x308),
+        Instr::load(0x30C, Reg::int(4), Reg::int(29), 0x8000_0080),
+    ];
+    let d = vec![
+        alu(0x400),
+        alu(0x404),
+        alu(0x408),
+        alu(0x40C),
+        alu(0x410),
+        Instr::load(0x414, Reg::int(4), Reg::int(29), 0x8000_00C0),
+    ];
+    [a, b, c, d]
+}
+
+fn run(scheme: Scheme) -> (u64, String) {
+    let mut mem_cfg = MemConfig::workstation();
+    mem_cfg.tlbs_enabled = false;
+    let mut cpu = Processor::new(ProcConfig::new(scheme, 4), UniMemSystem::new(mem_cfg));
+    for pc in (0..0x1000u64).step_by(32) {
+        cpu.port_mut().preload_inst(pc);
+    }
+    cpu.port_mut().preload_data(0x10);
+    cpu.set_trace(true);
+    for (i, t) in threads().into_iter().enumerate() {
+        cpu.attach(i, Box::new(VecSource::new(t)));
+    }
+    let cycles = cpu.run_until_done(10_000);
+    assert!(cpu.is_done(), "figure 3 microbenchmark did not complete");
+    let timeline: String = cpu
+        .trace()
+        .iter()
+        .map(|r| match r {
+            IssueRecord::Issued { ctx, .. } => (b'A' + *ctx as u8) as char,
+            IssueRecord::Stalled(_) => '-',
+            IssueRecord::Bubble(Some(_)) => '.',
+            IssueRecord::Bubble(None) => ' ',
+        })
+        .collect();
+    (cycles, timeline)
+}
+
+fn main() {
+    println!("Figure 3: issue-slot timeline for four threads ending in cache misses");
+    println!("(letter = context issuing, '-' = dependency stall, '.' = bubble)\n");
+    let (blocked_cycles, blocked_tl) = run(Scheme::Blocked);
+    let (inter_cycles, inter_tl) = run(Scheme::Interleaved);
+    println!("Blocked     ({blocked_cycles:3} cycles): {}", blocked_tl.trim_end());
+    println!("Interleaved ({inter_cycles:3} cycles): {}", inter_tl.trim_end());
+    println!();
+    println!(
+        "Interleaved finishes {:.0}% sooner (paper: interleaved completes all four threads well before blocked).",
+        (1.0 - inter_cycles as f64 / blocked_cycles as f64) * 100.0
+    );
+    assert!(inter_cycles < blocked_cycles, "interleaved must finish first");
+}

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the simulator itself: cycles simulated
+//! per second for the core engine and the memory system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use interleave_core::{PerfectMemory, ProcConfig, Processor, Scheme};
+use interleave_isa::Access;
+use interleave_mem::{MemConfig, UniMemSystem};
+use interleave_workloads::{spec, SyntheticApp};
+
+fn bench_processor(c: &mut Criterion) {
+    c.bench_function("interleaved_4ctx_10k_cycles_perfect_mem", |b| {
+        b.iter(|| {
+            let mut cpu = Processor::new(ProcConfig::new(Scheme::Interleaved, 4), PerfectMemory);
+            for ctx in 0..4 {
+                cpu.attach(ctx, Box::new(SyntheticApp::new(spec::eqntott(), ctx, 7)));
+            }
+            cpu.run_cycles(10_000);
+            cpu.retired(0)
+        })
+    });
+    c.bench_function("single_ctx_10k_cycles_full_memory", |b| {
+        b.iter(|| {
+            let mut cpu = Processor::new(
+                ProcConfig::new(Scheme::Single, 1),
+                UniMemSystem::new(MemConfig::workstation()),
+            );
+            cpu.attach(0, Box::new(SyntheticApp::new(spec::tomcatv(), 0, 7)));
+            cpu.run_cycles(10_000);
+            cpu.retired(0)
+        })
+    });
+}
+
+fn bench_memory(c: &mut Criterion) {
+    c.bench_function("uni_mem_10k_accesses", |b| {
+        b.iter(|| {
+            let mut cfg = MemConfig::workstation();
+            cfg.tlbs_enabled = false;
+            let mut mem = UniMemSystem::new(cfg);
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                if let interleave_mem::DataAccess::Miss { ready_at, .. } =
+                    mem.access_data(i * 4, (i * 2891) % (1 << 22), Access::Read, 0)
+                {
+                    acc = acc.wrapping_add(ready_at);
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_processor, bench_memory
+}
+criterion_main!(benches);

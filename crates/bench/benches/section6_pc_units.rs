@@ -1,0 +1,49 @@
+//! Section 6 (Figures 10-12): implementation cost of the PC unit designs.
+//!
+//! The paper argues the interleaved scheme's extra complexity over the
+//! blocked scheme is concentrated in the instruction-issue logic and is
+//! "not overwhelming". This harness prints the storage/mux inventory of
+//! each design across context counts.
+
+use interleave_pipeline::pcunit::{BlockedPcUnit, InterleavedPcUnit, SingleCtxPcUnit};
+use interleave_stats::Table;
+
+fn main() {
+    const PIPE: u32 = 7;
+    let mut t = Table::new("Section 6: PC unit implementation cost (7-stage pipeline, 32-bit PCs)");
+    t.headers(["Design", "ctx", "registers", "register bits", "mux inputs", "CID tag bits"]);
+    let single = SingleCtxPcUnit::cost(PIPE);
+    t.row([
+        "Single-context".to_string(),
+        "1".to_string(),
+        single.registers.to_string(),
+        single.register_bits.to_string(),
+        single.mux_inputs.to_string(),
+        single.pipeline_tag_bits.to_string(),
+    ]);
+    for contexts in [2u32, 4, 8] {
+        let b = BlockedPcUnit::cost(contexts, PIPE);
+        t.row([
+            "Blocked".to_string(),
+            contexts.to_string(),
+            b.registers.to_string(),
+            b.register_bits.to_string(),
+            b.mux_inputs.to_string(),
+            b.pipeline_tag_bits.to_string(),
+        ]);
+        let i = InterleavedPcUnit::cost(contexts, PIPE);
+        t.row([
+            "Interleaved".to_string(),
+            contexts.to_string(),
+            i.registers.to_string(),
+            i.register_bits.to_string(),
+            i.mux_inputs.to_string(),
+            i.pipeline_tag_bits.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("Paper's conclusion quantified: the blocked unit only adds an EPC per context;");
+    println!("the interleaved unit adds a next-PC holding register per context, wider PC-bus");
+    println!("multiplexing, and a CID tag per pipeline stage — a manageable increase,");
+    println!("especially next to dynamic superscalar issue logic.");
+}

@@ -1,0 +1,71 @@
+//! Table 4: measured context-switch costs for each switch cause.
+
+use interleave_core::{ProcConfig, Processor, Scheme, VecSource};
+use interleave_isa::{Instr, Reg};
+use interleave_mem::{MemConfig, UniMemSystem};
+use interleave_stats::{Category, Table};
+
+fn alu(pc: u64) -> Instr {
+    Instr::alu(pc, Some(Reg::int(1)), Some(Reg::int(2)), None)
+}
+
+fn machine(scheme: Scheme) -> Processor<UniMemSystem> {
+    let mut mem_cfg = MemConfig::workstation();
+    mem_cfg.tlbs_enabled = false;
+    let mut cpu = Processor::new(ProcConfig::new(scheme, 4), UniMemSystem::new(mem_cfg));
+    for pc in (0..0x8000u64).step_by(32) {
+        cpu.port_mut().preload_inst(pc);
+        cpu.port_mut().preload_inst(0x1000_0000 + pc);
+    }
+    cpu
+}
+
+fn filler(cpu: &mut Processor<UniMemSystem>) {
+    for c in 1..4 {
+        let base = 0x1000_0000 + 0x400 * c as u64;
+        cpu.attach(c, Box::new(VecSource::new((0..60).map(move |i| alu(base + i * 4)))));
+    }
+}
+
+/// Switch overhead when context 0 takes one cache miss.
+fn miss_cost(scheme: Scheme) -> u64 {
+    let mut cpu = machine(scheme);
+    let mut prog = vec![alu(0x100), alu(0x104)];
+    prog.push(Instr::load(0x108, Reg::int(4), Reg::int(29), 0x8000_0000));
+    prog.extend((0..8).map(|i| alu(0x10C + i * 4)));
+    cpu.attach(0, Box::new(VecSource::new(prog)));
+    filler(&mut cpu);
+    cpu.run_until_done(100_000);
+    cpu.breakdown().get(Category::Switch)
+}
+
+/// Switch overhead when context 0 executes one backoff / explicit-switch
+/// instruction.
+fn hint_cost(scheme: Scheme) -> u64 {
+    let mut cpu = machine(scheme);
+    let prog = vec![alu(0x100), Instr::backoff(0x104, 40), alu(0x108)];
+    cpu.attach(0, Box::new(VecSource::new(prog)));
+    filler(&mut cpu);
+    cpu.run_until_done(100_000);
+    cpu.breakdown().get(Category::Switch)
+}
+
+fn main() {
+    let mut t = Table::new("Table 4: context switch costs (cycles, 4 contexts)");
+    t.headers(["Switch cause", "Blocked", "Interleaved", "paper (B)", "paper (I)"]);
+    t.row([
+        "Cache miss".to_string(),
+        miss_cost(Scheme::Blocked).to_string(),
+        miss_cost(Scheme::Interleaved).to_string(),
+        "7".to_string(),
+        "1..4".to_string(),
+    ]);
+    t.row([
+        "Explicit switch / backoff".to_string(),
+        hint_cost(Scheme::Blocked).to_string(),
+        hint_cost(Scheme::Interleaved).to_string(),
+        "3".to_string(),
+        "1".to_string(),
+    ]);
+    println!("{t}");
+}

@@ -1,0 +1,30 @@
+//! Tables 5 and 9: the workload definitions — the multiprogrammed mixes
+//! and the SPLASH-like application models.
+
+use interleave_stats::Table;
+use interleave_workloads::mixes;
+
+fn main() {
+    let mut t5 = Table::new("Table 5: uniprocessor workloads (four applications each)");
+    t5.headers(["Workload", "App 1", "App 2", "App 3", "App 4"]);
+    for w in mixes::all() {
+        let names: Vec<&str> = w.apps.iter().map(|a| a.name).collect();
+        t5.row([w.name, names[0], names[1], names[2], names[3]]);
+    }
+    println!("{t5}");
+
+    let mut t9 = Table::new("Table 9: SPLASH application models");
+    t9.headers(["App", "sharing", "shared KB", "locks", "cs len", "barrier period", "fp-div frac"]);
+    for app in interleave_mp::splash_suite() {
+        t9.row([
+            app.name.to_string(),
+            format!("{:?}", app.pattern),
+            (app.shared_bytes / 1024).to_string(),
+            app.lock_period.map(|p| format!("every {p}")).unwrap_or_else(|| "-".into()),
+            if app.lock_period.is_some() { app.cs_len.to_string() } else { "-".into() },
+            app.barrier_period.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+            format!("{:.2}", app.compute.fp_div_frac),
+        ]);
+    }
+    println!("{t9}");
+}

@@ -1,0 +1,180 @@
+//! Shared helpers for the benchmark harnesses that regenerate the paper's
+//! tables and figures.
+//!
+//! Each harness is a `harness = false` bench target; `cargo bench
+//! --workspace` runs them all and prints the rows/series the paper
+//! reports. Set `INTERLEAVE_FULL=1` to run paper-scale configurations
+//! (36 × 6M-cycle time slices, 16-node machines); the default is a scaled
+//! configuration that preserves the shapes while finishing quickly (see
+//! DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use interleave_core::Scheme;
+use interleave_mp::{MpResult, MpSim, SplashProfile};
+use interleave_stats::{Breakdown, Category, Table};
+use interleave_workloads::mixes::Workload;
+use interleave_workloads::{MultiprogramResult, MultiprogramSim, OsModel};
+
+/// Whether paper-scale runs were requested via `INTERLEAVE_FULL=1`.
+pub fn full_scale() -> bool {
+    std::env::var("INTERLEAVE_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Builds a uniprocessor multiprogramming simulation at the configured
+/// scale.
+pub fn uni_sim(workload: Workload, scheme: Scheme, contexts: usize) -> MultiprogramSim {
+    let mut sim = MultiprogramSim::new(workload, scheme, contexts);
+    if full_scale() {
+        sim.quota = 1_500_000;
+        sim.warmup_cycles = 6_000_000;
+        sim.os = OsModel::paper_scale();
+    }
+    sim
+}
+
+/// Runs the uniprocessor grid for one workload: the single-context
+/// baseline plus blocked/interleaved at the given context counts.
+/// Returns `(baseline, [(scheme, contexts, result), ...])`.
+pub fn uni_grid(
+    workload: &Workload,
+    context_counts: &[usize],
+) -> (MultiprogramResult, Vec<(Scheme, usize, MultiprogramResult)>) {
+    let baseline = uni_sim(workload.clone(), Scheme::Single, 1).run();
+    let mut rows = Vec::new();
+    for &n in context_counts {
+        for scheme in [Scheme::Blocked, Scheme::Interleaved] {
+            let result = uni_sim(workload.clone(), scheme, n).run();
+            rows.push((scheme, n, result));
+        }
+    }
+    (baseline, rows)
+}
+
+/// Number of multiprocessor nodes at the configured scale (the paper's
+/// DASH-like machine; 16 at full scale, 8 scaled).
+pub fn mp_nodes() -> usize {
+    if full_scale() {
+        16
+    } else {
+        8
+    }
+}
+
+/// Builds a multiprocessor simulation at the configured scale.
+pub fn mp_sim(app: SplashProfile, scheme: Scheme, contexts: usize) -> MpSim {
+    let mut sim = MpSim::new(app, scheme, mp_nodes(), contexts);
+    if full_scale() {
+        sim.total_work = 4_000_000;
+        sim.warmup_cycles = 100_000;
+    }
+    sim
+}
+
+/// Runs one application's multiprocessor grid: single-context baseline
+/// plus both schemes at 2/4/8 contexts per processor.
+pub fn mp_grid(app: &SplashProfile) -> (MpResult, Vec<(Scheme, usize, MpResult)>) {
+    let baseline = mp_sim(app.clone(), Scheme::Single, 1).run();
+    let mut rows = Vec::new();
+    for n in [2usize, 4, 8] {
+        for scheme in [Scheme::Blocked, Scheme::Interleaved] {
+            rows.push((scheme, n, mp_sim(app.clone(), scheme, n).run()));
+        }
+    }
+    (baseline, rows)
+}
+
+/// Formats a breakdown as percentage cells in `Category::ALL` order,
+/// optionally merging the short/long instruction stalls (the uniprocessor
+/// figures report them as one bar).
+pub fn breakdown_cells(b: &Breakdown, merge_instr: bool) -> Vec<String> {
+    let pct = |x: f64| format!("{:.1}%", x * 100.0);
+    if merge_instr {
+        vec![
+            pct(b.fraction(Category::Busy)),
+            pct(b.fraction(Category::InstrShort) + b.fraction(Category::InstrLong)),
+            pct(b.fraction(Category::InstMem)),
+            pct(b.fraction(Category::DataMem)),
+            pct(b.fraction(Category::Switch)),
+        ]
+    } else {
+        vec![
+            pct(b.fraction(Category::Busy)),
+            pct(b.fraction(Category::InstrShort)),
+            pct(b.fraction(Category::InstrLong)),
+            pct(b.fraction(Category::DataMem)),
+            pct(b.fraction(Category::Sync)),
+            pct(b.fraction(Category::Switch)),
+        ]
+    }
+}
+
+/// Prints a rendered table to stdout; when `INTERLEAVE_CSV=<dir>` is set,
+/// also writes `<dir>/<slug>.csv` with the same rows.
+pub fn emit(table: &Table) {
+    println!("{table}");
+    maybe_write_csv(table, None);
+}
+
+/// Like [`emit`] but with an explicit CSV file stem.
+pub fn emit_named(table: &Table, stem: &str) {
+    println!("{table}");
+    maybe_write_csv(table, Some(stem));
+}
+
+fn maybe_write_csv(table: &Table, stem: Option<&str>) {
+    let Ok(dir) = std::env::var("INTERLEAVE_CSV") else {
+        return;
+    };
+    let stem = stem.map(str::to_string).unwrap_or_else(|| slug(&table.to_string()));
+    let path = std::path::Path::new(&dir).join(format!("{stem}.csv"));
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, table.to_csv()))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// First line of a table's rendering, slugified for a file name.
+fn slug(rendering: &str) -> String {
+    let first = rendering.lines().next().filter(|l| !l.is_empty()).unwrap_or("table");
+    first
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .take(48)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interleave_workloads::mixes;
+
+    #[test]
+    fn scaled_sims_construct() {
+        let sim = uni_sim(mixes::fp(), Scheme::Interleaved, 2);
+        assert!(sim.quota > 0);
+        let mp = mp_sim(interleave_mp::splash_suite()[0].clone(), Scheme::Blocked, 4);
+        assert!(mp.total_work > 0);
+        assert!(mp_nodes() >= 4);
+    }
+
+    #[test]
+    fn slug_is_filename_safe() {
+        assert_eq!(slug("Table 7: x/y\nrest"), "table_7__x_y");
+        assert_eq!(slug(""), "table");
+    }
+
+    #[test]
+    fn breakdown_cells_shapes() {
+        let mut b = Breakdown::new();
+        b.record(Category::Busy, 50);
+        b.record(Category::InstrShort, 25);
+        b.record(Category::InstrLong, 25);
+        assert_eq!(breakdown_cells(&b, true).len(), 5);
+        assert_eq!(breakdown_cells(&b, false).len(), 6);
+        assert_eq!(breakdown_cells(&b, true)[1], "50.0%");
+    }
+}

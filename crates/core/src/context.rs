@@ -1,0 +1,136 @@
+/// Why a context is unavailable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitReason {
+    /// Waiting for an outstanding data reference (cache or TLB miss).
+    Data,
+    /// Waiting on a lock or barrier.
+    Sync,
+    /// Backing off a long instruction latency (backoff / explicit switch).
+    Backoff,
+}
+
+/// Availability of one hardware context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CtxState {
+    /// Eligible to fetch and issue.
+    Ready,
+    /// Unavailable. `until: Some(c)` resumes at cycle `c`; `None` waits for
+    /// an external wake (synchronization grant).
+    Waiting { reason: WaitReason, until: Option<u64> },
+}
+
+/// Bookkeeping for one hardware context.
+#[derive(Debug)]
+pub(crate) struct Context {
+    pub state: CtxState,
+    /// Set while fetching down a mispredicted path.
+    pub wrong_path: bool,
+    /// Bumped on every squash; pending events carry the epoch at which they
+    /// were scheduled and are dropped if stale.
+    pub epoch: u64,
+    /// A backoff/switch instruction has been fetched but not yet issued:
+    /// fetch from this context is suppressed (the hardware detects these
+    /// at decode, Table 4).
+    pub pending_backoff: bool,
+    /// Miss fills bound to this context's re-executed accesses: the
+    /// lockup-free cache's MSHRs deliver the data directly, so when the
+    /// instruction at a bound fetch index re-executes it completes without
+    /// re-probing the cache (guarantees forward progress under conflict
+    /// eviction). One entry per outstanding fill, capped at the MSHR
+    /// count.
+    pub bound_fills: Vec<(u64, u64)>,
+    /// An instruction fetch bound to an outstanding I-fill: when fetch
+    /// resumes at this cursor index, the instruction is delivered without
+    /// re-probing the I-cache (forward progress under I-TLB/I-cache
+    /// conflict eviction by other contexts).
+    pub bound_ifetch: Option<u64>,
+    /// Retired instruction count (resettable).
+    pub retired: u64,
+    /// Whether a stream is attached.
+    pub attached: bool,
+}
+
+impl Context {
+    pub fn new() -> Context {
+        Context {
+            state: CtxState::Ready,
+            wrong_path: false,
+            epoch: 0,
+            pending_backoff: false,
+            bound_fills: Vec::new(),
+            bound_ifetch: None,
+            retired: 0,
+            attached: false,
+        }
+    }
+
+    pub fn is_ready(&self) -> bool {
+        matches!(self.state, CtxState::Ready)
+    }
+}
+
+/// A read-only snapshot of one context's scheduling state, for tests and
+/// simulation drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtxView {
+    /// Whether the context is currently available for fetch/issue.
+    pub ready: bool,
+    /// Why it is waiting, if it is.
+    pub waiting_on: Option<WaitReason>,
+    /// Cycle at which it resumes, when known.
+    pub resumes_at: Option<u64>,
+    /// Retired instruction count.
+    pub retired: u64,
+    /// Whether an instruction stream is attached.
+    pub attached: bool,
+}
+
+impl Context {
+    pub fn view(&self) -> CtxView {
+        let (waiting_on, resumes_at) = match self.state {
+            CtxState::Ready => (None, None),
+            CtxState::Waiting { reason, until } => (Some(reason), until),
+        };
+        CtxView {
+            ready: self.is_ready(),
+            waiting_on,
+            resumes_at,
+            retired: self.retired,
+            attached: self.attached,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_context_is_ready() {
+        let c = Context::new();
+        assert!(c.is_ready());
+        let v = c.view();
+        assert!(v.ready);
+        assert_eq!(v.waiting_on, None);
+        assert_eq!(v.retired, 0);
+        assert!(!v.attached);
+    }
+
+    #[test]
+    fn waiting_view() {
+        let mut c = Context::new();
+        c.state = CtxState::Waiting { reason: WaitReason::Data, until: Some(42) };
+        let v = c.view();
+        assert!(!v.ready);
+        assert_eq!(v.waiting_on, Some(WaitReason::Data));
+        assert_eq!(v.resumes_at, Some(42));
+    }
+
+    #[test]
+    fn sync_wait_has_no_resume_cycle() {
+        let mut c = Context::new();
+        c.state = CtxState::Waiting { reason: WaitReason::Sync, until: None };
+        assert_eq!(c.view().resumes_at, None);
+        assert_eq!(c.view().waiting_on, Some(WaitReason::Sync));
+    }
+}

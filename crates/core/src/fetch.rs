@@ -1,0 +1,331 @@
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+use interleave_isa::Instr;
+
+/// A producer of one context's instruction stream.
+///
+/// Sources are pull-based generators: the fetch unit asks for the next
+/// instruction in program order. Returning `None` ends the stream (the
+/// context is done once everything retires). Workload models in
+/// `interleave-workloads` and `interleave-mp` implement this trait.
+pub trait InstrSource {
+    /// Produces the next instruction in program order, or `None` at end of
+    /// stream.
+    fn next_instr(&mut self) -> Option<Instr>;
+}
+
+/// An [`InstrSource`] backed by a fixed vector — handy for tests and the
+/// paper's Figure 2/3 micro-examples.
+///
+/// # Examples
+///
+/// ```
+/// use interleave_core::{InstrSource, VecSource};
+/// use interleave_isa::Instr;
+///
+/// let mut s = VecSource::new([Instr::nop(0), Instr::nop(4)]);
+/// assert!(s.next_instr().is_some());
+/// assert!(s.next_instr().is_some());
+/// assert!(s.next_instr().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct VecSource {
+    items: VecDeque<Instr>,
+}
+
+impl VecSource {
+    /// Creates a source yielding `items` in order.
+    pub fn new(items: impl IntoIterator<Item = Instr>) -> VecSource {
+        VecSource { items: items.into_iter().collect() }
+    }
+}
+
+impl InstrSource for VecSource {
+    fn next_instr(&mut self) -> Option<Instr> {
+        self.items.pop_front()
+    }
+}
+
+/// Per-context fetch unit: buffers the instruction stream between fetch
+/// and retirement so that squashed instructions can be re-fetched.
+///
+/// Instructions are identified by their *fetch index* (position in the
+/// stream). The buffer holds every fetched-but-not-retired instruction;
+/// a squash simply rolls the fetch cursor back to the oldest squashed
+/// index. Because integer and FP instructions retire up to two cycles
+/// apart, retirement may arrive out of index order; the buffer only
+/// releases a contiguous retired prefix.
+pub struct FetchUnit {
+    source: Box<dyn InstrSource>,
+    /// buffer[i] holds the instruction at index `base + i`.
+    buffer: VecDeque<Instr>,
+    /// Fetch index of `buffer[0]`.
+    base: u64,
+    /// Index of the next instruction to fetch.
+    cursor: u64,
+    /// Out-of-order retired indices not yet absorbed into `base`.
+    retired: BTreeSet<u64>,
+    /// Set once the source returns `None`.
+    exhausted: bool,
+}
+
+impl fmt::Debug for FetchUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FetchUnit")
+            .field("base", &self.base)
+            .field("cursor", &self.cursor)
+            .field("buffered", &self.buffer.len())
+            .field("exhausted", &self.exhausted)
+            .finish()
+    }
+}
+
+impl FetchUnit {
+    /// Wraps an instruction source.
+    pub fn new(source: Box<dyn InstrSource>) -> FetchUnit {
+        FetchUnit {
+            source,
+            buffer: VecDeque::new(),
+            base: 0,
+            cursor: 0,
+            retired: BTreeSet::new(),
+            exhausted: false,
+        }
+    }
+
+    /// The instruction at the fetch cursor, pulling from the source as
+    /// needed. `None` once the stream is exhausted.
+    pub fn peek(&mut self) -> Option<Instr> {
+        // Skip over instructions that already retired (a rollback target
+        // can precede out-of-order-retired younger instructions; those
+        // must not execute twice). Absorbing a retired prefix can move
+        // `base` past a rolled-back cursor — everything below `base` has
+        // retired, so the cursor catches up.
+        self.cursor = self.cursor.max(self.base);
+        while self.retired.contains(&self.cursor) {
+            self.cursor += 1;
+        }
+        while self.base + self.buffer.len() as u64 <= self.cursor {
+            if self.exhausted {
+                return None;
+            }
+            match self.source.next_instr() {
+                Some(instr) => self.buffer.push_back(instr),
+                None => {
+                    self.exhausted = true;
+                    return None;
+                }
+            }
+        }
+        let offset = (self.cursor - self.base) as usize;
+        Some(self.buffer[offset])
+    }
+
+    /// Index of the instruction the cursor points at.
+    pub fn cursor(&self) -> u64 {
+        self.cursor.max(self.base)
+    }
+
+    /// Consumes the instruction at the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is exhausted at the cursor; call
+    /// [`FetchUnit::peek`] first.
+    pub fn advance(&mut self) {
+        assert!(self.peek().is_some(), "advance past end of stream");
+        self.cursor += 1;
+    }
+
+    /// Rolls the cursor back to `index` so squashed instructions are
+    /// re-fetched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has already been released by retirement or lies
+    /// ahead of the cursor.
+    pub fn rollback(&mut self, index: u64) {
+        assert!(index >= self.base, "cannot roll back before retired prefix");
+        assert!(index <= self.cursor, "cannot roll forward");
+        self.cursor = index;
+    }
+
+    /// Rolls the cursor back to the oldest unretired instruction, so that
+    /// everything in flight is re-fetched (used when an OS scheduler swap
+    /// squashes the whole context).
+    pub fn rollback_to_base(&mut self) {
+        self.cursor = self.base;
+    }
+
+    /// Marks the instruction at `index` retired, releasing buffer space
+    /// once the retired prefix is contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` was never fetched, was already retired, or is at
+    /// or ahead of the cursor.
+    pub fn retire(&mut self, index: u64) {
+        assert!(index >= self.base, "double retirement of index {index}");
+        assert!(index < self.cursor, "retiring unfetched index {index}");
+        let inserted = self.retired.insert(index);
+        assert!(inserted, "double retirement of index {index}");
+        while self.retired.remove(&self.base) {
+            self.buffer.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Whether every fetched instruction has retired and the stream is
+    /// exhausted.
+    pub fn is_done(&mut self) -> bool {
+        self.peek().is_none() && self.base == self.cursor
+    }
+
+    /// Number of fetched-but-unretired instructions.
+    pub fn outstanding(&self) -> u64 {
+        (self.cursor.max(self.base) - self.base).saturating_sub(self.retired.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(n: u64) -> FetchUnit {
+        FetchUnit::new(Box::new(VecSource::new((0..n).map(|i| Instr::nop(i * 4)))))
+    }
+
+    #[test]
+    fn fetch_in_order() {
+        let mut f = unit(3);
+        assert_eq!(f.peek().unwrap().pc, 0);
+        f.advance();
+        assert_eq!(f.peek().unwrap().pc, 4);
+        f.advance();
+        f.advance();
+        assert!(f.peek().is_none());
+    }
+
+    #[test]
+    fn rollback_refetches() {
+        let mut f = unit(5);
+        for _ in 0..3 {
+            f.advance();
+        }
+        f.rollback(1);
+        assert_eq!(f.peek().unwrap().pc, 4);
+        assert_eq!(f.cursor(), 1);
+    }
+
+    #[test]
+    fn retirement_releases_prefix() {
+        let mut f = unit(5);
+        for _ in 0..3 {
+            f.advance();
+        }
+        f.retire(0);
+        f.retire(1);
+        assert_eq!(f.outstanding(), 1);
+        // Index 0 and 1 are gone; rollback to 2 still works.
+        f.rollback(2);
+        assert_eq!(f.peek().unwrap().pc, 8);
+    }
+
+    #[test]
+    fn out_of_order_retirement_absorbed_when_prefix_completes() {
+        let mut f = unit(5);
+        for _ in 0..3 {
+            f.advance();
+        }
+        f.retire(1);
+        assert_eq!(f.outstanding(), 2);
+        f.retire(0);
+        // Both absorbed once the prefix is contiguous.
+        assert_eq!(f.outstanding(), 1);
+        f.rollback(2);
+        assert_eq!(f.peek().unwrap().pc, 8);
+    }
+
+    #[test]
+    fn rollback_across_retired_instruction_skips_it() {
+        let mut f = unit(5);
+        for _ in 0..3 {
+            f.advance();
+        }
+        f.retire(1);
+        // Index 1 already committed; a rollback to 0 re-fetches 0 and
+        // then skips straight to 2.
+        f.rollback(0);
+        assert_eq!(f.peek().unwrap().pc, 0);
+        f.advance();
+        assert_eq!(f.peek().unwrap().pc, 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rollback_past_retired_prefix_panics() {
+        let mut f = unit(5);
+        f.advance();
+        f.retire(0);
+        f.rollback(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_retire_panics() {
+        let mut f = unit(5);
+        f.advance();
+        f.advance();
+        f.retire(1);
+        f.retire(1);
+    }
+
+    #[test]
+    fn done_when_all_retired() {
+        let mut f = unit(2);
+        f.advance();
+        f.advance();
+        assert!(!f.is_done());
+        f.retire(0);
+        f.retire(1);
+        assert!(f.is_done());
+    }
+
+    #[test]
+    fn rollback_to_base_refetches_all_unretired() {
+        let mut f = unit(6);
+        for _ in 0..5 {
+            f.advance();
+        }
+        f.retire(0);
+        f.retire(1);
+        f.rollback_to_base();
+        // Indices 2..5 re-fetch; 0 and 1 stay retired.
+        assert_eq!(f.peek().unwrap().pc, 8);
+        assert_eq!(f.cursor(), 2);
+    }
+
+    #[test]
+    fn cursor_clamps_to_base_after_absorption() {
+        let mut f = unit(6);
+        for _ in 0..3 {
+            f.advance();
+        }
+        // Out-of-order retire then rollback to 0, then absorb the prefix.
+        f.retire(1);
+        f.retire(2);
+        f.rollback(0);
+        f.advance(); // re-executes 0
+        f.retire(0); // base jumps to 3 while cursor sits at 1
+        assert_eq!(f.peek().unwrap().pc, 12, "cursor must catch up to base");
+        assert_eq!(f.outstanding(), 0);
+    }
+
+    #[test]
+    fn empty_source_is_done() {
+        let mut f = unit(0);
+        assert!(f.is_done());
+        assert!(f.peek().is_none());
+    }
+}

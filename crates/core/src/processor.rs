@@ -1,0 +1,1007 @@
+use interleave_isa::{Access, Instr, Op};
+use interleave_pipeline::{
+    Btb, BubbleCause, FrontEnd, FrontSlot, InFlight, IssueWindow, Scoreboard, Slot,
+    FP_ISSUE_TO_RETIRE, INT_ISSUE_TO_RETIRE,
+};
+use interleave_stats::{Breakdown, Category};
+
+use crate::context::{Context, CtxState};
+use crate::{
+    CtxView, DataOutcome, FetchUnit, InstOutcome, InstrSource, ProcConfig, Scheme, StorePolicy,
+    SyncOutcome, SystemPort, WaitReason,
+};
+
+/// Run-length statistics: instructions a context issues between successive
+/// unavailability events (paper Section 5.1 — run lengths govern how a
+/// strict round-robin shares the machine among applications).
+///
+/// Issue slots later squashed by the unavailability event are counted in
+/// the run they issued in *and* again when re-executed, so means run a
+/// cycle or two above the pure useful-instruction spacing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunLengthStats {
+    /// Completed runs observed.
+    pub runs: u64,
+    /// Total instructions across completed runs.
+    pub instructions: u64,
+    /// Shortest completed run.
+    pub min: u64,
+    /// Longest completed run.
+    pub max: u64,
+}
+
+impl RunLengthStats {
+    /// Mean run length (0.0 when no runs completed).
+    pub fn mean(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.runs as f64
+        }
+    }
+
+    fn record(&mut self, length: u64) {
+        if self.runs == 0 {
+            self.min = length;
+            self.max = length;
+        } else {
+            self.min = self.min.min(length);
+            self.max = self.max.max(length);
+        }
+        self.runs += 1;
+        self.instructions += length;
+    }
+}
+
+/// What happened in the issue slot of one cycle (optional trace for the
+/// Figure 2/3 illustrations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueRecord {
+    /// Context `ctx` issued an instruction of class `op`.
+    Issued {
+        /// Issuing context.
+        ctx: usize,
+        /// Operation class.
+        op: Op,
+    },
+    /// The RF occupant stalled; cycle charged to `category`.
+    Stalled(Category),
+    /// A bubble reached the issue point; cycle charged to `category`
+    /// (`None` for drained cycles, which are not charged).
+    Bubble(Option<Category>),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    MissDetect { due: u64, ctx: usize, epoch: u64, fetch_index: u64, ready_at: u64, addr: u64 },
+    BranchResolve { due: u64, ctx: usize, epoch: u64, pc: u64, taken: bool, target: u64 },
+}
+
+impl Event {
+    fn due(&self) -> u64 {
+        match *self {
+            Event::MissDetect { due, .. } | Event::BranchResolve { due, .. } => due,
+        }
+    }
+}
+
+/// A multiple-context processor attached to a memory system.
+///
+/// Composes the `interleave-pipeline` building blocks (front end, issue
+/// window, scoreboard, BTB) with per-context fetch units and the
+/// scheduling scheme. Drive it with [`Processor::tick`] /
+/// [`Processor::run_cycles`] / [`Processor::run_until_done`]; read results
+/// from [`Processor::breakdown`] and [`Processor::retired`].
+///
+/// See the crate-level documentation for an end-to-end example.
+pub struct Processor<P: SystemPort> {
+    cfg: ProcConfig,
+    port: P,
+    front: FrontEnd,
+    window: IssueWindow,
+    scoreboard: Scoreboard,
+    btb: Btb,
+    units: Vec<Option<FetchUnit>>,
+    ctx: Vec<Context>,
+    events: Vec<Event>,
+    now: u64,
+    /// Round-robin fetch pointer (interleaved scheme).
+    rr: usize,
+    /// Running context (blocked / single schemes).
+    current: Option<usize>,
+    /// Fetch blocked on the (blocking) instruction cache until this cycle.
+    fetch_stall_until: u64,
+    /// Category the current RF occupant's stall was classified as.
+    rf_stall_class: Option<Category>,
+    breakdown: Breakdown,
+    drained_cycles: u64,
+    trace: Option<Vec<IssueRecord>>,
+    run_lengths: RunLengthStats,
+    /// Instructions issued per context since it last became unavailable.
+    current_run: Vec<u64>,
+}
+
+impl<P: SystemPort> Processor<P> {
+    /// Creates a processor over `port` with no streams attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`ProcConfig::validate`].
+    pub fn new(cfg: ProcConfig, port: P) -> Processor<P> {
+        cfg.validate();
+        Processor {
+            front: FrontEnd::new(),
+            window: IssueWindow::new(),
+            scoreboard: Scoreboard::new(cfg.contexts),
+            btb: Btb::new(cfg.btb_entries),
+            units: (0..cfg.contexts).map(|_| None).collect(),
+            ctx: (0..cfg.contexts).map(|_| Context::new()).collect(),
+            events: Vec::new(),
+            now: 0,
+            rr: 0,
+            current: None,
+            fetch_stall_until: 0,
+            rf_stall_class: None,
+            breakdown: Breakdown::new(),
+            drained_cycles: 0,
+            trace: None,
+            run_lengths: RunLengthStats::default(),
+            current_run: vec![0; cfg.contexts],
+            cfg,
+            port,
+        }
+    }
+
+    /// Attaches an instruction stream to context `ctx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range or already has a stream attached.
+    pub fn attach(&mut self, ctx: usize, source: Box<dyn InstrSource>) {
+        assert!(self.units[ctx].is_none(), "context {ctx} already attached");
+        self.units[ctx] = Some(FetchUnit::new(source));
+        self.ctx[ctx].attached = true;
+        self.ctx[ctx].state = CtxState::Ready;
+    }
+
+    /// Replaces the fetch unit of `ctx` (the OS scheduler swapping resident
+    /// applications), squashing any of its in-flight work and returning the
+    /// outgoing unit so its application can be resumed later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` has no unit attached.
+    pub fn swap_unit(&mut self, ctx: usize, incoming: FetchUnit) -> FetchUnit {
+        assert!(self.units[ctx].is_some(), "context {ctx} has no unit to swap");
+        self.squash_context(ctx);
+        let mut outgoing = self.units[ctx].replace(incoming).expect("checked above");
+        // Re-fetch everything unretired when this unit runs again.
+        outgoing.rollback_to_base();
+        self.ctx[ctx].state = CtxState::Ready;
+        self.ctx[ctx].retired = 0;
+        outgoing
+    }
+
+    /// Enables or disables the per-cycle issue trace.
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.trace = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// The issue trace collected so far (empty when tracing is disabled).
+    pub fn trace(&self) -> &[IssueRecord] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The processor configuration.
+    pub fn config(&self) -> &ProcConfig {
+        &self.cfg
+    }
+
+    /// Execution-time breakdown accumulated so far.
+    pub fn breakdown(&self) -> &Breakdown {
+        &self.breakdown
+    }
+
+    /// Cycles in which nothing remained to execute (excluded from the
+    /// breakdown).
+    pub fn drained_cycles(&self) -> u64 {
+        self.drained_cycles
+    }
+
+    /// Run-length statistics (instructions issued between a context's
+    /// successive unavailability events).
+    pub fn run_lengths(&self) -> RunLengthStats {
+        self.run_lengths
+    }
+
+    /// Instructions retired by context `ctx`.
+    pub fn retired(&self, ctx: usize) -> u64 {
+        self.ctx[ctx].retired
+    }
+
+    /// Resets `ctx`'s retired-instruction counter (per-slice accounting).
+    pub fn reset_retired(&mut self, ctx: usize) {
+        self.ctx[ctx].retired = 0;
+    }
+
+    /// Clears the accumulated breakdown, drained-cycle count, and trace
+    /// (used to discard warmup before measurement).
+    pub fn reset_breakdown(&mut self) {
+        self.breakdown = Breakdown::new();
+        self.drained_cycles = 0;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.clear();
+        }
+    }
+
+    /// Snapshot of a context's scheduling state.
+    pub fn ctx_view(&self, ctx: usize) -> CtxView {
+        self.ctx[ctx].view()
+    }
+
+    /// Immutable access to the memory system.
+    pub fn port(&self) -> &P {
+        &self.port
+    }
+
+    /// Mutable access to the memory system (OS interference, statistics).
+    pub fn port_mut(&mut self) -> &mut P {
+        &mut self.port
+    }
+
+    /// Wakes a context waiting on synchronization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context is not sync-waiting.
+    pub fn wake_context(&mut self, ctx: usize) {
+        match self.ctx[ctx].state {
+            CtxState::Waiting { reason: WaitReason::Sync, .. } => {
+                self.ctx[ctx].state = CtxState::Ready;
+            }
+            other => panic!("context {ctx} not sync-waiting (state {other:?})"),
+        }
+    }
+
+    /// Whether every attached stream is exhausted and the pipeline drained.
+    pub fn is_done(&mut self) -> bool {
+        let units_done = self
+            .units
+            .iter_mut()
+            .flatten()
+            .all(|u| u.is_done());
+        units_done && self.window.is_empty() && self.front.occupancy() == 0
+    }
+
+    /// Runs `n` cycles.
+    pub fn run_cycles(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Runs until every stream completes or `max_cycles` elapse; returns
+    /// the cycles executed.
+    pub fn run_until_done(&mut self, max_cycles: u64) -> u64 {
+        let start = self.now;
+        while !self.is_done() && self.now - start < max_cycles {
+            self.tick();
+        }
+        self.now - start
+    }
+
+    /// Checks the no-lost-work invariant: a ready context whose stream is
+    /// exhausted at the cursor must either be done or still have work in
+    /// the pipe (debug aid).
+    pub fn check_lost_work(&mut self) -> Option<usize> {
+        for c in 0..self.cfg.contexts {
+            if !self.ctx[c].attached || !self.ctx[c].is_ready() {
+                continue;
+            }
+            let in_pipe = self.window.count_ctx(c) + self.front.count_ctx(c);
+            let unit = self.units[c].as_mut().unwrap();
+            if unit.peek().is_none() && unit.outstanding() > 0 && in_pipe == 0 {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Register ready cycle as tracked by the scoreboard (debug aid).
+    pub fn debug_reg_ready(&self, ctx: usize, reg: interleave_isa::Reg) -> u64 {
+        self.scoreboard.ready_at(ctx, reg)
+    }
+
+    /// Dumps internal scheduling state (debug aid; unstable format).
+    pub fn debug_state(&self) -> String {
+        let mut s = format!(
+            "now={} current={:?} rr={} window={} front_occ={} events={:?} fetch_stall={} rf={:?}\n",
+            self.now,
+            self.current,
+            self.rr,
+            self.window.len(),
+            self.front.occupancy(),
+            self.events,
+            self.fetch_stall_until,
+            self.front.rf(),
+        );
+        for (i, c) in self.ctx.iter().enumerate() {
+            s += &format!(
+                "  ctx{i}: state={:?} wp={} pend_bo={} epoch={} bound={:?} bifetch={:?} win={} front={}\n",
+                c.state,
+                c.wrong_path,
+                c.pending_backoff,
+                c.epoch,
+                c.bound_fills,
+                c.bound_ifetch,
+                self.window.count_ctx(i),
+                self.front.count_ctx(i),
+            );
+        }
+        s
+    }
+
+    /// Advances the processor one cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        self.process_events(now);
+        self.wake_contexts(now);
+
+        let record = self.issue_stage(now);
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(record);
+        }
+
+        let retired = self.window.retire_due(now);
+        for r in retired {
+            self.units[r.ctx]
+                .as_mut()
+                .expect("retiring context has a unit")
+                .retire(r.fetch_index);
+            self.ctx[r.ctx].retired += 1;
+        }
+
+        self.now += 1;
+    }
+
+    // ----- cycle phases -------------------------------------------------
+
+    fn process_events(&mut self, now: u64) {
+        // Misses first: they bump epochs that invalidate branch resolves.
+        let due: Vec<Event> = {
+            let (due, rest): (Vec<_>, Vec<_>) =
+                self.events.drain(..).partition(|e| e.due() <= now);
+            self.events = rest;
+            due
+        };
+        let (misses, branches): (Vec<_>, Vec<_>) =
+            due.into_iter().partition(|e| matches!(e, Event::MissDetect { .. }));
+        for e in misses.into_iter().chain(branches) {
+            match e {
+                Event::MissDetect { ctx, epoch, fetch_index, ready_at, addr, .. } => {
+                    self.on_miss_detect(now, ctx, epoch, fetch_index, ready_at, addr);
+                }
+                Event::BranchResolve { ctx, epoch, pc, taken, target, .. } => {
+                    if self.ctx[ctx].epoch == epoch {
+                        self.btb.update(pc, taken, target);
+                        self.front.squash_wrong_path(ctx);
+                        self.ctx[ctx].wrong_path = false;
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_miss_detect(
+        &mut self,
+        now: u64,
+        ctx: usize,
+        epoch: u64,
+        fetch_index: u64,
+        ready_at: u64,
+        addr: u64,
+    ) {
+        if self.ctx[ctx].epoch != epoch {
+            return; // squashed in the meantime; the re-executed access re-reports
+        }
+        self.end_run(ctx);
+        // The fill is delivered to this context by the MSHR; its
+        // re-executed access completes without re-probing the cache.
+        let bounds = &mut self.ctx[ctx].bound_fills;
+        if !bounds.contains(&(fetch_index, addr)) {
+            if bounds.len() >= 8 {
+                bounds.remove(0);
+            }
+            bounds.push((fetch_index, addr));
+        }
+        match self.cfg.scheme {
+            Scheme::Single => unreachable!("single scheme schedules no miss events"),
+            Scheme::Interleaved | Scheme::FineGrained => {
+                let squashed = self.window.squash_ctx(ctx);
+                let min_index = squashed
+                    .iter()
+                    .map(|i| i.fetch_index)
+                    .chain(std::iter::once(fetch_index))
+                    .min()
+                    .expect("nonempty");
+                self.transfer_squashed(&squashed);
+                self.front.squash_ctx(ctx);
+                self.scoreboard.clear_context(ctx, now);
+                // Front slots of this context are younger than everything
+                // in the window, so the window minimum covers them.
+                self.unit_mut(ctx).rollback(min_index);
+                self.ctx[ctx].state =
+                    CtxState::Waiting { reason: WaitReason::Data, until: Some(ready_at) };
+                self.ctx[ctx].epoch += 1;
+                self.ctx[ctx].wrong_path = false;
+                self.ctx[ctx].pending_backoff = false;
+            }
+            Scheme::Blocked => {
+                // Full pipeline flush: every context's in-flight work dies,
+                // including fetched-but-unissued instructions of contexts
+                // with nothing in the window — those must be rolled back
+                // too, or their instructions would be lost.
+                let squashed = self.window.squash_all();
+                self.transfer_squashed(&squashed);
+                let front_squashed = self.front.squash_all();
+                let mut mins: Vec<(usize, u64)> = Vec::new();
+                let indices = squashed
+                    .iter()
+                    .map(|s| (s.ctx, s.fetch_index))
+                    .chain(
+                        front_squashed
+                            .iter()
+                            .filter(|s| !s.wrong_path)
+                            .map(|s| (s.ctx, s.fetch_index)),
+                    );
+                for (c, idx) in indices {
+                    match mins.iter_mut().find(|(mc, _)| *mc == c) {
+                        Some((_, m)) => *m = (*m).min(idx),
+                        None => mins.push((c, idx)),
+                    }
+                }
+                match mins.iter_mut().find(|(c, _)| *c == ctx) {
+                    Some((_, m)) => *m = (*m).min(fetch_index),
+                    None => mins.push((ctx, fetch_index)),
+                }
+                for &(c, min_index) in &mins {
+                    self.scoreboard.clear_context(c, now);
+                    self.unit_mut(c).rollback(min_index);
+                    self.ctx[c].epoch += 1;
+                    self.ctx[c].wrong_path = false;
+                    self.ctx[c].pending_backoff = false;
+                }
+                self.ctx[ctx].state =
+                    CtxState::Waiting { reason: WaitReason::Data, until: Some(ready_at) };
+                self.pick_next_current(ctx);
+            }
+        }
+    }
+
+    fn wake_contexts(&mut self, now: u64) {
+        for c in &mut self.ctx {
+            if let CtxState::Waiting { until: Some(t), .. } = c.state {
+                if t <= now {
+                    c.state = CtxState::Ready;
+                }
+            }
+        }
+    }
+
+    /// The issue stage: examine RF, charge the cycle, maybe issue, and
+    /// advance the front end.
+    fn issue_stage(&mut self, now: u64) -> IssueRecord {
+        let rf = *self.front.rf();
+        match rf {
+            FrontSlot::Bubble(cause) => {
+                let category = self.charge_bubble(cause);
+                self.advance_front(now);
+                IssueRecord::Bubble(category)
+            }
+            FrontSlot::Instr(slot) if slot.wrong_path => {
+                // Should be squashed before reaching issue; if timing
+                // conspires, treat as a mispredict bubble.
+                self.breakdown.record(Category::InstrShort, 1);
+                self.advance_front(now);
+                IssueRecord::Bubble(Some(Category::InstrShort))
+            }
+            FrontSlot::Instr(slot) => self.issue_instr(now, slot),
+        }
+    }
+
+    fn issue_instr(&mut self, now: u64, slot: Slot) -> IssueRecord {
+        let ex = now + 1;
+        let earliest = self.scoreboard.earliest_issue(slot.ctx, &slot.instr, &self.cfg.timing, ex);
+        if earliest > ex {
+            let category = match self.rf_stall_class {
+                Some(c) => c,
+                None => {
+                    let c = if self.scoreboard.blocked_on_memory(slot.ctx, &slot.instr, now) {
+                        Category::DataMem
+                    } else if earliest - ex <= 4 {
+                        Category::InstrShort
+                    } else {
+                        Category::InstrLong
+                    };
+                    self.rf_stall_class = Some(c);
+                    c
+                }
+            };
+            self.breakdown.record(category, 1);
+            return IssueRecord::Stalled(category);
+        }
+
+        // Synchronization check happens at issue (the port decides).
+        if let Some(sync) = slot.instr.sync {
+            if self.port.sync(now, slot.ctx, sync) == SyncOutcome::Wait {
+                return self.handle_sync_wait(now, slot);
+            }
+        }
+
+        // Scheme-dependent latency-tolerance instructions.
+        let tolerance = matches!(slot.instr.op, Op::Backoff | Op::SwitchHint);
+        if tolerance {
+            match self.cfg.scheme {
+                Scheme::Single => { /* retires as a no-op */ }
+                Scheme::Interleaved | Scheme::FineGrained if slot.instr.op == Op::Backoff => {
+                    return self.handle_backoff(now, slot);
+                }
+                Scheme::Interleaved | Scheme::FineGrained => { /* explicit switch: no-op */ }
+                Scheme::Blocked => return self.handle_explicit_switch(now, slot),
+            }
+        }
+
+        // Plain issue.
+        self.current_run[slot.ctx] += 1;
+        self.scoreboard.issue(slot.ctx, &slot.instr, &self.cfg.timing, ex);
+        let retires_at =
+            ex + if slot.instr.op.is_fp() { FP_ISSUE_TO_RETIRE } else { INT_ISSUE_TO_RETIRE };
+        self.window.issue(InFlight {
+            ctx: slot.ctx,
+            fetch_index: slot.fetch_index,
+            instr: slot.instr,
+            issued_at: ex,
+            retires_at,
+        });
+        self.breakdown.record(Category::Busy, 1);
+
+        if let Some(mem) = slot.instr.mem {
+            self.issue_mem(now, &slot, mem.addr, mem.kind);
+        }
+        if let Some(branch) = slot.instr.branch {
+            if slot.mispredicted {
+                // The condition is evaluated in EX; the squash signal kills
+                // wrong-path fetches at the start of the EX cycle, leaving
+                // the three-cycle penalty of Section 4.1.
+                self.events.push(Event::BranchResolve {
+                    due: ex,
+                    ctx: slot.ctx,
+                    epoch: self.ctx[slot.ctx].epoch,
+                    pc: slot.instr.pc,
+                    taken: branch.taken,
+                    target: branch.target,
+                });
+            }
+        }
+
+        self.advance_front(now);
+        IssueRecord::Issued { ctx: slot.ctx, op: slot.instr.op }
+    }
+
+    fn issue_mem(&mut self, now: u64, slot: &Slot, addr: u64, kind: Access) {
+        let ex = now + 1;
+        if slot.instr.op == Op::Prefetch {
+            // Non-binding: start the fill and forget; the access never
+            // makes the context unavailable.
+            let _ = self.port.data(ex + 1, addr, kind, slot.ctx);
+            return;
+        }
+        // A re-executed access whose fill was bound by the MSHR completes
+        // without re-probing the cache.
+        let bounds = &mut self.ctx[slot.ctx].bound_fills;
+        if let Some(pos) = bounds.iter().position(|&b| b == (slot.fetch_index, addr)) {
+            bounds.remove(pos);
+            return;
+        }
+        let lookup = ex + 1; // DF1
+        match self.port.data(lookup, addr, kind, slot.ctx) {
+            DataOutcome::Hit => {}
+            DataOutcome::Stall { ready_at } => match self.cfg.scheme {
+                Scheme::Single => {
+                    // Stall-on-use: dependents wait for the bound fill.
+                    if let Some(dst) = slot.instr.dest() {
+                        self.scoreboard.set_mem_pending(slot.ctx, dst, ready_at);
+                    }
+                }
+                Scheme::Blocked | Scheme::Interleaved | Scheme::FineGrained => {
+                    if kind == Access::Write
+                        && self.cfg.store_policy == StorePolicy::WriteBuffer
+                    {
+                        // Release-consistent write buffering: the store
+                        // retires; the fill proceeds in the background.
+                        return;
+                    }
+                    // Miss determined in WB; the context becomes
+                    // unavailable there and re-executes from this load.
+                    if let Some(dst) = slot.instr.dest() {
+                        self.scoreboard.set_mem_pending(slot.ctx, dst, ready_at);
+                    }
+                    self.events.push(Event::MissDetect {
+                        due: ex + INT_ISSUE_TO_RETIRE,
+                        ctx: slot.ctx,
+                        epoch: self.ctx[slot.ctx].epoch,
+                        fetch_index: slot.fetch_index,
+                        ready_at,
+                        addr,
+                    });
+                }
+            },
+        }
+    }
+
+    fn handle_sync_wait(&mut self, now: u64, slot: Slot) -> IssueRecord {
+        self.breakdown.record(Category::Sync, 1);
+        match self.cfg.scheme {
+            Scheme::Single => {
+                // Spin at RF: retry the port every cycle until granted.
+                IssueRecord::Stalled(Category::Sync)
+            }
+            Scheme::Blocked | Scheme::Interleaved | Scheme::FineGrained => {
+                let ctx = slot.ctx;
+                self.end_run(ctx);
+                // The sync instruction has not issued; squash it (it sits
+                // in RF) and everything younger, then sleep until woken.
+                self.front.squash_ctx(ctx);
+                self.unit_mut(ctx).rollback(slot.fetch_index);
+                self.scoreboard.clear_context(ctx, now);
+                self.ctx[ctx].state = CtxState::Waiting { reason: WaitReason::Sync, until: None };
+                self.ctx[ctx].epoch += 1;
+                self.ctx[ctx].wrong_path = false;
+                self.ctx[ctx].pending_backoff = false;
+                if self.cfg.scheme == Scheme::Blocked {
+                    self.pick_next_current(ctx);
+                }
+                self.advance_front(now);
+                IssueRecord::Bubble(Some(Category::Sync))
+            }
+        }
+    }
+
+    /// Interleaved backoff: cost 1 (this issue slot), context unavailable
+    /// for the encoded duration.
+    fn handle_backoff(&mut self, now: u64, slot: Slot) -> IssueRecord {
+        self.issue_tolerance_op(now, &slot);
+        IssueRecord::Issued { ctx: slot.ctx, op: Op::Backoff }
+    }
+
+    /// Blocked explicit switch: cost 3 (this slot + the two suppressed
+    /// fetch slots behind it), context unavailable for the encoded
+    /// duration.
+    fn handle_explicit_switch(&mut self, now: u64, slot: Slot) -> IssueRecord {
+        let ctx = slot.ctx;
+        self.issue_tolerance_op(now, &slot);
+        self.pick_next_current(ctx);
+        IssueRecord::Issued { ctx, op: Op::SwitchHint }
+    }
+
+    /// Ends a context's current run (it is becoming unavailable).
+    fn end_run(&mut self, ctx: usize) {
+        let length = std::mem::take(&mut self.current_run[ctx]);
+        if length > 0 {
+            self.run_lengths.record(length);
+        }
+    }
+
+    /// Common backoff/explicit-switch issue path: the slot is switch
+    /// overhead, the instruction stays in the pipe (so an older miss can
+    /// still squash and re-execute it), and the context sleeps.
+    fn issue_tolerance_op(&mut self, now: u64, slot: &Slot) {
+        let ctx = slot.ctx;
+        self.end_run(ctx);
+        let ex = now + 1;
+        self.breakdown.record(Category::Switch, 1);
+        self.window.issue(InFlight {
+            ctx,
+            fetch_index: slot.fetch_index,
+            instr: slot.instr,
+            issued_at: ex,
+            retires_at: ex + INT_ISSUE_TO_RETIRE,
+        });
+        self.front.squash_ctx(ctx);
+        let duration = u64::from(slot.instr.backoff.max(1));
+        self.ctx[ctx].state =
+            CtxState::Waiting { reason: WaitReason::Backoff, until: Some(now + duration) };
+        self.ctx[ctx].wrong_path = false;
+        self.ctx[ctx].pending_backoff = false;
+        self.advance_front(now);
+    }
+
+    fn charge_bubble(&mut self, cause: BubbleCause) -> Option<Category> {
+        let category = match cause {
+            BubbleCause::Switch => Some(Category::Switch),
+            BubbleCause::Mispredict => Some(Category::InstrShort),
+            BubbleCause::InstMem => Some(Category::InstMem),
+            BubbleCause::DataWait => Some(Category::DataMem),
+            BubbleCause::SyncWait => Some(Category::Sync),
+            BubbleCause::BackoffWait => Some(Category::InstrLong),
+            BubbleCause::Drained => None,
+        };
+        match category {
+            Some(c) => self.breakdown.record(c, 1),
+            None => self.drained_cycles += 1,
+        }
+        category
+    }
+
+    /// Move squashed instructions' issue slots from busy to switch
+    /// overhead (the paper's context-switch cost accounting).
+    fn transfer_squashed(&mut self, squashed: &[InFlight]) {
+        for inflight in squashed {
+            // Only slots that were charged busy at issue. Saturating: the
+            // busy charge may have been cleared by a statistics reset
+            // while the instruction was in flight.
+            if !matches!(inflight.instr.op, Op::Backoff | Op::SwitchHint) {
+                self.breakdown.transfer_upto(Category::Busy, Category::Switch, 1);
+            }
+        }
+    }
+
+    /// Advances the front end, fetching into IF1. Clears the RF stall
+    /// classification because the RF occupant changes.
+    fn advance_front(&mut self, now: u64) {
+        self.rf_stall_class = None;
+        let incoming = self.fetch_slot(now);
+        self.front.shift(incoming);
+    }
+
+    // ----- fetch --------------------------------------------------------
+
+    fn fetch_slot(&mut self, now: u64) -> FrontSlot {
+        if self.fetch_stall_until > now {
+            return FrontSlot::Bubble(BubbleCause::InstMem);
+        }
+        // A blocked processor that has decoded an explicit switch stops
+        // fetching until the switch issues (it may not run another context
+        // yet) — the two bubbles of the three-cycle cost in Table 4.
+        if self.cfg.scheme == Scheme::Blocked {
+            if let Some(c) = self.current {
+                if self.ctx[c].is_ready() && self.ctx[c].pending_backoff {
+                    return FrontSlot::Bubble(BubbleCause::Switch);
+                }
+            }
+        }
+        let Some(ctx) = self.select_context(now) else {
+            return FrontSlot::Bubble(self.no_context_cause());
+        };
+
+        if self.ctx[ctx].wrong_path {
+            let index = self.unit_mut(ctx).cursor();
+            return FrontSlot::Instr(Slot {
+                ctx,
+                fetch_index: index,
+                instr: Instr::nop(u64::MAX),
+                wrong_path: true,
+                mispredicted: false,
+            });
+        }
+
+        let instr = self
+            .unit_mut(ctx)
+            .peek()
+            .expect("select_context verified the stream is non-empty");
+        let cursor = self.unit_mut(ctx).cursor();
+        if self.ctx[ctx].bound_ifetch == Some(cursor) {
+            // The outstanding I-fill delivers this fetch directly.
+            self.ctx[ctx].bound_ifetch = None;
+        } else {
+            self.ctx[ctx].bound_ifetch = None; // any older binding is stale
+            match self.port.inst(now, instr.pc) {
+                InstOutcome::Hit => {}
+                InstOutcome::Stall { ready_at } => {
+                    self.fetch_stall_until = ready_at;
+                    self.ctx[ctx].bound_ifetch = Some(cursor);
+                    return FrontSlot::Bubble(BubbleCause::InstMem);
+                }
+            }
+        }
+
+        let mut mispredicted = false;
+        if let Some(branch) = instr.branch {
+            if !self.btb.predicts_correctly(instr.pc, branch.taken, branch.target) {
+                // The prediction is bound at fetch: the shared BTB may be
+                // retrained by other contexts before this branch issues.
+                self.ctx[ctx].wrong_path = true;
+                mispredicted = true;
+            }
+        }
+        if matches!(instr.op, Op::Backoff | Op::SwitchHint) && self.cfg.scheme != Scheme::Single {
+            self.ctx[ctx].pending_backoff = true;
+        }
+
+        let fetch_index = self.unit_mut(ctx).cursor();
+        self.unit_mut(ctx).advance();
+        FrontSlot::Instr(Slot { ctx, fetch_index, instr, wrong_path: false, mispredicted })
+    }
+
+    /// Picks the context to fetch from this cycle.
+    fn select_context(&mut self, _now: u64) -> Option<usize> {
+        match self.cfg.scheme {
+            Scheme::Interleaved | Scheme::FineGrained => {
+                let n = self.cfg.contexts;
+                for offset in 0..n {
+                    let c = (self.rr + offset) % n;
+                    if self.fetchable(c) {
+                        self.rr = (c + 1) % n;
+                        return Some(c);
+                    }
+                }
+                None
+            }
+            Scheme::Blocked | Scheme::Single => {
+                if let Some(c) = self.current {
+                    if self.fetchable(c) {
+                        return Some(c);
+                    }
+                }
+                // Current missing or unavailable: adopt any ready context.
+                let n = self.cfg.contexts;
+                for offset in 0..n {
+                    let c = (self.rr + offset) % n;
+                    if self.fetchable(c) {
+                        self.rr = (c + 1) % n;
+                        self.current = Some(c);
+                        return Some(c);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn fetchable(&mut self, ctx: usize) -> bool {
+        if !self.ctx[ctx].attached || !self.ctx[ctx].is_ready() || self.ctx[ctx].pending_backoff {
+            return false;
+        }
+        // The fine-grained (HEP-like) pipeline has no interlocks: a
+        // context may have only one instruction active at a time.
+        if self.cfg.scheme == Scheme::FineGrained
+            && self.window.count_ctx(ctx) + self.front.count_ctx(ctx) > 0
+        {
+            return false;
+        }
+        if self.ctx[ctx].wrong_path {
+            return true;
+        }
+        self.units[ctx].as_mut().expect("attached").peek().is_some()
+    }
+
+    /// After `exclude` becomes unavailable, pick the blocked scheme's next
+    /// running context in round-robin order.
+    fn pick_next_current(&mut self, exclude: usize) {
+        let n = self.cfg.contexts;
+        for offset in 1..=n {
+            let c = (exclude + offset) % n;
+            if c != exclude && self.ctx[c].attached && self.ctx[c].is_ready() {
+                self.current = Some(c);
+                return;
+            }
+        }
+        self.current = None;
+    }
+
+    /// Attribution when no context can fetch: the reason of the context
+    /// that resumes soonest (sync waits count as farthest).
+    fn no_context_cause(&self) -> BubbleCause {
+        let mut best: Option<(u64, WaitReason)> = None;
+        for c in &self.ctx {
+            if !c.attached {
+                continue;
+            }
+            if let CtxState::Waiting { reason, until } = c.state {
+                let at = until.unwrap_or(u64::MAX);
+                if best.is_none_or(|(b, _)| at < b) {
+                    best = Some((at, reason));
+                }
+            }
+        }
+        match best {
+            Some((_, WaitReason::Data)) => BubbleCause::DataWait,
+            Some((_, WaitReason::Sync)) => BubbleCause::SyncWait,
+            Some((_, WaitReason::Backoff)) => BubbleCause::BackoffWait,
+            // No context is waiting: either every ready context has a
+            // decoded backoff in flight (switch overhead) or the streams
+            // are exhausted (drained, uncharged).
+            None if self.ctx.iter().any(|c| c.attached && c.is_ready() && c.pending_backoff) => {
+                BubbleCause::Switch
+            }
+            None => BubbleCause::Drained,
+        }
+    }
+
+    fn unit_mut(&mut self, ctx: usize) -> &mut FetchUnit {
+        self.units[ctx].as_mut().expect("context has a unit attached")
+    }
+
+    /// Squashes everything a context has in the machine (used by
+    /// [`Processor::swap_unit`]).
+    fn squash_context(&mut self, ctx: usize) {
+        let squashed = self.window.squash_ctx(ctx);
+        self.transfer_squashed(&squashed);
+        self.front.squash_ctx(ctx);
+        self.scoreboard.clear_context(ctx, self.now);
+        self.ctx[ctx].epoch += 1;
+        self.ctx[ctx].wrong_path = false;
+        self.ctx[ctx].pending_backoff = false;
+        self.ctx[ctx].bound_fills.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PerfectMemory, VecSource};
+    use interleave_isa::Reg;
+
+    #[test]
+    fn run_length_stats_start_empty() {
+        let stats = RunLengthStats::default();
+        assert_eq!(stats.mean(), 0.0);
+        assert_eq!(stats.runs, 0);
+    }
+
+    #[test]
+    fn debug_state_is_nonempty() {
+        let mut cpu = Processor::new(ProcConfig::new(Scheme::Single, 1), PerfectMemory);
+        cpu.attach(0, Box::new(VecSource::new(vec![Instr::alu(0, Some(Reg::int(1)), None, None)])));
+        cpu.run_cycles(3);
+        let s = cpu.debug_state();
+        assert!(s.contains("now=3"));
+        assert!(s.contains("ctx0"));
+    }
+
+    #[test]
+    fn reset_breakdown_clears_counts_and_trace() {
+        let mut cpu = Processor::new(ProcConfig::new(Scheme::Single, 1), PerfectMemory);
+        cpu.set_trace(true);
+        cpu.attach(0, Box::new(VecSource::new((0..10).map(Instr::nop))));
+        cpu.run_cycles(20);
+        assert!(cpu.breakdown().total() > 0);
+        cpu.reset_breakdown();
+        assert_eq!(cpu.breakdown().total(), 0);
+        assert_eq!(cpu.drained_cycles(), 0);
+        assert!(cpu.trace().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_attach_panics() {
+        let mut cpu = Processor::new(ProcConfig::new(Scheme::Single, 1), PerfectMemory);
+        cpu.attach(0, Box::new(VecSource::new(vec![])));
+        cpu.attach(0, Box::new(VecSource::new(vec![])));
+    }
+
+    #[test]
+    fn ctx_view_reports_attachment() {
+        let mut cpu = Processor::new(ProcConfig::new(Scheme::Interleaved, 2), PerfectMemory);
+        assert!(!cpu.ctx_view(0).attached);
+        cpu.attach(0, Box::new(VecSource::new(vec![])));
+        assert!(cpu.ctx_view(0).attached);
+        assert!(cpu.ctx_view(0).ready);
+        assert!(!cpu.ctx_view(1).attached);
+    }
+}
+
+impl<P: SystemPort + std::fmt::Debug> std::fmt::Debug for Processor<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Processor")
+            .field("scheme", &self.cfg.scheme)
+            .field("contexts", &self.cfg.contexts)
+            .field("now", &self.now)
+            .finish()
+    }
+}

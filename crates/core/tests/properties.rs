@@ -1,0 +1,128 @@
+//! Property-based tests: for random programs on any scheme, every
+//! instruction retires exactly once, every cycle is attributed exactly
+//! once, and no work is ever lost to a squash.
+
+use interleave_core::{ProcConfig, Processor, Scheme, VecSource};
+use interleave_isa::{Instr, Op, Reg};
+use interleave_mem::{MemConfig, UniMemSystem};
+use proptest::prelude::*;
+
+/// A compact recipe for one synthetic instruction.
+#[derive(Debug, Clone, Copy)]
+enum Recipe {
+    Alu { dst: u8, src: u8 },
+    Shift { dst: u8, src: u8 },
+    FpAdd { dst: u8, src: u8 },
+    FpDiv { dst: u8, src: u8 },
+    Load { dst: u8, addr: u16 },
+    Store { src: u8, addr: u16 },
+    Branch { taken: bool, target: u16 },
+    Backoff { cycles: u8 },
+    Nop,
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    prop_oneof![
+        (0u8..32, 0u8..32).prop_map(|(dst, src)| Recipe::Alu { dst, src }),
+        (0u8..32, 0u8..32).prop_map(|(dst, src)| Recipe::Shift { dst, src }),
+        (0u8..32, 0u8..32).prop_map(|(dst, src)| Recipe::FpAdd { dst, src }),
+        (0u8..32, 0u8..32).prop_map(|(dst, src)| Recipe::FpDiv { dst, src }),
+        (0u8..32, any::<u16>()).prop_map(|(dst, addr)| Recipe::Load { dst, addr }),
+        (0u8..32, any::<u16>()).prop_map(|(src, addr)| Recipe::Store { src, addr }),
+        (any::<bool>(), any::<u16>()).prop_map(|(taken, target)| Recipe::Branch { taken, target }),
+        (1u8..60).prop_map(|cycles| Recipe::Backoff { cycles }),
+        Just(Recipe::Nop),
+    ]
+}
+
+fn materialize(recipes: &[Recipe], ctx: usize) -> Vec<Instr> {
+    // Spread each context over its own address region so programs interact
+    // through cache capacity, not false sharing of the same line.
+    let code_base = 0x10_0000 * (ctx as u64 + 1);
+    let data_base = 0x80_0000 * (ctx as u64 + 1);
+    recipes
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let pc = code_base + i as u64 * 4;
+            match *r {
+                Recipe::Alu { dst, src } => {
+                    Instr::alu(pc, Some(Reg::int(dst)), Some(Reg::int(src)), None)
+                }
+                Recipe::Shift { dst, src } => {
+                    Instr::arith(pc, Op::Shift, Some(Reg::int(dst)), Some(Reg::int(src)), None)
+                }
+                Recipe::FpAdd { dst, src } => {
+                    Instr::arith(pc, Op::FpAdd, Some(Reg::fp(dst)), Some(Reg::fp(src)), None)
+                }
+                Recipe::FpDiv { dst, src } => Instr::arith(
+                    pc,
+                    Op::FpDivSingle,
+                    Some(Reg::fp(dst)),
+                    Some(Reg::fp(src)),
+                    None,
+                ),
+                Recipe::Load { dst, addr } => {
+                    Instr::load(pc, Reg::int(dst), Reg::int(29), data_base + u64::from(addr))
+                }
+                Recipe::Store { src, addr } => {
+                    Instr::store(pc, Reg::int(src), Reg::int(29), data_base + u64::from(addr))
+                }
+                Recipe::Branch { taken, target } => {
+                    Instr::branch(pc, Some(Reg::int(1)), taken, code_base + u64::from(target) * 4)
+                }
+                Recipe::Backoff { cycles } => Instr::backoff(pc, u32::from(cycles)),
+                Recipe::Nop => Instr::nop(pc),
+            }
+        })
+        .collect()
+}
+
+fn scheme_strategy() -> impl Strategy<Value = (Scheme, usize)> {
+    prop_oneof![
+        Just((Scheme::Single, 1)),
+        (1usize..=4).prop_map(|n| (Scheme::Blocked, n)),
+        (1usize..=4).prop_map(|n| (Scheme::Interleaved, n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conservation_and_accounting(
+        (scheme, contexts) in scheme_strategy(),
+        programs in proptest::collection::vec(
+            proptest::collection::vec(recipe_strategy(), 1..60),
+            1..=4,
+        ),
+    ) {
+        let mut cpu = Processor::new(
+            ProcConfig::new(scheme, contexts),
+            UniMemSystem::new(MemConfig::workstation()),
+        );
+        let mut expected = vec![0u64; contexts];
+        for (c, p) in programs.iter().take(contexts).enumerate() {
+            let instrs = materialize(p, c);
+            expected[c] = instrs.len() as u64;
+            cpu.attach(c, Box::new(VecSource::new(instrs)));
+        }
+
+        let mut cycles = 0u64;
+        while !cpu.is_done() && cycles < 200_000 {
+            cpu.tick();
+            cycles += 1;
+            prop_assert_eq!(cpu.check_lost_work(), None, "work lost at cycle {}", cycles);
+        }
+        prop_assert!(cpu.is_done(), "did not finish within the cycle budget");
+
+        for (c, &want) in expected.iter().enumerate() {
+            prop_assert_eq!(cpu.retired(c), want, "retired count for context {}", c);
+        }
+        prop_assert_eq!(
+            cpu.breakdown().total() + cpu.drained_cycles(),
+            cycles,
+            "cycle attribution must be exact"
+        );
+    }
+}

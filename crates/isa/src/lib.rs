@@ -1,0 +1,41 @@
+//! Instruction-set and operation-timing model for the interleave simulator.
+//!
+//! The simulated processor executes a MIPS-II-like instruction set with the
+//! delayed branches removed, as described in Section 4.1 of Laudon, Gupta &
+//! Horowitz (ASPLOS 1994). This crate defines:
+//!
+//! * [`Reg`] — architectural register identifiers (32 integer + 32 FP),
+//! * [`Op`] — the operation classes the timing model distinguishes,
+//! * [`Instr`] — a decoded instruction as consumed by the pipeline model,
+//! * [`TimingModel`] — per-operation issue occupancy and result latency
+//!   (the paper's Table 3).
+//!
+//! The simulator is trace/stream driven: instructions are produced by
+//! synthetic workload generators (see the `interleave-workloads` crate)
+//! rather than decoded from binary machine code, so `Instr` carries resolved
+//! operands (register names, effective addresses, branch outcomes) directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use interleave_isa::{Instr, Op, Reg, TimingModel};
+//!
+//! let timing = TimingModel::r4000_like();
+//! let load = Instr::load(0x100, Reg::int(4), Reg::int(5), 0x8000);
+//! assert_eq!(load.op, Op::Load);
+//! // Loads have two delay slots: result latency 3.
+//! assert_eq!(timing.timing(Op::Load).latency, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod instr;
+mod op;
+mod reg;
+mod timing;
+
+pub use instr::{Access, BranchInfo, Instr, MemRef, SyncKind, SyncRef};
+pub use op::{FuKind, Op};
+pub use reg::Reg;
+pub use timing::{OpTiming, TimingModel};

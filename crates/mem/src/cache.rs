@@ -1,0 +1,270 @@
+use crate::CacheParams;
+
+/// A direct-mapped cache tag array.
+///
+/// Stores tags and dirty bits only — the simulator never needs data values.
+/// All caches in the paper are direct-mapped (Table 1).
+///
+/// # Examples
+///
+/// ```
+/// use interleave_mem::{CacheParams, DirectCache};
+///
+/// let mut c = DirectCache::new(CacheParams::primary_data());
+/// assert!(!c.probe(0x1000));
+/// c.fill(0x1000, false);
+/// assert!(c.probe(0x1000));
+/// assert!(c.probe(0x101F)); // same 32-byte line
+/// assert!(!c.probe(0x1020)); // next line
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirectCache {
+    params: CacheParams,
+    line_shift: u32,
+    index_mask: u64,
+    /// Tag per set, or `None` if the set is empty.
+    tags: Vec<Option<u64>>,
+    dirty: Vec<bool>,
+}
+
+/// A line written back on eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Writeback {
+    /// Address of the evicted line.
+    pub addr: u64,
+    /// Whether the evicted line was dirty (needs a writeback transaction).
+    pub dirty: bool,
+}
+
+impl DirectCache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails [`CacheParams::validate`].
+    pub fn new(params: CacheParams) -> DirectCache {
+        params.validate();
+        let lines = params.lines() as usize;
+        DirectCache {
+            line_shift: params.line.trailing_zeros(),
+            index_mask: params.lines() - 1,
+            tags: vec![None; lines],
+            dirty: vec![false; lines],
+            params,
+        }
+    }
+
+    /// The cache geometry this cache was built with.
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    /// Line-aligned address of `addr`.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr >> self.line_shift << self.line_shift
+    }
+
+    fn index(&self, addr: u64) -> usize {
+        ((addr >> self.line_shift) & self.index_mask) as usize
+    }
+
+    fn tag(&self, addr: u64) -> u64 {
+        addr >> self.line_shift >> self.index_mask.count_ones()
+    }
+
+    /// Whether `addr` currently hits.
+    pub fn probe(&self, addr: u64) -> bool {
+        self.tags[self.index(addr)] == Some(self.tag(addr))
+    }
+
+    /// Installs the line containing `addr`, optionally marking it dirty,
+    /// and returns the evicted line if one was displaced.
+    pub fn fill(&mut self, addr: u64, dirty: bool) -> Option<Writeback> {
+        let index = self.index(addr);
+        let new_tag = self.tag(addr);
+        let evicted = self.tags[index].and_then(|old_tag| {
+            if old_tag == new_tag {
+                None
+            } else {
+                let old_addr = (old_tag << self.index_mask.count_ones() | index as u64)
+                    << self.line_shift;
+                Some(Writeback { addr: old_addr, dirty: self.dirty[index] })
+            }
+        });
+        self.tags[index] = Some(new_tag);
+        self.dirty[index] = dirty;
+        evicted
+    }
+
+    /// Marks the line containing `addr` dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not present.
+    pub fn mark_dirty(&mut self, addr: u64) {
+        assert!(self.probe(addr), "cannot dirty a line that is not cached");
+        let index = self.index(addr);
+        self.dirty[index] = true;
+    }
+
+    /// Removes the line containing `addr` if present; returns whether it
+    /// was present.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let index = self.index(addr);
+        if self.tags[index] == Some(self.tag(addr)) {
+            self.tags[index] = None;
+            self.dirty[index] = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidates the set with the given index (used by the OS-interference
+    /// model, which displaces lines without knowing their addresses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn invalidate_set(&mut self, set: usize) {
+        assert!(set < self.tags.len(), "set index out of range");
+        self.tags[set] = None;
+        self.dirty[set] = false;
+    }
+
+    /// Number of sets (== lines for a direct-mapped cache).
+    pub fn sets(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Number of valid lines currently held.
+    pub fn occupancy(&self) -> usize {
+        self.tags.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Empties the cache.
+    pub fn clear(&mut self) {
+        self.tags.fill(None);
+        self.dirty.fill(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DirectCache {
+        // 4 lines of 32 bytes.
+        DirectCache::new(CacheParams {
+            size: 128,
+            line: 32,
+            fetch_lines: 1,
+            read_occupancy: 1,
+            write_occupancy: 1,
+            invalidate_occupancy: 1,
+            fill_occupancy: 1,
+        })
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut c = small();
+        assert!(!c.probe(0x40));
+        assert!(c.fill(0x40, false).is_none());
+        assert!(c.probe(0x40));
+        assert!(c.probe(0x5F));
+        assert!(!c.probe(0x60));
+    }
+
+    #[test]
+    fn conflicting_lines_evict() {
+        let mut c = small();
+        c.fill(0x00, false);
+        // 0x80 maps to the same set (4 lines * 32 B = 128 B period).
+        let wb = c.fill(0x80, false).unwrap();
+        assert_eq!(wb.addr, 0x00);
+        assert!(!wb.dirty);
+        assert!(!c.probe(0x00));
+        assert!(c.probe(0x80));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = small();
+        c.fill(0x00, true);
+        let wb = c.fill(0x80, false).unwrap();
+        assert!(wb.dirty);
+    }
+
+    #[test]
+    fn refill_same_line_is_not_eviction() {
+        let mut c = small();
+        c.fill(0x00, false);
+        assert!(c.fill(0x10, true).is_none()); // same line
+        // Dirty state updated by the refill.
+        let wb = c.fill(0x80, false).unwrap();
+        assert!(wb.dirty);
+    }
+
+    #[test]
+    fn invalidate() {
+        let mut c = small();
+        c.fill(0x40, false);
+        assert!(c.invalidate(0x40));
+        assert!(!c.probe(0x40));
+        assert!(!c.invalidate(0x40));
+    }
+
+    #[test]
+    fn mark_dirty_and_writeback() {
+        let mut c = small();
+        c.fill(0x20, false);
+        c.mark_dirty(0x20);
+        let wb = c.fill(0xA0, false).unwrap();
+        assert!(wb.dirty);
+        assert_eq!(wb.addr, 0x20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mark_dirty_missing_line_panics() {
+        let mut c = small();
+        c.mark_dirty(0x20);
+    }
+
+    #[test]
+    fn occupancy_and_clear() {
+        let mut c = small();
+        assert_eq!(c.occupancy(), 0);
+        c.fill(0x00, false);
+        c.fill(0x20, false);
+        assert_eq!(c.occupancy(), 2);
+        c.clear();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn invalidate_set_displaces() {
+        let mut c = small();
+        c.fill(0x20, false);
+        c.invalidate_set(1); // 0x20 >> 5 = set 1
+        assert!(!c.probe(0x20));
+    }
+
+    #[test]
+    fn line_addr_alignment() {
+        let c = small();
+        assert_eq!(c.line_addr(0x47), 0x40);
+        assert_eq!(c.line_addr(0x40), 0x40);
+    }
+
+    #[test]
+    fn full_size_cache_geometry() {
+        let c = DirectCache::new(CacheParams::primary_data());
+        assert_eq!(c.sets(), 2048);
+        // Addresses 64 KB apart conflict.
+        let mut c = c;
+        c.fill(0x0, false);
+        assert!(c.fill(0x10000, false).is_some());
+    }
+}

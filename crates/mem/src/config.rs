@@ -1,0 +1,281 @@
+/// Geometry and port occupancies for one cache (paper Table 1).
+///
+/// All caches in the modeled system are direct-mapped with 32-byte lines.
+/// Occupancies are the cycles the cache's port is busy per operation and
+/// feed the contention model; they do not by themselves add latency to an
+/// unloaded access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Line size in bytes (power of two).
+    pub line: u64,
+    /// Lines brought in per fetch (the I-cache fetches two).
+    pub fetch_lines: u64,
+    /// Port occupancy of a read lookup, in cycles.
+    pub read_occupancy: u64,
+    /// Port occupancy of a write, in cycles.
+    pub write_occupancy: u64,
+    /// Port occupancy of an invalidation, in cycles.
+    pub invalidate_occupancy: u64,
+    /// Port occupancy of a line fill, in cycles.
+    pub fill_occupancy: u64,
+}
+
+impl CacheParams {
+    /// Number of lines in the cache.
+    pub fn lines(&self) -> u64 {
+        self.size / self.line
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line size is not a power of two, the size is not a
+    /// multiple of the line size, or any occupancy is zero.
+    pub fn validate(&self) {
+        assert!(self.line.is_power_of_two(), "line size must be a power of two");
+        assert!(self.size.is_multiple_of(self.line) && self.size > 0, "size must be a line multiple");
+        assert!(self.fetch_lines >= 1);
+        assert!(
+            self.read_occupancy >= 1
+                && self.write_occupancy >= 1
+                && self.invalidate_occupancy >= 1
+                && self.fill_occupancy >= 1,
+            "occupancies must be at least one cycle"
+        );
+    }
+
+    /// Primary data cache: 64 KB, 32 B lines, lockup-free (Table 1).
+    pub fn primary_data() -> CacheParams {
+        CacheParams {
+            size: 64 * 1024,
+            line: 32,
+            fetch_lines: 1,
+            read_occupancy: 1,
+            write_occupancy: 1,
+            invalidate_occupancy: 2,
+            fill_occupancy: 1,
+        }
+    }
+
+    /// Primary instruction cache: 64 KB, 32 B lines, blocking, fetches two
+    /// lines, fill occupancy 8 (Table 1). Write/invalidate occupancies are
+    /// unused (the paper marks them NA) but kept non-zero for validity.
+    pub fn primary_inst() -> CacheParams {
+        CacheParams {
+            size: 64 * 1024,
+            line: 32,
+            fetch_lines: 2,
+            read_occupancy: 1,
+            write_occupancy: 1,
+            invalidate_occupancy: 1,
+            fill_occupancy: 8,
+        }
+    }
+
+    /// Secondary unified cache: 1 MB, 32 B lines (Table 1).
+    pub fn secondary() -> CacheParams {
+        CacheParams {
+            size: 1024 * 1024,
+            line: 32,
+            fetch_lines: 1,
+            read_occupancy: 2,
+            write_occupancy: 2,
+            invalidate_occupancy: 4,
+            fill_occupancy: 2,
+        }
+    }
+}
+
+/// Fixed path latencies that compose into the paper's Table 2 unloaded
+/// totals (measured from the start of the primary-cache lookup):
+///
+/// * primary hit: data at end of lookup — 1-cycle access folded into the
+///   load's two delay slots (Table 3);
+/// * secondary hit: `l1_lookup + l2_occupancy + l2_transfer + l1_fill`
+///   = 2 + 2 + 4 + 1 = **9 cycles**;
+/// * memory reply: `l1_lookup + l2_occupancy + bus_request + bank_access +
+///   bus_reply + l1_fill` = 2 + 2 + 1 + 26 + 2 + 1 = **34 cycles**.
+///
+/// The individual component values are a reconstruction (the paper gives
+/// only the totals); contention is layered on top by [`crate::Resource`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathTiming {
+    /// Primary-cache lookup: the two DF pipeline stages.
+    pub l1_lookup: u64,
+    /// Data transfer from the secondary cache back to the primary.
+    pub l2_transfer: u64,
+    /// Split-transaction bus request slot.
+    pub bus_request: u64,
+    /// DRAM bank access time.
+    pub bank_access: u64,
+    /// Reply transfer of a 32 B line over the bus.
+    pub bus_reply: u64,
+    /// Data-TLB miss service penalty (reconstructed; see DESIGN.md).
+    pub dtlb_miss: u64,
+    /// Instruction-TLB miss service penalty (reconstructed).
+    pub itlb_miss: u64,
+}
+
+impl PathTiming {
+    /// Default component latencies matching the Table 2 totals.
+    pub fn workstation() -> PathTiming {
+        PathTiming {
+            l1_lookup: 2,
+            l2_transfer: 4,
+            bus_request: 1,
+            bank_access: 26,
+            bus_reply: 2,
+            dtlb_miss: 25,
+            itlb_miss: 25,
+        }
+    }
+
+    /// Unloaded secondary-hit service time from lookup start.
+    pub fn unloaded_l2_hit(&self, l2: &CacheParams) -> u64 {
+        self.l1_lookup + l2.read_occupancy + self.l2_transfer + 1
+    }
+
+    /// Unloaded memory service time from lookup start.
+    pub fn unloaded_memory(&self, l2: &CacheParams) -> u64 {
+        self.l1_lookup + l2.read_occupancy + self.bus_request + self.bank_access + self.bus_reply
+            + 1
+    }
+}
+
+/// Full memory-system configuration (paper Tables 1–2 defaults via
+/// [`MemConfig::workstation`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Primary data cache parameters.
+    pub l1d: CacheParams,
+    /// Primary instruction cache parameters.
+    pub l1i: CacheParams,
+    /// Secondary unified cache parameters.
+    pub l2: CacheParams,
+    /// Path component latencies.
+    pub path: PathTiming,
+    /// Number of interleaved memory banks.
+    pub banks: usize,
+    /// Maximum outstanding misses (MSHR entries) in the lockup-free data
+    /// cache.
+    pub mshrs: usize,
+    /// Page size for the TLBs, in bytes.
+    pub page_size: u64,
+    /// Data-TLB entries (fully associative, FIFO replacement).
+    pub dtlb_entries: usize,
+    /// Instruction-TLB entries.
+    pub itlb_entries: usize,
+    /// Whether TLBs are modeled at all (the multiprocessor study disables
+    /// them, attributing everything to communication misses).
+    pub tlbs_enabled: bool,
+    /// Whether the data caches are used at all. Disabling them makes every
+    /// data reference a memory access — the fine-grained (HEP-like)
+    /// machines of paper Section 2.1 had no data caches.
+    pub data_cache_enabled: bool,
+}
+
+impl MemConfig {
+    /// The paper's high-end workstation memory system.
+    pub fn workstation() -> MemConfig {
+        MemConfig {
+            l1d: CacheParams::primary_data(),
+            l1i: CacheParams::primary_inst(),
+            l2: CacheParams::secondary(),
+            path: PathTiming::workstation(),
+            banks: 4,
+            mshrs: 9,
+            page_size: 4096,
+            dtlb_entries: 64,
+            itlb_entries: 64,
+            tlbs_enabled: true,
+            data_cache_enabled: true,
+        }
+    }
+
+    /// Checks internal consistency of the whole configuration, including
+    /// that the composed path latencies reproduce the paper's Table 2
+    /// unloaded totals when using the default path timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any inconsistency.
+    pub fn validate(&self) {
+        self.l1d.validate();
+        self.l1i.validate();
+        self.l2.validate();
+        assert!(self.banks >= 1, "need at least one memory bank");
+        assert!(self.mshrs >= 1, "need at least one MSHR");
+        assert!(self.page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(self.dtlb_entries >= 1 && self.itlb_entries >= 1);
+        assert_eq!(
+            self.l1d.line, self.l2.line,
+            "primary and secondary line sizes must match"
+        );
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::workstation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_geometry() {
+        let cfg = MemConfig::workstation();
+        assert_eq!(cfg.l1d.size, 64 * 1024);
+        assert_eq!(cfg.l1i.size, 64 * 1024);
+        assert_eq!(cfg.l2.size, 1024 * 1024);
+        assert_eq!(cfg.l1d.line, 32);
+        assert_eq!(cfg.l1d.lines(), 2048);
+        assert_eq!(cfg.l2.lines(), 32768);
+        assert_eq!(cfg.l1i.fetch_lines, 2);
+        assert_eq!(cfg.l1i.fill_occupancy, 8);
+        assert_eq!(cfg.l2.read_occupancy, 2);
+        assert_eq!(cfg.l2.invalidate_occupancy, 4);
+    }
+
+    #[test]
+    fn table2_unloaded_totals() {
+        let cfg = MemConfig::workstation();
+        assert_eq!(cfg.path.unloaded_l2_hit(&cfg.l2), 9);
+        assert_eq!(cfg.path.unloaded_memory(&cfg.l2), 34);
+    }
+
+    #[test]
+    fn default_validates() {
+        MemConfig::workstation().validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_line_size_rejected() {
+        let mut cfg = MemConfig::workstation();
+        cfg.l1d.line = 33;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_banks_rejected() {
+        let mut cfg = MemConfig::workstation();
+        cfg.banks = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_line_sizes_rejected() {
+        let mut cfg = MemConfig::workstation();
+        cfg.l2.line = 64;
+        cfg.l2.size = 1024 * 1024;
+        cfg.validate();
+    }
+}

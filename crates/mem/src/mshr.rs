@@ -1,0 +1,122 @@
+use std::collections::BTreeMap;
+
+/// Miss-status holding registers for the lockup-free data cache.
+///
+/// Tracks outstanding line fills so that a second miss to an in-flight line
+/// merges with the existing request instead of issuing a duplicate, as in
+/// Kroft's lockup-free cache design cited by the paper.
+///
+/// Entries expire lazily: callers sweep completed fills with
+/// [`MshrFile::expire`] before allocating.
+#[derive(Debug, Clone, Default)]
+pub struct MshrFile {
+    capacity: usize,
+    /// line address -> cycle at which the fill completes.
+    outstanding: BTreeMap<u64, u64>,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> MshrFile {
+        assert!(capacity > 0, "need at least one MSHR");
+        MshrFile { capacity, outstanding: BTreeMap::new() }
+    }
+
+    /// Removes entries whose fills completed at or before `now`.
+    pub fn expire(&mut self, now: u64) {
+        self.outstanding.retain(|_, &mut ready| ready > now);
+    }
+
+    /// If a fill for `line_addr` is outstanding, returns its completion
+    /// cycle (the new miss merges with it).
+    pub fn lookup(&self, line_addr: u64) -> Option<u64> {
+        self.outstanding.get(&line_addr).copied()
+    }
+
+    /// Records an outstanding fill completing at `ready_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is full or the line is already outstanding —
+    /// callers must [`MshrFile::lookup`] (and merge) first.
+    pub fn allocate(&mut self, line_addr: u64, ready_at: u64) {
+        assert!(self.outstanding.len() < self.capacity, "MSHR file is full");
+        let prev = self.outstanding.insert(line_addr, ready_at);
+        assert!(prev.is_none(), "line {line_addr:#x} already outstanding");
+    }
+
+    /// Number of outstanding fills.
+    pub fn len(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Whether no fills are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.outstanding.is_empty()
+    }
+
+    /// Whether the file has room for another fill.
+    pub fn has_free_entry(&self) -> bool {
+        self.outstanding.len() < self.capacity
+    }
+
+    /// Earliest completion cycle among outstanding fills, if any.
+    pub fn earliest_ready(&self) -> Option<u64> {
+        self.outstanding.values().copied().min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_lookup_expire() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0x40, 100);
+        assert_eq!(m.lookup(0x40), Some(100));
+        assert_eq!(m.lookup(0x80), None);
+        m.expire(99);
+        assert_eq!(m.len(), 1);
+        m.expire(100);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn merge_visibility() {
+        let mut m = MshrFile::new(4);
+        m.allocate(0x40, 50);
+        // A second miss to the same line sees the outstanding fill.
+        assert_eq!(m.lookup(0x40), Some(50));
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_allocate_panics() {
+        let mut m = MshrFile::new(4);
+        m.allocate(0x40, 50);
+        m.allocate(0x40, 60);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overflow_panics() {
+        let mut m = MshrFile::new(1);
+        m.allocate(0x40, 50);
+        m.allocate(0x80, 60);
+    }
+
+    #[test]
+    fn earliest_ready() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.earliest_ready(), None);
+        m.allocate(0x40, 70);
+        m.allocate(0x80, 50);
+        assert_eq!(m.earliest_ready(), Some(50));
+        assert!(m.has_free_entry());
+    }
+}

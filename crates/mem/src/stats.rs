@@ -1,0 +1,67 @@
+/// Hit/miss counters for the memory hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Primary data cache hits.
+    pub l1d_hits: u64,
+    /// Primary data cache misses (including merges with outstanding fills).
+    pub l1d_misses: u64,
+    /// Primary instruction cache hits.
+    pub l1i_hits: u64,
+    /// Primary instruction cache misses.
+    pub l1i_misses: u64,
+    /// Secondary cache hits (on primary misses).
+    pub l2_hits: u64,
+    /// Secondary cache misses (serviced by memory).
+    pub l2_misses: u64,
+    /// Data-TLB misses.
+    pub dtlb_misses: u64,
+    /// Instruction-TLB misses.
+    pub itlb_misses: u64,
+    /// Dirty lines written back to the next level.
+    pub writebacks: u64,
+}
+
+impl MemStats {
+    /// Primary data-cache miss rate (0.0 when no accesses).
+    pub fn l1d_miss_rate(&self) -> f64 {
+        ratio(self.l1d_misses, self.l1d_hits + self.l1d_misses)
+    }
+
+    /// Primary instruction-cache miss rate (0.0 when no accesses).
+    pub fn l1i_miss_rate(&self) -> f64 {
+        ratio(self.l1i_misses, self.l1i_hits + self.l1i_misses)
+    }
+
+    /// Fraction of primary misses that hit in the secondary cache.
+    pub fn l2_hit_fraction(&self) -> f64 {
+        ratio(self.l2_hits, self.l2_hits + self.l2_misses)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let s = MemStats { l1d_hits: 90, l1d_misses: 10, l2_hits: 8, l2_misses: 2, ..Default::default() };
+        assert!((s.l1d_miss_rate() - 0.1).abs() < 1e-12);
+        assert!((s.l2_hit_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let s = MemStats::default();
+        assert_eq!(s.l1d_miss_rate(), 0.0);
+        assert_eq!(s.l1i_miss_rate(), 0.0);
+        assert_eq!(s.l2_hit_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the memory hierarchy: the direct-mapped cache
+//! against a reference model, FIFO TLB semantics, and system-level timing
+//! invariants under random access sequences.
+
+use interleave_isa::Access;
+use interleave_mem::{CacheParams, DirectCache, DirectTlb, MemConfig, Resource, UniMemSystem};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Fill { addr: u32, dirty: bool },
+    Invalidate { addr: u32 },
+    Probe { addr: u32 },
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (any::<u32>(), any::<bool>()).prop_map(|(addr, dirty)| CacheOp::Fill { addr, dirty }),
+        any::<u32>().prop_map(|addr| CacheOp::Invalidate { addr }),
+        any::<u32>().prop_map(|addr| CacheOp::Probe { addr }),
+    ]
+}
+
+fn small_params() -> CacheParams {
+    CacheParams {
+        size: 512,
+        line: 32,
+        fetch_lines: 1,
+        read_occupancy: 1,
+        write_occupancy: 1,
+        invalidate_occupancy: 1,
+        fill_occupancy: 1,
+    }
+}
+
+proptest! {
+    /// The direct-mapped cache agrees with a trivial index->tag map.
+    #[test]
+    fn cache_matches_reference_model(ops in proptest::collection::vec(cache_op(), 1..200)) {
+        let mut cache = DirectCache::new(small_params());
+        let lines = 512 / 32;
+        let mut reference: HashMap<u64, u64> = HashMap::new(); // index -> line addr
+        for op in ops {
+            match op {
+                CacheOp::Fill { addr, dirty } => {
+                    let addr = u64::from(addr);
+                    let line = addr / 32 * 32;
+                    let index = (addr / 32) % lines;
+                    let evicted = cache.fill(addr, dirty);
+                    let prev = reference.insert(index, line);
+                    match (evicted, prev) {
+                        (Some(wb), Some(old)) => prop_assert_eq!(wb.addr, old),
+                        (Some(_), None) => prop_assert!(false, "evicted from empty set"),
+                        (None, Some(old)) => prop_assert_eq!(old, line, "silent eviction"),
+                        (None, None) => {}
+                    }
+                }
+                CacheOp::Invalidate { addr } => {
+                    let addr = u64::from(addr);
+                    let line = addr / 32 * 32;
+                    let index = (addr / 32) % lines;
+                    let was_present = reference.get(&index) == Some(&line);
+                    prop_assert_eq!(cache.invalidate(addr), was_present);
+                    if was_present {
+                        reference.remove(&index);
+                    }
+                }
+                CacheOp::Probe { addr } => {
+                    let addr = u64::from(addr);
+                    let line = addr / 32 * 32;
+                    let index = (addr / 32) % lines;
+                    let expect = reference.get(&index) == Some(&line);
+                    prop_assert_eq!(cache.probe(addr), expect);
+                }
+            }
+            prop_assert_eq!(cache.occupancy(), reference.len());
+        }
+    }
+
+    /// The FIFO TLB holds exactly the most recent `capacity` distinct
+    /// pages.
+    #[test]
+    fn tlb_holds_fifo_window(pages in proptest::collection::vec(0u64..64, 1..150)) {
+        let capacity = 8;
+        let mut tlb = DirectTlb::new(capacity, 4096);
+        let mut fifo: Vec<u64> = Vec::new();
+        for page in pages {
+            let hit = tlb.access(page * 4096);
+            let expect_hit = fifo.contains(&page);
+            prop_assert_eq!(hit, expect_hit, "page {}", page);
+            if !expect_hit {
+                if fifo.len() == capacity {
+                    fifo.remove(0);
+                }
+                fifo.push(page);
+            }
+        }
+        for &page in &fifo {
+            prop_assert!(tlb.probe(page * 4096));
+        }
+    }
+
+    /// Resources serve FIFO and never travel back in time.
+    #[test]
+    fn resource_is_monotone(reqs in proptest::collection::vec((0u64..1000, 1u64..20), 1..100)) {
+        let mut resource = Resource::new();
+        let mut now = 0;
+        let mut last_end = 0u64;
+        for (delay, occupancy) in reqs {
+            now += delay;
+            let start = resource.acquire(now, occupancy);
+            prop_assert!(start >= now, "service before request");
+            prop_assert!(start >= last_end, "overlapping service");
+            last_end = start + occupancy;
+            prop_assert_eq!(resource.free_at(), last_end);
+        }
+    }
+
+    /// System-level timing: every miss completes after its lookup, no
+    /// earlier than the unloaded minimum, and re-accessing a filled line
+    /// after completion hits.
+    #[test]
+    fn system_timing_invariants(
+        accesses in proptest::collection::vec((any::<u16>(), any::<bool>(), 1u64..200), 1..120),
+    ) {
+        let mut cfg = MemConfig::workstation();
+        cfg.tlbs_enabled = false;
+        let mut mem = UniMemSystem::new(cfg);
+        let mut now = 0u64;
+        for (addr, write, gap) in accesses {
+            now += gap;
+            let addr = u64::from(addr) * 8;
+            let kind = if write { Access::Write } else { Access::Read };
+            match mem.access_data(now, addr, kind, 0) {
+                interleave_mem::DataAccess::Hit => {}
+                interleave_mem::DataAccess::Miss { ready_at, .. } => {
+                    prop_assert!(ready_at >= now + 9, "faster than an L2 hit");
+                    // Contention is bounded in this single-requester test.
+                    prop_assert!(ready_at <= now + 2000, "implausible queueing");
+                    // After completion the line is resident.
+                    match mem.access_data(ready_at + 1, addr, Access::Read, 0) {
+                        interleave_mem::DataAccess::Hit => {}
+                        other => prop_assert!(false, "expected a hit after fill, got {other:?}"),
+                    }
+                    now = ready_at;
+                }
+                interleave_mem::DataAccess::TlbMiss { .. } => {
+                    prop_assert!(false, "TLBs are disabled");
+                }
+            }
+        }
+        let stats = mem.stats();
+        prop_assert_eq!(
+            stats.l2_hits + stats.l2_misses <= stats.l1d_misses,
+            true,
+            "every secondary access stems from a primary miss"
+        );
+    }
+}

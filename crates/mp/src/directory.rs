@@ -1,0 +1,358 @@
+use std::collections::HashMap;
+
+/// How a data access was serviced, for latency sampling and statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissClass {
+    /// Satisfied by the local primary cache (and ownership was already
+    /// sufficient).
+    Hit,
+    /// Reply from the node's own memory slice.
+    LocalMem,
+    /// Reply from another node's memory slice.
+    RemoteMem,
+    /// Reply from another node's cache (dirty intervention).
+    RemoteCache,
+    /// Ownership upgrade for a write to a line already cached shared.
+    Upgrade,
+}
+
+/// Coherence state of one line in the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineState {
+    /// Cached read-only by the nodes in the bit mask.
+    Shared(u64),
+    /// Cached modified by one node.
+    Dirty(usize),
+}
+
+/// Aggregate protocol counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirectoryStats {
+    /// Misses serviced by local memory.
+    pub local: u64,
+    /// Misses serviced by remote memory.
+    pub remote: u64,
+    /// Misses serviced by a remote dirty cache.
+    pub remote_cache: u64,
+    /// Ownership upgrades.
+    pub upgrades: u64,
+    /// Invalidation messages sent to sharers.
+    pub invalidations: u64,
+    /// Dirty lines written back on eviction or intervention.
+    pub writebacks: u64,
+}
+
+/// Outcome of a directory transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Service class for latency sampling.
+    pub class: MissClass,
+    /// Nodes whose cached copies must be invalidated.
+    pub invalidate: Vec<usize>,
+    /// Node whose dirty copy supplies the data (intervention).
+    pub intervene: Option<usize>,
+}
+
+/// Full-bit-vector invalidation directory (DASH-like), simulated
+/// functionally: it tracks who caches what so each access can be
+/// classified and the coherence traffic (invalidations, interventions)
+/// generated; timing is sampled by the caller per class.
+///
+/// Lines are home-interleaved across nodes by line address.
+///
+/// # Examples
+///
+/// ```
+/// use interleave_mp::{Directory, MissClass};
+///
+/// let mut dir = Directory::new(4, 32);
+/// // Node 1 reads a line homed on node 0: remote memory.
+/// let t = dir.read(1, 0x0);
+/// assert_eq!(t.class, MissClass::RemoteMem);
+/// // Node 0 reads the same line: local memory, no traffic.
+/// let t = dir.read(0, 0x0);
+/// assert_eq!(t.class, MissClass::LocalMem);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Directory {
+    nodes: usize,
+    line: u64,
+    states: HashMap<u64, LineState>,
+    stats: DirectoryStats,
+}
+
+impl Directory {
+    /// Creates a directory for `nodes` nodes with `line`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or exceeds 64 (bit-vector width), or if
+    /// `line` is not a power of two.
+    pub fn new(nodes: usize, line: u64) -> Directory {
+        assert!((1..=64).contains(&nodes), "bit-vector directory supports 1..=64 nodes");
+        assert!(line.is_power_of_two(), "line size must be a power of two");
+        Directory { nodes, line, states: HashMap::new(), stats: DirectoryStats::default() }
+    }
+
+    /// The home node of the line containing `addr` (address-interleaved).
+    pub fn home(&self, addr: u64) -> usize {
+        ((addr / self.line) % self.nodes as u64) as usize
+    }
+
+    /// Accumulated protocol statistics.
+    pub fn stats(&self) -> &DirectoryStats {
+        &self.stats
+    }
+
+    /// Resets statistics (after warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = DirectoryStats::default();
+    }
+
+    fn line_of(&self, addr: u64) -> u64 {
+        addr / self.line * self.line
+    }
+
+    fn memory_class(&self, node: usize, addr: u64) -> MissClass {
+        if self.home(addr) == node {
+            MissClass::LocalMem
+        } else {
+            MissClass::RemoteMem
+        }
+    }
+
+    fn count(&mut self, class: MissClass) {
+        match class {
+            MissClass::LocalMem => self.stats.local += 1,
+            MissClass::RemoteMem => self.stats.remote += 1,
+            MissClass::RemoteCache => self.stats.remote_cache += 1,
+            MissClass::Upgrade => self.stats.upgrades += 1,
+            MissClass::Hit => {}
+        }
+    }
+
+    /// A read miss by `node` for the line containing `addr`.
+    pub fn read(&mut self, node: usize, addr: u64) -> Transaction {
+        debug_assert!(node < self.nodes);
+        let line = self.line_of(addr);
+        let bit = 1u64 << node;
+        let (state, tx) = match self.states.get(&line).copied() {
+            None => {
+                let class = self.memory_class(node, addr);
+                (LineState::Shared(bit), Transaction { class, invalidate: vec![], intervene: None })
+            }
+            Some(LineState::Shared(mask)) => {
+                let class = self.memory_class(node, addr);
+                (
+                    LineState::Shared(mask | bit),
+                    Transaction { class, invalidate: vec![], intervene: None },
+                )
+            }
+            Some(LineState::Dirty(owner)) if owner == node => {
+                // Re-read of our own dirty line (should normally hit).
+                (
+                    LineState::Dirty(owner),
+                    Transaction { class: MissClass::Hit, invalidate: vec![], intervene: None },
+                )
+            }
+            Some(LineState::Dirty(owner)) => {
+                // Intervention: owner writes back and keeps a shared copy.
+                self.stats.writebacks += 1;
+                (
+                    LineState::Shared(bit | (1 << owner)),
+                    Transaction {
+                        class: MissClass::RemoteCache,
+                        invalidate: vec![],
+                        intervene: Some(owner),
+                    },
+                )
+            }
+        };
+        self.states.insert(line, state);
+        self.count(tx.class);
+        tx
+    }
+
+    /// A write (store) by `node` for the line containing `addr`.
+    ///
+    /// `cached` indicates whether the node already holds the line (an
+    /// upgrade rather than a fill).
+    pub fn write(&mut self, node: usize, addr: u64, cached: bool) -> Transaction {
+        debug_assert!(node < self.nodes);
+        let line = self.line_of(addr);
+        let _bit = 1u64 << node;
+        let tx = match self.states.get(&line).copied() {
+            None => Transaction {
+                class: self.memory_class(node, addr),
+                invalidate: vec![],
+                intervene: None,
+            },
+            Some(LineState::Dirty(owner)) if owner == node => {
+                Transaction { class: MissClass::Hit, invalidate: vec![], intervene: None }
+            }
+            Some(LineState::Dirty(owner)) => {
+                self.stats.writebacks += 1;
+                Transaction {
+                    class: MissClass::RemoteCache,
+                    invalidate: vec![owner],
+                    intervene: Some(owner),
+                }
+            }
+            Some(LineState::Shared(mask)) => {
+                let others: Vec<usize> =
+                    (0..self.nodes).filter(|&m| m != node && mask & (1 << m) != 0).collect();
+                self.stats.invalidations += others.len() as u64;
+                let class = if cached {
+                    if others.is_empty() && self.home(addr) == node {
+                        // Sole sharer with a local home: silent upgrade.
+                        MissClass::Hit
+                    } else {
+                        MissClass::Upgrade
+                    }
+                } else {
+                    self.memory_class(node, addr)
+                };
+                Transaction { class, invalidate: others, intervene: None }
+            }
+        };
+        self.states.insert(line, LineState::Dirty(node));
+        self.count(tx.class);
+        tx
+    }
+
+    /// Notifies the directory that `node` evicted the line containing
+    /// `addr` (`dirty` if it was modified).
+    pub fn evict(&mut self, node: usize, addr: u64, dirty: bool) {
+        let line = self.line_of(addr);
+        let bit = 1u64 << node;
+        match self.states.get(&line).copied() {
+            Some(LineState::Dirty(owner)) if owner == node => {
+                if dirty {
+                    self.stats.writebacks += 1;
+                }
+                self.states.remove(&line);
+            }
+            Some(LineState::Shared(mask)) => {
+                let rest = mask & !bit;
+                if rest == 0 {
+                    self.states.remove(&line);
+                } else {
+                    self.states.insert(line, LineState::Shared(rest));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Current sharer count of the line containing `addr` (for tests).
+    pub fn sharers(&self, addr: u64) -> usize {
+        match self.states.get(&self.line_of(addr)) {
+            None => 0,
+            Some(LineState::Dirty(_)) => 1,
+            Some(LineState::Shared(mask)) => mask.count_ones() as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_sharing_accumulates() {
+        let mut dir = Directory::new(4, 32);
+        // 0x100 / 32 = line 8, home 8 % 4 = node 0: local for node 0.
+        assert_eq!(dir.read(0, 0x100).class, MissClass::LocalMem);
+        assert_eq!(dir.sharers(0x100), 1);
+        dir.read(3, 0x100);
+        assert_eq!(dir.sharers(0x100), 2);
+    }
+
+    #[test]
+    fn home_interleaving() {
+        let dir = Directory::new(4, 32);
+        assert_eq!(dir.home(0x00), 0);
+        assert_eq!(dir.home(0x20), 1);
+        assert_eq!(dir.home(0x40), 2);
+        assert_eq!(dir.home(0x60), 3);
+        assert_eq!(dir.home(0x80), 0);
+    }
+
+    #[test]
+    fn local_vs_remote_classification() {
+        let mut dir = Directory::new(4, 32);
+        assert_eq!(dir.read(0, 0x00).class, MissClass::LocalMem);
+        assert_eq!(dir.read(0, 0x20).class, MissClass::RemoteMem);
+    }
+
+    #[test]
+    fn dirty_intervention_on_read() {
+        let mut dir = Directory::new(4, 32);
+        dir.write(2, 0x00, false);
+        let t = dir.read(1, 0x00);
+        assert_eq!(t.class, MissClass::RemoteCache);
+        assert_eq!(t.intervene, Some(2));
+        // Both now share.
+        assert_eq!(dir.sharers(0x00), 2);
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut dir = Directory::new(4, 32);
+        dir.read(0, 0x00);
+        dir.read(1, 0x00);
+        dir.read(2, 0x00);
+        let t = dir.write(1, 0x00, true);
+        assert_eq!(t.class, MissClass::Upgrade);
+        let mut inv = t.invalidate.clone();
+        inv.sort_unstable();
+        assert_eq!(inv, vec![0, 2]);
+        assert_eq!(dir.sharers(0x00), 1);
+        assert_eq!(dir.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn sole_local_sharer_upgrades_silently() {
+        let mut dir = Directory::new(4, 32);
+        dir.read(0, 0x00); // home 0, sole sharer
+        let t = dir.write(0, 0x00, true);
+        assert_eq!(t.class, MissClass::Hit);
+        assert!(t.invalidate.is_empty());
+    }
+
+    #[test]
+    fn write_to_dirty_remote_intervenes() {
+        let mut dir = Directory::new(4, 32);
+        dir.write(3, 0x20, false);
+        let t = dir.write(1, 0x20, false);
+        assert_eq!(t.class, MissClass::RemoteCache);
+        assert_eq!(t.intervene, Some(3));
+        assert_eq!(t.invalidate, vec![3]);
+    }
+
+    #[test]
+    fn eviction_clears_state() {
+        let mut dir = Directory::new(4, 32);
+        dir.read(0, 0x00);
+        dir.read(1, 0x00);
+        dir.evict(0, 0x00, false);
+        assert_eq!(dir.sharers(0x00), 1);
+        dir.evict(1, 0x00, false);
+        assert_eq!(dir.sharers(0x00), 0);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut dir = Directory::new(4, 32);
+        dir.write(0, 0x00, false);
+        dir.evict(0, 0x00, true);
+        assert_eq!(dir.stats().writebacks, 1);
+        assert_eq!(dir.sharers(0x00), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_nodes_rejected() {
+        let _ = Directory::new(65, 32);
+    }
+}

@@ -1,0 +1,111 @@
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Unloaded memory latencies sampled from uniform ranges (paper Table 8).
+///
+/// The published numeric cells are corrupted in the source text; these
+/// DASH-like ranges are the reconstruction documented in DESIGN.md. All
+/// values are processor cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Primary-cache hit (cycles, not a range).
+    pub hit: u64,
+    /// Reply from local memory: inclusive uniform range.
+    pub local: (u64, u64),
+    /// Reply from remote memory.
+    pub remote: (u64, u64),
+    /// Reply from a remote cache (dirty intervention).
+    pub remote_cache: (u64, u64),
+}
+
+impl LatencyModel {
+    /// The reconstructed DASH-like default ranges.
+    pub fn dash_like() -> LatencyModel {
+        LatencyModel {
+            hit: 1,
+            local: (22, 38),
+            remote: (80, 130),
+            remote_cache: (100, 160),
+        }
+    }
+
+    /// Checks range sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range is inverted or zero, or if the classes are not
+    /// ordered hit < local < remote.
+    pub fn validate(&self) {
+        assert!(self.hit >= 1);
+        for (name, (lo, hi)) in [
+            ("local", self.local),
+            ("remote", self.remote),
+            ("remote_cache", self.remote_cache),
+        ] {
+            assert!(lo >= 1 && lo <= hi, "{name} range ({lo}, {hi}) invalid");
+        }
+        assert!(self.hit < self.local.0, "local memory must be slower than a hit");
+        assert!(self.local.1 < self.remote.0, "remote must be slower than local");
+    }
+
+    /// Samples a latency for one miss class.
+    pub fn sample(&self, range: (u64, u64), rng: &mut SmallRng) -> u64 {
+        if range.0 == range.1 {
+            range.0
+        } else {
+            rng.gen_range(range.0..=range.1)
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::dash_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_validates() {
+        LatencyModel::dash_like().validate();
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let m = LatencyModel::dash_like();
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let l = m.sample(m.local, &mut rng);
+            assert!((22..=38).contains(&l));
+            let r = m.sample(m.remote, &mut rng);
+            assert!((80..=130).contains(&r));
+            let c = m.sample(m.remote_cache, &mut rng);
+            assert!((100..=160).contains(&c));
+        }
+    }
+
+    #[test]
+    fn degenerate_range_is_constant() {
+        let m = LatencyModel { local: (30, 30), ..LatencyModel::dash_like() };
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(m.sample(m.local, &mut rng), 30);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_range_rejected() {
+        let m = LatencyModel { remote: (130, 80), ..LatencyModel::dash_like() };
+        m.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn unordered_classes_rejected() {
+        let m = LatencyModel { local: (80, 200), ..LatencyModel::dash_like() };
+        m.validate();
+    }
+}

@@ -1,0 +1,357 @@
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use interleave_core::{DataOutcome, InstOutcome, SyncOutcome, SystemPort};
+use interleave_isa::{Access, SyncRef};
+use interleave_mem::{CacheParams, DirectCache, Resource};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::{Directory, LatencyModel, MissClass, SyncController};
+
+/// State shared by every node of the simulated multiprocessor: the
+/// per-node data caches, the directory, the latency model, and the
+/// synchronization controller.
+///
+/// Per the paper's methodology, the caches are the only contended
+/// resource (each has a port [`Resource`]); the interconnect and memories
+/// are contentionless, with unloaded latencies sampled per miss class.
+#[derive(Debug)]
+pub struct MpShared {
+    nodes: usize,
+    caches: Vec<DirectCache>,
+    ports: Vec<Resource>,
+    directory: Directory,
+    latency: LatencyModel,
+    rng: SmallRng,
+    /// Lock/barrier state.
+    pub sync: SyncController,
+    /// Completion times of recent misses (memory-level-parallelism probe).
+    mlp_outstanding: Vec<u64>,
+    /// (sum of concurrent misses at miss time, samples).
+    mlp_accum: (u64, u64),
+}
+
+impl MpShared {
+    /// Builds the shared machine state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or the latency model is invalid.
+    pub fn new(nodes: usize, threads: u32, latency: LatencyModel, seed: u64) -> MpShared {
+        latency.validate();
+        let params = CacheParams::primary_data();
+        MpShared {
+            nodes,
+            caches: (0..nodes).map(|_| DirectCache::new(params)).collect(),
+            ports: vec![Resource::new(); nodes],
+            directory: Directory::new(nodes, params.line),
+            latency,
+            rng: SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
+            sync: SyncController::new(threads),
+            mlp_outstanding: Vec::new(),
+            mlp_accum: (0, 0),
+        }
+    }
+
+    /// The directory (protocol statistics, classification).
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Resets protocol statistics (after warmup).
+    pub fn reset_stats(&mut self) {
+        self.directory.reset_stats();
+    }
+
+    /// Performs node `node`'s data access and returns when it completes.
+    fn access(&mut self, node: usize, lookup: u64, addr: u64, kind: Access) -> DataOutcome {
+        let cached = self.caches[node].probe(addr);
+        let tx = match kind {
+            Access::Read if cached => return DataOutcome::Hit,
+            Access::Read => self.directory.read(node, addr),
+            Access::Write => {
+                if cached {
+                    let tx = self.directory.write(node, addr, true);
+                    if tx.class == MissClass::Hit {
+                        self.caches[node].mark_dirty(addr);
+                        return DataOutcome::Hit;
+                    }
+                    tx
+                } else {
+                    self.directory.write(node, addr, false)
+                }
+            }
+        };
+
+        // Coherence traffic: invalidations and interventions occupy the
+        // target caches' ports and drop their copies.
+        let inv_occ = self.caches[node].params().invalidate_occupancy;
+        for &target in &tx.invalidate {
+            self.caches[target].invalidate(addr);
+            self.ports[target].acquire(lookup, inv_occ);
+        }
+        if let Some(owner) = tx.intervene {
+            // The owner supplies the data (read) or hands the line over
+            // (write); either way its port is busy briefly. For reads it
+            // keeps a shared copy.
+            if kind == Access::Write {
+                self.caches[owner].invalidate(addr);
+            }
+            self.ports[owner].acquire(lookup, inv_occ);
+        }
+
+        // Fill our own cache (unless this was a pure upgrade).
+        if !cached {
+            if let Some(victim) = self.caches[node].fill(addr, kind == Access::Write) {
+                self.directory.evict(node, victim.addr, victim.dirty);
+            }
+        } else if kind == Access::Write {
+            self.caches[node].mark_dirty(addr);
+        }
+
+        // Timing: sampled unloaded latency plus our own port occupancy.
+        let base = match tx.class {
+            MissClass::Hit => return DataOutcome::Hit,
+            MissClass::LocalMem => self.latency.sample(self.latency.local, &mut self.rng),
+            MissClass::RemoteMem => self.latency.sample(self.latency.remote, &mut self.rng),
+            MissClass::RemoteCache => {
+                self.latency.sample(self.latency.remote_cache, &mut self.rng)
+            }
+            // Upgrades travel to the home (and possibly sharers): sample
+            // local or remote by home placement.
+            MissClass::Upgrade => {
+                let range = if self.directory.home(addr) == node {
+                    self.latency.local
+                } else {
+                    self.latency.remote
+                };
+                self.latency.sample(range, &mut self.rng)
+            }
+        };
+        let fill_occ = self.caches[node].params().fill_occupancy;
+        let arrival = lookup + base;
+        let start = self.ports[node].acquire(arrival, fill_occ);
+        let ready = start + fill_occ;
+        self.mlp_outstanding.retain(|&t| t > lookup);
+        self.mlp_outstanding.push(ready);
+        self.mlp_accum.0 += self.mlp_outstanding.len() as u64;
+        self.mlp_accum.1 += 1;
+        DataOutcome::Stall { ready_at: ready }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Average number of outstanding misses observed at miss-request time
+    /// (a memory-level-parallelism indicator reported by `MpSim`).
+    pub fn avg_mlp(&self) -> f64 {
+        if self.mlp_accum.1 == 0 {
+            0.0
+        } else {
+            self.mlp_accum.0 as f64 / self.mlp_accum.1 as f64
+        }
+    }
+}
+
+/// One node's view of the machine: implements [`SystemPort`] for the
+/// node's processor over the shared state.
+///
+/// The instruction cache is ideal (100% hit rate, paper Section 5.2), and
+/// TLBs are not modeled in the multiprocessor study.
+#[derive(Debug, Clone)]
+pub struct NodePort {
+    node: usize,
+    shared: Rc<RefCell<MpShared>>,
+}
+
+impl NodePort {
+    /// Creates node `node`'s port over `shared`.
+    pub fn new(node: usize, shared: Rc<RefCell<MpShared>>) -> NodePort {
+        NodePort { node, shared }
+    }
+
+    /// The node index.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Shared machine state handle.
+    pub fn shared(&self) -> &Rc<RefCell<MpShared>> {
+        &self.shared
+    }
+}
+
+impl SystemPort for NodePort {
+    fn data(&mut self, lookup_start: u64, addr: u64, kind: Access, _ctx: usize) -> DataOutcome {
+        self.shared.borrow_mut().access(self.node, lookup_start, addr, kind)
+    }
+
+    fn inst(&mut self, _lookup_start: u64, _pc: u64) -> InstOutcome {
+        InstOutcome::Hit // ideal instruction cache
+    }
+
+    fn sync(&mut self, _now: u64, ctx: usize, op: SyncRef) -> SyncOutcome {
+        self.shared.borrow_mut().sync.sync((self.node, ctx), op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared(nodes: usize) -> Rc<RefCell<MpShared>> {
+        Rc::new(RefCell::new(MpShared::new(nodes, nodes as u32, LatencyModel::dash_like(), 1)))
+    }
+
+    #[test]
+    fn local_miss_then_hit() {
+        let s = shared(4);
+        let mut p0 = NodePort::new(0, s.clone());
+        // 0x00 is homed on node 0.
+        match p0.data(10, 0x00, Access::Read, 0) {
+            DataOutcome::Stall { ready_at } => {
+                let lat = ready_at - 10;
+                assert!((23..=40).contains(&lat), "local latency {lat}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p0.data(100, 0x00, Access::Read, 0), DataOutcome::Hit);
+    }
+
+    #[test]
+    fn remote_miss_is_slower() {
+        let s = shared(4);
+        let mut p1 = NodePort::new(1, s);
+        match p1.data(10, 0x00, Access::Read, 0) {
+            DataOutcome::Stall { ready_at } => {
+                let lat = ready_at - 10;
+                assert!(lat >= 81, "remote latency {lat}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dirty_remote_intervention() {
+        let s = shared(4);
+        let mut p0 = NodePort::new(0, s.clone());
+        let mut p1 = NodePort::new(1, s.clone());
+        p0.data(0, 0x00, Access::Write, 0);
+        match p1.data(100, 0x00, Access::Read, 0) {
+            DataOutcome::Stall { ready_at } => {
+                let lat = ready_at - 100;
+                assert!(lat >= 101, "remote-cache latency {lat}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.borrow().directory().stats().remote_cache, 1);
+    }
+
+    #[test]
+    fn write_invalidates_other_copies() {
+        let s = shared(2);
+        let mut p0 = NodePort::new(0, s.clone());
+        let mut p1 = NodePort::new(1, s.clone());
+        p0.data(0, 0x40, Access::Read, 0);
+        p1.data(0, 0x40, Access::Read, 0);
+        // Node 1 writes: node 0's copy must go.
+        p1.data(200, 0x40, Access::Write, 0);
+        match p0.data(400, 0x40, Access::Read, 0) {
+            DataOutcome::Stall { .. } => {}
+            other => panic!("node 0 should re-miss after invalidation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_hit_on_owned_line_is_free() {
+        let s = shared(2);
+        let mut p0 = NodePort::new(0, s);
+        p0.data(0, 0x00, Access::Write, 0);
+        assert_eq!(p0.data(100, 0x00, Access::Write, 0), DataOutcome::Hit);
+        assert_eq!(p0.data(101, 0x00, Access::Read, 0), DataOutcome::Hit);
+    }
+
+    #[test]
+    fn inst_cache_is_ideal() {
+        let s = shared(2);
+        let mut p0 = NodePort::new(0, s);
+        assert_eq!(p0.inst(0, 0xDEAD_BEE0), InstOutcome::Hit);
+    }
+
+    #[test]
+    fn shared_write_after_read_upgrades() {
+        let s = shared(2);
+        let mut p0 = NodePort::new(0, s.clone());
+        let mut p1 = NodePort::new(1, s.clone());
+        p0.data(0, 0x40, Access::Read, 0);
+        p1.data(0, 0x40, Access::Read, 0);
+        // Node 0 writes its cached shared copy: an upgrade, not a refill.
+        match p0.data(500, 0x40, Access::Write, 0) {
+            DataOutcome::Stall { ready_at } => assert!(ready_at > 500),
+            DataOutcome::Hit => panic!("upgrade with other sharers cannot be free"),
+        }
+        assert_eq!(s.borrow().directory().stats().upgrades, 1);
+        assert_eq!(s.borrow().directory().stats().invalidations, 1);
+    }
+
+    #[test]
+    fn incoming_invalidations_occupy_the_victim_port() {
+        // Degenerate latency ranges: sampling noise cannot mask the
+        // queueing delay under comparison.
+        let fixed = LatencyModel {
+            hit: 1,
+            local: (30, 30),
+            remote: (100, 100),
+            remote_cache: (130, 130),
+        };
+        let fixed_shared =
+            || Rc::new(RefCell::new(MpShared::new(2, 2, fixed, 1)));
+        let s = fixed_shared();
+        let mut p0 = NodePort::new(0, s.clone());
+        let mut p1 = NodePort::new(1, s.clone());
+        // Node 0 caches many lines that node 1 then writes: node 0's port
+        // absorbs the invalidations, delaying its own subsequent fill.
+        for i in 0..24u64 {
+            p0.data(i, 0x1000 + i * 32, Access::Read, 0);
+        }
+        let t = 1000;
+        // 24 invalidations x 2-cycle occupancy: node 0's port is busy past
+        // the arrival of its own fill (t + 30).
+        for i in 0..24u64 {
+            p1.data(t, 0x1000 + i * 32, Access::Write, 0);
+        }
+        // Node 0's next fill queues behind the invalidation burst.
+        let busy = match p0.data(t, 0x9000, Access::Read, 0) {
+            DataOutcome::Stall { ready_at } => ready_at,
+            DataOutcome::Hit => panic!("cold line cannot hit"),
+        };
+        let s2 = fixed_shared();
+        let mut q0 = NodePort::new(0, s2);
+        let quiet = match q0.data(t, 0x9000, Access::Read, 0) {
+            DataOutcome::Stall { ready_at } => ready_at,
+            DataOutcome::Hit => panic!("cold line cannot hit"),
+        };
+        assert!(
+            busy > quiet,
+            "the fill should queue behind the invalidation burst ({busy} vs {quiet})"
+        );
+    }
+
+    #[test]
+    fn deterministic_latencies_per_seed() {
+        let run = || {
+            let s = shared(4);
+            let mut p = NodePort::new(1, s);
+            (0..20)
+                .map(|i| match p.data(i * 1000, 0x1000 + i * 32, Access::Read, 0) {
+                    DataOutcome::Stall { ready_at } => ready_at,
+                    DataOutcome::Hit => 0,
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,250 @@
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use interleave_core::{ProcConfig, Processor, Scheme, WaitReason};
+use interleave_stats::Breakdown;
+
+use crate::{DirectoryStats, LatencyModel, MpShared, NodePort, SplashProfile, SplashThread};
+
+/// Multiprocessor simulation driver (paper Section 5.2).
+///
+/// Runs one SPLASH-like application decomposed into `nodes ×
+/// contexts_per_node` threads over the directory-coherent machine, in
+/// lockstep (all node processors advance each cycle, then synchronization
+/// wakes are delivered). The run is fixed-work: it ends when every thread
+/// has retired its share of `total_work` instructions, so execution time
+/// is directly comparable across context counts (the basis of Table 10's
+/// speedups).
+///
+/// # Examples
+///
+/// ```
+/// use interleave_core::Scheme;
+/// use interleave_mp::{splash_suite, MpSim};
+///
+/// let mut sim = MpSim::new(splash_suite()[1].clone(), Scheme::Interleaved, 4, 2);
+/// sim.total_work = 8_000; // tiny run for the doctest
+/// sim.warmup_cycles = 500;
+/// let r = sim.run();
+/// assert!(r.cycles > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MpSim {
+    /// The application.
+    pub app: SplashProfile,
+    /// Context scheduling scheme.
+    pub scheme: Scheme,
+    /// Number of nodes (processors).
+    pub nodes: usize,
+    /// Hardware contexts per processor (threads per node).
+    pub contexts_per_node: usize,
+    /// Total instructions of application work, split evenly over threads.
+    pub total_work: u64,
+    /// Cycles before statistics reset.
+    pub warmup_cycles: u64,
+    /// Latency model (Table 8).
+    pub latency: LatencyModel,
+    /// Seed for streams and latency sampling.
+    pub seed: u64,
+}
+
+/// Results of one multiprocessor run.
+#[derive(Debug, Clone)]
+pub struct MpResult {
+    /// Measured cycles until every thread finished its share.
+    pub cycles: u64,
+    /// Execution-time breakdown summed over all node processors.
+    pub breakdown: Breakdown,
+    /// Directory/protocol statistics.
+    pub directory: DirectoryStats,
+    /// Threads simulated.
+    pub threads: usize,
+    /// Average outstanding misses observed at miss time (memory-level
+    /// parallelism indicator).
+    pub avg_mlp: f64,
+    /// Per-node execution-time breakdowns (load-balance inspection).
+    pub per_node: Vec<Breakdown>,
+}
+
+impl MpSim {
+    /// A simulation with default work sizes and the DASH-like latencies.
+    pub fn new(
+        app: SplashProfile,
+        scheme: Scheme,
+        nodes: usize,
+        contexts_per_node: usize,
+    ) -> MpSim {
+        MpSim {
+            app,
+            scheme,
+            nodes,
+            contexts_per_node,
+            total_work: 400_000,
+            warmup_cycles: 20_000,
+            latency: LatencyModel::dash_like(),
+            seed: 0x19941004,
+        }
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configuration or if the run exceeds an
+    /// internal safety bound (livelock).
+    pub fn run(&self) -> MpResult {
+        self.app.validate();
+        assert!(self.nodes >= 1, "need at least one node");
+        let threads = self.nodes * self.contexts_per_node;
+        let quota = (self.total_work / threads as u64).max(1);
+
+        let shared = Rc::new(RefCell::new(MpShared::new(
+            self.nodes,
+            threads as u32,
+            self.latency,
+            self.seed,
+        )));
+        let mut cpus: Vec<Processor<NodePort>> = (0..self.nodes)
+            .map(|n| {
+                Processor::new(
+                    ProcConfig::new(self.scheme, self.contexts_per_node),
+                    NodePort::new(n, shared.clone()),
+                )
+            })
+            .collect();
+        for (node, cpu) in cpus.iter_mut().enumerate() {
+            for ctx in 0..self.contexts_per_node {
+                let thread = node * self.contexts_per_node + ctx;
+                cpu.attach(
+                    ctx,
+                    Box::new(SplashThread::new(self.app.clone(), thread, threads, self.seed)),
+                );
+            }
+        }
+
+        let mut now = 0u64;
+        let step = |cpus: &mut Vec<Processor<NodePort>>, now: &mut u64| {
+            for cpu in cpus.iter_mut() {
+                cpu.tick();
+            }
+            *now += 1;
+            let wakes = shared.borrow_mut().sync.take_wakes();
+            for (node, ctx) in wakes {
+                if cpus[node].ctx_view(ctx).waiting_on == Some(WaitReason::Sync) {
+                    cpus[node].wake_context(ctx);
+                }
+                // Otherwise the thread is spinning at issue (single-context
+                // scheme) and will observe its reservation on retry.
+            }
+        };
+
+        // Warmup.
+        while now < self.warmup_cycles {
+            step(&mut cpus, &mut now);
+        }
+        for cpu in cpus.iter_mut() {
+            cpu.reset_breakdown();
+            for ctx in 0..self.contexts_per_node {
+                cpu.reset_retired(ctx);
+            }
+        }
+        shared.borrow_mut().reset_stats();
+
+        let start = now;
+        let safety = start + self.total_work.saturating_mul(400).max(20_000_000);
+        loop {
+            for _ in 0..128 {
+                step(&mut cpus, &mut now);
+            }
+            let done = cpus.iter().all(|cpu| {
+                (0..self.contexts_per_node).all(|ctx| cpu.retired(ctx) >= quota)
+            });
+            if done {
+                break;
+            }
+            assert!(now < safety, "multiprocessor run exceeded safety bound (livelock?)");
+        }
+
+        let breakdown: Breakdown = cpus.iter().map(|c| c.breakdown()).sum();
+        let per_node: Vec<Breakdown> = cpus.iter().map(|c| c.breakdown().clone()).collect();
+        let directory = *shared.borrow().directory().stats();
+        let avg_mlp = shared.borrow().avg_mlp();
+        MpResult { cycles: now - start, breakdown, directory, threads, avg_mlp, per_node }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+    use interleave_stats::Category;
+
+    fn quick(app: SplashProfile, scheme: Scheme, nodes: usize, ctxs: usize) -> MpResult {
+        let mut sim = MpSim::new(app, scheme, nodes, ctxs);
+        sim.total_work = 24_000;
+        sim.warmup_cycles = 2_000;
+        sim.run()
+    }
+
+    #[test]
+    fn water_completes_and_accounts() {
+        let r = quick(apps::water(), Scheme::Interleaved, 4, 2);
+        assert_eq!(r.threads, 8);
+        assert!(r.cycles > 0);
+        assert!(r.breakdown.get(Category::Busy) > 0);
+        // All-processor cycles ≈ nodes × wall cycles (within the final
+        // chunk granularity).
+        let per_cpu = r.breakdown.total() / 4;
+        assert!(per_cpu >= r.cycles - 256 && per_cpu <= r.cycles);
+    }
+
+    #[test]
+    fn communication_classes_observed() {
+        let r = quick(apps::mp3d(), Scheme::Blocked, 4, 2);
+        assert!(r.directory.remote > 0, "remote memory misses expected");
+        assert!(r.directory.remote_cache > 0, "dirty interventions expected");
+        assert!(r.directory.invalidations > 0, "invalidations expected");
+    }
+
+    #[test]
+    fn sync_time_appears_for_lock_heavy_apps() {
+        let r = quick(apps::cholesky(), Scheme::Interleaved, 4, 2);
+        assert!(
+            r.breakdown.get(Category::Sync) > 0,
+            "cholesky's task-queue lock should produce sync stall time"
+        );
+    }
+
+    #[test]
+    fn multiple_contexts_speed_up_mp3d() {
+        let one = quick(apps::mp3d(), Scheme::Single, 4, 1);
+        let four = quick(apps::mp3d(), Scheme::Interleaved, 4, 4);
+        assert!(
+            four.cycles < one.cycles,
+            "4-context interleaved ({}) should beat single ({})",
+            four.cycles,
+            one.cycles
+        );
+    }
+
+    #[test]
+    fn per_node_breakdowns_are_balanced() {
+        let r = quick(apps::ocean(), Scheme::Interleaved, 4, 2);
+        assert_eq!(r.per_node.len(), 4);
+        let busies: Vec<u64> = r.per_node.iter().map(|b| b.get(Category::Busy)).collect();
+        let min = *busies.iter().min().unwrap();
+        let max = *busies.iter().max().unwrap();
+        assert!(min > 0);
+        assert!(
+            max < min * 3,
+            "data-parallel work should be roughly balanced across nodes: {busies:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = quick(apps::locus(), Scheme::Interleaved, 2, 2);
+        let b = quick(apps::locus(), Scheme::Interleaved, 2, 2);
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

@@ -1,0 +1,300 @@
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use interleave_core::SyncOutcome;
+use interleave_isa::{SyncKind, SyncRef};
+
+/// A thread identity: (node, hardware context).
+pub type Who = (usize, usize);
+
+#[derive(Debug, Default)]
+struct Lock {
+    holder: Option<Who>,
+    /// Released-but-handed-off: the next holder has been chosen and woken
+    /// but has not re-executed its acquire yet.
+    reserved: Option<Who>,
+    queue: VecDeque<Who>,
+}
+
+#[derive(Debug)]
+struct Barrier {
+    expected: u32,
+    arrived: HashSet<Who>,
+    passed: HashSet<Who>,
+}
+
+/// Centralized lock and barrier state for the multiprocessor.
+///
+/// Operations are *idempotent per thread*, because the processor may
+/// squash and re-execute a synchronization instruction (e.g. when an
+/// older load of the same context misses): re-acquiring a lock you hold,
+/// re-releasing a lock you no longer hold, and re-arriving at a barrier
+/// instance you already passed are all harmless.
+///
+/// Waiting threads are parked (the context becomes unavailable, charged
+/// to the sync category) and woken through [`SyncController::take_wakes`]
+/// by the simulation driver; a woken thread's re-executed operation is
+/// then granted via a reservation, so no other thread can steal the lock
+/// between release and re-execution.
+///
+/// Barrier identifiers are *instance* numbers: each workload thread
+/// numbers its barrier arrivals sequentially, and an instance releases
+/// when `expected` distinct threads arrive at it.
+#[derive(Debug)]
+pub struct SyncController {
+    expected: u32,
+    locks: HashMap<u32, Lock>,
+    barriers: HashMap<u32, Barrier>,
+    wakes: Vec<Who>,
+    /// Operations that had to wait (statistics).
+    waits: u64,
+    /// Lock grants performed (statistics).
+    grants: u64,
+}
+
+impl SyncController {
+    /// Creates a controller for `threads` participating threads (the
+    /// barrier arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: u32) -> SyncController {
+        assert!(threads >= 1, "need at least one thread");
+        SyncController {
+            expected: threads,
+            locks: HashMap::new(),
+            barriers: HashMap::new(),
+            wakes: Vec::new(),
+            waits: 0,
+            grants: 0,
+        }
+    }
+
+    /// Handles a synchronization operation issued by `who`.
+    pub fn sync(&mut self, who: Who, op: SyncRef) -> SyncOutcome {
+        match op.kind {
+            SyncKind::LockAcquire => self.acquire(op.id, who),
+            SyncKind::LockRelease => {
+                self.release(op.id, who);
+                SyncOutcome::Proceed
+            }
+            SyncKind::BarrierArrive => self.barrier(op.id, who),
+        }
+    }
+
+    fn acquire(&mut self, id: u32, who: Who) -> SyncOutcome {
+        let lock = self.locks.entry(id).or_default();
+        if lock.holder == Some(who) {
+            return SyncOutcome::Proceed; // re-executed acquire
+        }
+        if lock.reserved == Some(who) {
+            lock.reserved = None;
+            lock.holder = Some(who);
+            self.grants += 1;
+            return SyncOutcome::Proceed;
+        }
+        if lock.holder.is_none() && lock.reserved.is_none() {
+            lock.holder = Some(who);
+            self.grants += 1;
+            return SyncOutcome::Proceed;
+        }
+        if !lock.queue.contains(&who) {
+            lock.queue.push_back(who);
+            self.waits += 1;
+        }
+        SyncOutcome::Wait
+    }
+
+    fn release(&mut self, id: u32, who: Who) {
+        let lock = self.locks.entry(id).or_default();
+        if lock.holder != Some(who) {
+            return; // re-executed release
+        }
+        lock.holder = None;
+        if let Some(next) = lock.queue.pop_front() {
+            lock.reserved = Some(next);
+            self.wakes.push(next);
+        }
+    }
+
+    fn barrier(&mut self, instance: u32, who: Who) -> SyncOutcome {
+        let expected = self.expected;
+        let barrier = self.barriers.entry(instance).or_insert_with(|| Barrier {
+            expected,
+            arrived: HashSet::new(),
+            passed: HashSet::new(),
+        });
+        if barrier.passed.contains(&who) {
+            return SyncOutcome::Proceed; // re-executed arrival
+        }
+        barrier.arrived.insert(who);
+        if barrier.arrived.len() as u32 >= barrier.expected {
+            // Last arriver: release everyone.
+            let arrived = std::mem::take(&mut barrier.arrived);
+            for w in arrived {
+                barrier.passed.insert(w);
+                if w != who {
+                    self.wakes.push(w);
+                }
+            }
+            // Full instances are complete; drop old ones to bound memory.
+            if self.barriers.len() > 8 {
+                let done: Vec<u32> = self
+                    .barriers
+                    .iter()
+                    .filter(|(k, b)| {
+                        **k + 4 < instance && b.passed.len() as u32 >= b.expected
+                    })
+                    .map(|(k, _)| *k)
+                    .collect();
+                for k in done {
+                    self.barriers.remove(&k);
+                }
+            }
+            SyncOutcome::Proceed
+        } else {
+            self.waits += 1;
+            SyncOutcome::Wait
+        }
+    }
+
+    /// Drains the threads that must be woken (lock grants and barrier
+    /// releases since the last call).
+    pub fn take_wakes(&mut self) -> Vec<Who> {
+        std::mem::take(&mut self.wakes)
+    }
+
+    /// Number of operations that had to wait.
+    pub fn waits(&self) -> u64 {
+        self.waits
+    }
+
+    /// Number of lock grants.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acq(id: u32) -> SyncRef {
+        SyncRef { kind: SyncKind::LockAcquire, id }
+    }
+    fn rel(id: u32) -> SyncRef {
+        SyncRef { kind: SyncKind::LockRelease, id }
+    }
+    fn bar(id: u32) -> SyncRef {
+        SyncRef { kind: SyncKind::BarrierArrive, id }
+    }
+
+    #[test]
+    fn uncontended_lock_proceeds() {
+        let mut c = SyncController::new(2);
+        assert_eq!(c.sync((0, 0), acq(1)), SyncOutcome::Proceed);
+        c.sync((0, 0), rel(1));
+        assert_eq!(c.sync((1, 0), acq(1)), SyncOutcome::Proceed);
+    }
+
+    #[test]
+    fn contended_lock_queues_fifo() {
+        let mut c = SyncController::new(4);
+        assert_eq!(c.sync((0, 0), acq(1)), SyncOutcome::Proceed);
+        assert_eq!(c.sync((1, 0), acq(1)), SyncOutcome::Wait);
+        assert_eq!(c.sync((2, 0), acq(1)), SyncOutcome::Wait);
+        c.sync((0, 0), rel(1));
+        assert_eq!(c.take_wakes(), vec![(1, 0)]);
+        // The reservation protects the grantee from stealers.
+        assert_eq!(c.sync((3, 0), acq(1)), SyncOutcome::Wait);
+        assert_eq!(c.sync((1, 0), acq(1)), SyncOutcome::Proceed);
+    }
+
+    #[test]
+    fn reacquire_is_idempotent() {
+        let mut c = SyncController::new(2);
+        assert_eq!(c.sync((0, 0), acq(1)), SyncOutcome::Proceed);
+        assert_eq!(c.sync((0, 0), acq(1)), SyncOutcome::Proceed);
+    }
+
+    #[test]
+    fn stale_release_ignored() {
+        let mut c = SyncController::new(2);
+        c.sync((0, 0), acq(1));
+        c.sync((0, 0), rel(1));
+        c.sync((1, 0), acq(1));
+        // Thread 0's re-executed release must not free thread 1's lock.
+        c.sync((0, 0), rel(1));
+        assert_eq!(c.sync((0, 0), acq(1)), SyncOutcome::Wait);
+    }
+
+    #[test]
+    fn barrier_releases_all_at_arity() {
+        let mut c = SyncController::new(3);
+        assert_eq!(c.sync((0, 0), bar(0)), SyncOutcome::Wait);
+        assert_eq!(c.sync((1, 0), bar(0)), SyncOutcome::Wait);
+        assert_eq!(c.sync((2, 0), bar(0)), SyncOutcome::Proceed);
+        let mut wakes = c.take_wakes();
+        wakes.sort_unstable();
+        assert_eq!(wakes, vec![(0, 0), (1, 0)]);
+        // Re-executed arrivals at the released instance proceed.
+        assert_eq!(c.sync((0, 0), bar(0)), SyncOutcome::Proceed);
+        assert_eq!(c.sync((1, 0), bar(0)), SyncOutcome::Proceed);
+    }
+
+    #[test]
+    fn barrier_instances_are_independent() {
+        let mut c = SyncController::new(2);
+        assert_eq!(c.sync((0, 0), bar(0)), SyncOutcome::Wait);
+        // Thread 1 arrives at the *next* instance early — does not release
+        // instance 0.
+        assert_eq!(c.sync((1, 0), bar(1)), SyncOutcome::Wait);
+        assert!(c.take_wakes().is_empty());
+        assert_eq!(c.sync((1, 0), bar(0)), SyncOutcome::Proceed);
+        assert_eq!(c.take_wakes(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn reservation_survives_until_consumed() {
+        let mut c = SyncController::new(3);
+        c.sync((0, 0), acq(5));
+        assert_eq!(c.sync((1, 0), acq(5)), SyncOutcome::Wait);
+        c.sync((0, 0), rel(5));
+        assert_eq!(c.take_wakes(), vec![(1, 0)]);
+        // Multiple stealers try before the grantee re-executes.
+        for _ in 0..3 {
+            assert_eq!(c.sync((2, 0), acq(5)), SyncOutcome::Wait);
+        }
+        assert_eq!(c.sync((1, 0), acq(5)), SyncOutcome::Proceed);
+        // The stealer is queued and gets it next.
+        c.sync((1, 0), rel(5));
+        assert_eq!(c.take_wakes(), vec![(2, 0)]);
+        assert_eq!(c.sync((2, 0), acq(5)), SyncOutcome::Proceed);
+    }
+
+    #[test]
+    fn distinct_locks_are_independent() {
+        let mut c = SyncController::new(2);
+        assert_eq!(c.sync((0, 0), acq(1)), SyncOutcome::Proceed);
+        assert_eq!(c.sync((1, 0), acq(2)), SyncOutcome::Proceed);
+        assert_eq!(c.sync((1, 0), acq(1)), SyncOutcome::Wait);
+    }
+
+    #[test]
+    fn barrier_rearrival_while_waiting_stays_waiting() {
+        let mut c = SyncController::new(2);
+        assert_eq!(c.sync((0, 0), bar(3)), SyncOutcome::Wait);
+        // A squash re-executes the arrival before release: still waiting.
+        assert_eq!(c.sync((0, 0), bar(3)), SyncOutcome::Wait);
+        assert_eq!(c.sync((1, 0), bar(3)), SyncOutcome::Proceed);
+    }
+
+    #[test]
+    fn wait_and_grant_counters() {
+        let mut c = SyncController::new(2);
+        c.sync((0, 0), acq(1));
+        c.sync((1, 0), acq(1));
+        assert_eq!(c.waits(), 1);
+        assert_eq!(c.grants(), 1);
+    }
+}

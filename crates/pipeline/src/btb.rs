@@ -1,0 +1,168 @@
+/// A direct-mapped branch target buffer (paper Section 4.1: 2048 entries).
+///
+/// Prediction policy: a branch whose PC hits in the BTB is predicted taken
+/// to the stored target; a branch that misses is predicted not-taken
+/// (sequential fetch). On resolution the BTB is updated: taken branches
+/// install or refresh their entry, not-taken branches evict a matching
+/// entry (otherwise they would mispredict forever).
+///
+/// # Examples
+///
+/// ```
+/// use interleave_pipeline::Btb;
+///
+/// let mut btb = Btb::new(2048);
+/// assert_eq!(btb.predict(0x100), None); // cold: predicted not-taken
+/// btb.update(0x100, true, 0x400);
+/// assert_eq!(btb.predict(0x100), Some(0x400));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    /// (tag, target) per entry; disabled BTB has no entries.
+    entries: Vec<Option<(u64, u64)>>,
+    index_mask: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` slots (a power of two), or a disabled
+    /// predictor when `entries == 0` (every taken branch mispredicts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is neither zero nor a power of two.
+    pub fn new(entries: usize) -> Btb {
+        assert!(
+            entries == 0 || entries.is_power_of_two(),
+            "BTB entries must be zero or a power of two"
+        );
+        Btb {
+            entries: vec![None; entries],
+            index_mask: entries.saturating_sub(1) as u64,
+        }
+    }
+
+    /// Whether the predictor is disabled (zero entries).
+    pub fn is_disabled(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the BTB holds no valid entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(Option::is_none)
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        // Instructions are word-aligned; drop the low two bits.
+        ((pc >> 2) & self.index_mask) as usize
+    }
+
+    fn tag(&self, pc: u64) -> u64 {
+        pc >> 2 >> self.index_mask.count_ones()
+    }
+
+    /// Predicted target for the branch at `pc`, or `None` for a predicted
+    /// not-taken (sequential) outcome.
+    pub fn predict(&self, pc: u64) -> Option<u64> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        match self.entries[self.index(pc)] {
+            Some((tag, target)) if tag == self.tag(pc) => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Whether the prediction for this branch matches its resolved outcome.
+    pub fn predicts_correctly(&self, pc: u64, taken: bool, target: u64) -> bool {
+        match self.predict(pc) {
+            Some(predicted) => taken && predicted == target,
+            None => !taken,
+        }
+    }
+
+    /// Updates the BTB with a resolved branch outcome.
+    pub fn update(&mut self, pc: u64, taken: bool, target: u64) {
+        if self.entries.is_empty() {
+            return;
+        }
+        let index = self.index(pc);
+        if taken {
+            self.entries[index] = Some((self.tag(pc), target));
+        } else if matches!(self.entries[index], Some((tag, _)) if tag == self.tag(pc)) {
+            self.entries[index] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_btb_predicts_not_taken() {
+        let btb = Btb::new(16);
+        assert_eq!(btb.predict(0x40), None);
+        assert!(btb.predicts_correctly(0x40, false, 0));
+        assert!(!btb.predicts_correctly(0x40, true, 0x100));
+    }
+
+    #[test]
+    fn taken_branch_learns() {
+        let mut btb = Btb::new(16);
+        btb.update(0x40, true, 0x100);
+        assert!(btb.predicts_correctly(0x40, true, 0x100));
+        // Wrong target is still a mispredict.
+        assert!(!btb.predicts_correctly(0x40, true, 0x200));
+    }
+
+    #[test]
+    fn not_taken_update_evicts() {
+        let mut btb = Btb::new(16);
+        btb.update(0x40, true, 0x100);
+        btb.update(0x40, false, 0);
+        assert_eq!(btb.predict(0x40), None);
+    }
+
+    #[test]
+    fn aliasing_branches_conflict() {
+        let mut btb = Btb::new(4);
+        btb.update(0x0, true, 0x100);
+        // 4 entries * 4 bytes = 16-byte period: 0x10 aliases 0x0.
+        btb.update(0x10, true, 0x200);
+        // Different tag: 0x0 no longer predicted.
+        assert_eq!(btb.predict(0x0), None);
+        assert_eq!(btb.predict(0x10), Some(0x200));
+    }
+
+    #[test]
+    fn not_taken_update_leaves_alias_alone() {
+        let mut btb = Btb::new(4);
+        btb.update(0x10, true, 0x200);
+        // A not-taken branch aliasing the same set must not evict a
+        // different branch's entry.
+        btb.update(0x0, false, 0);
+        assert_eq!(btb.predict(0x10), Some(0x200));
+    }
+
+    #[test]
+    fn disabled_btb() {
+        let mut btb = Btb::new(0);
+        assert!(btb.is_disabled());
+        btb.update(0x40, true, 0x100);
+        assert_eq!(btb.predict(0x40), None);
+        // All taken branches mispredict; not-taken predict correctly.
+        assert!(!btb.predicts_correctly(0x40, true, 0x100));
+        assert!(btb.predicts_correctly(0x40, false, 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        let _ = Btb::new(3);
+    }
+}

@@ -1,0 +1,268 @@
+use interleave_isa::Instr;
+
+use crate::FRONT_DEPTH;
+
+/// Why a front-end slot carries no instruction.
+///
+/// The cause travels with the bubble so the cycle in which it reaches the
+/// issue point can be attributed to the right execution-time category
+/// (paper Figures 6–9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BubbleCause {
+    /// Refill after a context squash or pipeline flush: context-switch
+    /// overhead.
+    Switch,
+    /// Squashed wrong-path fetch after a branch misprediction: a control
+    /// hazard, charged as a (short) pipeline-dependency stall.
+    Mispredict,
+    /// Fetch stalled on instruction memory (I-cache or I-TLB miss).
+    InstMem,
+    /// No context was available to fetch from because all were waiting on
+    /// outstanding data references.
+    DataWait,
+    /// No context available: all waiting on synchronization.
+    SyncWait,
+    /// No context available: all backing off long instruction latencies.
+    BackoffWait,
+    /// Nothing left to fetch (streams exhausted); not charged to any
+    /// category.
+    Drained,
+}
+
+/// A fetched instruction travelling down the front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Hardware context the instruction was fetched from.
+    pub ctx: usize,
+    /// Position in the context's instruction stream.
+    pub fetch_index: u64,
+    /// The instruction itself.
+    pub instr: Instr,
+    /// Whether this was fetched down a mispredicted path (it will be
+    /// squashed when the branch resolves and must never issue).
+    pub wrong_path: bool,
+    /// For branches: whether the BTB mispredicted this instance *at fetch
+    /// time*. The prediction is bound here because the shared BTB may be
+    /// updated by other contexts between fetch and issue.
+    pub mispredicted: bool,
+}
+
+/// One front-end stage: either an instruction or an attributed bubble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontSlot {
+    /// No instruction; carries the cause for attribution.
+    Bubble(BubbleCause),
+    /// A fetched instruction.
+    Instr(Slot),
+}
+
+impl FrontSlot {
+    /// The instruction slot, if occupied.
+    pub fn slot(&self) -> Option<&Slot> {
+        match self {
+            FrontSlot::Instr(s) => Some(s),
+            FrontSlot::Bubble(_) => None,
+        }
+    }
+}
+
+/// The three pre-issue pipeline stages (IF1, IF2, RF) as a rigid shift
+/// register.
+///
+/// "Rigid" means bubbles do not compress: when the RF stage stalls the
+/// whole front end holds, exactly like the simple in-order pipelines the
+/// paper models. The interleaved scheme's key mechanism lives here:
+/// [`FrontEnd::squash_ctx`] removes only one context's instructions,
+/// leaving other contexts' work in place.
+#[derive(Debug, Clone)]
+pub struct FrontEnd {
+    /// `stages[0]` is IF1 (youngest), `stages[FRONT_DEPTH - 1]` is RF.
+    stages: [FrontSlot; FRONT_DEPTH],
+}
+
+impl FrontEnd {
+    /// Creates an empty front end (drained bubbles).
+    pub fn new() -> FrontEnd {
+        FrontEnd { stages: [FrontSlot::Bubble(BubbleCause::Drained); FRONT_DEPTH] }
+    }
+
+    /// The slot currently at the issue point (RF).
+    pub fn rf(&self) -> &FrontSlot {
+        &self.stages[FRONT_DEPTH - 1]
+    }
+
+    /// Advances the pipe one stage, inserting `incoming` at IF1 and
+    /// returning what left RF. Call only when the RF occupant issued or
+    /// was a bubble.
+    pub fn shift(&mut self, incoming: FrontSlot) -> FrontSlot {
+        let outgoing = self.stages[FRONT_DEPTH - 1];
+        for i in (1..FRONT_DEPTH).rev() {
+            self.stages[i] = self.stages[i - 1];
+        }
+        self.stages[0] = incoming;
+        outgoing
+    }
+
+    /// Squashes all of `ctx`'s instructions (replacing them with
+    /// switch-overhead bubbles) and returns the removed slots so the
+    /// caller can roll the context's fetch cursor back.
+    pub fn squash_ctx(&mut self, ctx: usize) -> Vec<Slot> {
+        self.squash_where(|s| s.ctx == ctx, BubbleCause::Switch)
+    }
+
+    /// Squashes `ctx`'s wrong-path fetches after a branch resolves,
+    /// replacing them with mispredict bubbles.
+    pub fn squash_wrong_path(&mut self, ctx: usize) -> Vec<Slot> {
+        self.squash_where(|s| s.ctx == ctx && s.wrong_path, BubbleCause::Mispredict)
+    }
+
+    /// Flushes every instruction (the blocked scheme's full-pipe flush on a
+    /// cache miss) and returns the removed slots.
+    pub fn squash_all(&mut self) -> Vec<Slot> {
+        self.squash_where(|_| true, BubbleCause::Switch)
+    }
+
+    fn squash_where(&mut self, pred: impl Fn(&Slot) -> bool, cause: BubbleCause) -> Vec<Slot> {
+        let mut squashed = Vec::new();
+        for stage in &mut self.stages {
+            if let FrontSlot::Instr(s) = stage {
+                if pred(s) {
+                    squashed.push(*s);
+                    *stage = FrontSlot::Bubble(cause);
+                }
+            }
+        }
+        squashed
+    }
+
+    /// Number of instructions (non-bubbles) currently in the front end.
+    pub fn occupancy(&self) -> usize {
+        self.stages.iter().filter(|s| matches!(s, FrontSlot::Instr(_))).count()
+    }
+
+    /// Instructions of `ctx` currently in the front end.
+    pub fn count_ctx(&self, ctx: usize) -> usize {
+        self.stages
+            .iter()
+            .filter_map(FrontSlot::slot)
+            .filter(|s| s.ctx == ctx)
+            .count()
+    }
+
+    /// Iterates over the stages from IF1 (youngest) to RF (oldest).
+    pub fn iter(&self) -> impl Iterator<Item = &FrontSlot> {
+        self.stages.iter()
+    }
+}
+
+impl Default for FrontEnd {
+    fn default() -> Self {
+        FrontEnd::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interleave_isa::Instr;
+
+    fn slot(ctx: usize, index: u64) -> FrontSlot {
+        FrontSlot::Instr(Slot {
+            ctx,
+            fetch_index: index,
+            instr: Instr::nop(index * 4),
+            wrong_path: false,
+            mispredicted: false,
+        })
+    }
+
+    fn wrong(ctx: usize, index: u64) -> FrontSlot {
+        FrontSlot::Instr(Slot {
+            ctx,
+            fetch_index: index,
+            instr: Instr::nop(index * 4),
+            wrong_path: true,
+            mispredicted: false,
+        })
+    }
+
+    #[test]
+    fn instructions_take_three_cycles_to_reach_rf() {
+        let mut fe = FrontEnd::new();
+        fe.shift(slot(0, 0));
+        assert!(fe.rf().slot().is_none());
+        fe.shift(slot(0, 1));
+        assert!(fe.rf().slot().is_none());
+        fe.shift(slot(0, 2));
+        assert_eq!(fe.rf().slot().unwrap().fetch_index, 0);
+    }
+
+    #[test]
+    fn shift_returns_outgoing() {
+        let mut fe = FrontEnd::new();
+        for i in 0..3 {
+            fe.shift(slot(0, i));
+        }
+        let out = fe.shift(slot(0, 3));
+        assert_eq!(out.slot().unwrap().fetch_index, 0);
+    }
+
+    #[test]
+    fn squash_returns_slots_for_rollback() {
+        let mut fe = FrontEnd::new();
+        fe.shift(slot(0, 7));
+        fe.shift(slot(1, 3));
+        let removed = fe.squash_all();
+        assert_eq!(removed.len(), 2);
+        assert!(removed.iter().any(|s| s.ctx == 0 && s.fetch_index == 7));
+        assert!(removed.iter().any(|s| s.ctx == 1 && s.fetch_index == 3));
+    }
+
+    #[test]
+    fn squash_ctx_is_selective() {
+        let mut fe = FrontEnd::new();
+        fe.shift(slot(0, 0));
+        fe.shift(slot(1, 0));
+        fe.shift(slot(0, 1));
+        assert_eq!(fe.squash_ctx(0).len(), 2);
+        assert_eq!(fe.count_ctx(0), 0);
+        assert_eq!(fe.count_ctx(1), 1);
+        // Squashed slots became switch bubbles.
+        assert_eq!(
+            fe.iter().filter(|s| matches!(s, FrontSlot::Bubble(BubbleCause::Switch))).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn squash_all_flushes() {
+        let mut fe = FrontEnd::new();
+        fe.shift(slot(0, 0));
+        fe.shift(slot(1, 0));
+        fe.shift(slot(2, 0));
+        assert_eq!(fe.squash_all().len(), 3);
+        assert_eq!(fe.occupancy(), 0);
+    }
+
+    #[test]
+    fn squash_wrong_path_leaves_real_instrs() {
+        let mut fe = FrontEnd::new();
+        fe.shift(slot(0, 5));
+        fe.shift(wrong(0, 6));
+        fe.shift(wrong(1, 9));
+        assert_eq!(fe.squash_wrong_path(0).len(), 1);
+        assert_eq!(fe.count_ctx(0), 1);
+        assert_eq!(fe.count_ctx(1), 1);
+        assert_eq!(
+            fe.iter().filter(|s| matches!(s, FrontSlot::Bubble(BubbleCause::Mispredict))).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn empty_front_has_drained_bubbles() {
+        let fe = FrontEnd::new();
+        assert_eq!(fe.occupancy(), 0);
+        assert!(matches!(fe.rf(), FrontSlot::Bubble(BubbleCause::Drained)));
+    }
+}

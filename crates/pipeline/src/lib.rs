@@ -1,0 +1,59 @@
+//! In-order pipeline machinery: BTB, scoreboard, front-end, issue window.
+//!
+//! Models the processor pipeline of paper Figure 5: a seven-stage integer
+//! pipeline (IF1 IF2 RF EX DF1 DF2 WB — the R4000's tag-check stage folded
+//! into DF2) and a nine-stage floating-point pipeline (IF1 IF2 RF EX1–EX5
+//! WB), both with full result forwarding. The pieces here are
+//! context-agnostic building blocks; the `interleave-core` crate composes
+//! them with context state and the blocked/interleaved scheduling schemes:
+//!
+//! * [`Btb`] — the 2048-entry direct-mapped branch target buffer that
+//!   reduces a correctly predicted branch's penalty to zero (mispredicts
+//!   cost [`MISPREDICT_PENALTY`] cycles);
+//! * [`Scoreboard`] — per-context register ready-times and shared
+//!   functional-unit occupancy, tracking true and output dependences
+//!   (anti-dependences cannot be violated in this in-order, read-at-issue
+//!   model);
+//! * [`FrontEnd`] — the three fetch/decode stages (IF1, IF2, RF) as a rigid
+//!   shift register of instruction slots and attributed bubbles, with
+//!   selective per-context squash (the key interleaved-scheme mechanism);
+//! * [`IssueWindow`] — instructions between issue (entering EX) and
+//!   retirement (leaving WB), supporting the selective squash that gives
+//!   the interleaved scheme its low context-switch cost;
+//! * [`pcunit`] — behavioural and cost models of the single-context,
+//!   blocked, and interleaved PC-unit designs of paper Section 6
+//!   (Figures 10–12).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btb;
+mod front;
+pub mod pcunit;
+mod scoreboard;
+mod window;
+
+pub use btb::Btb;
+pub use front::{BubbleCause, FrontEnd, FrontSlot, Slot};
+pub use scoreboard::Scoreboard;
+pub use window::{InFlight, IssueWindow};
+
+/// Depth of the integer pipeline (IF1 IF2 RF EX DF1 DF2 WB).
+pub const INT_DEPTH: usize = 7;
+
+/// Depth of the floating-point pipeline (IF1 IF2 RF EX1..EX5 WB).
+pub const FP_DEPTH: usize = 9;
+
+/// Number of front-end stages before issue (IF1, IF2, RF).
+pub const FRONT_DEPTH: usize = 3;
+
+/// Cycles from issue (entering EX) to retirement (end of WB) for integer
+/// instructions: EX, DF1, DF2, WB.
+pub const INT_ISSUE_TO_RETIRE: u64 = 3;
+
+/// Cycles from issue to retirement for FP instructions: EX1..EX5, WB.
+pub const FP_ISSUE_TO_RETIRE: u64 = 5;
+
+/// Penalty in cycles for a mispredicted branch (resolved in EX; the three
+/// wrong-path fetches behind it are squashed).
+pub const MISPREDICT_PENALTY: u64 = 3;

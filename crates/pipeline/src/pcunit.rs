@@ -1,0 +1,443 @@
+//! Program-counter unit models for paper Section 6 (Figures 10–12).
+//!
+//! The paper argues that the interleaved scheme's extra implementation
+//! cost over the blocked scheme is concentrated in the PC unit: where the
+//! blocked design only replicates the EPC register per context, the
+//! interleaved design must determine the *next* PC of every context
+//! concurrently, holding it in a per-context NPC register until the
+//! context is next selected to drive the PC bus. These models capture the
+//! architectural state and behaviour of each design (exception save and
+//! restore, context restart, NPC holding with mispredict-update marking),
+//! plus a gate-level-ish inventory of the storage and multiplexing each
+//! needs — the quantities behind the paper's "manageable increase in
+//! complexity" conclusion.
+
+use std::fmt;
+
+/// Sources that can drive the PC bus (paper Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PcSource {
+    /// Old PC plus the instruction size (sequential flow).
+    Sequential,
+    /// Branch target buffer (predicted-taken branch).
+    BtbTarget(u64),
+    /// Computed branch target (mis- or unpredicted branch).
+    ComputedBranch(u64),
+    /// Exception vector.
+    ExceptionVector(u64),
+    /// EPC register (restore from an exception / context restart).
+    Epc,
+}
+
+/// Storage and multiplexing inventory of a PC unit design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HardwareCost {
+    /// Architectural registers in the unit (PC-width each unless noted).
+    pub registers: u32,
+    /// Total register bits (32-bit PCs plus status bits).
+    pub register_bits: u32,
+    /// Inputs across the PC-bus and NPC multiplexers.
+    pub mux_inputs: u32,
+    /// Per-instruction pipeline tag bits added (the interleaved CID).
+    pub pipeline_tag_bits: u32,
+}
+
+impl fmt::Display for HardwareCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} regs / {} bits / {} mux inputs / {} tag bits",
+            self.registers, self.register_bits, self.mux_inputs, self.pipeline_tag_bits
+        )
+    }
+}
+
+const PC_BITS: u32 = 32;
+
+/// The single-context PC unit of Figure 10: one PC, one EPC.
+#[derive(Debug, Clone)]
+pub struct SingleCtxPcUnit {
+    pc: u64,
+    epc: u64,
+    in_exception: bool,
+}
+
+impl SingleCtxPcUnit {
+    /// Creates the unit with the reset PC.
+    pub fn new(reset_pc: u64) -> SingleCtxPcUnit {
+        SingleCtxPcUnit { pc: reset_pc, epc: 0, in_exception: false }
+    }
+
+    /// Current PC (the value on the PC bus this cycle).
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Advances the PC from the given source. During normal execution the
+    /// retiring instruction's address is loaded into the EPC.
+    pub fn step(&mut self, source: PcSource) {
+        if !self.in_exception {
+            self.epc = self.pc;
+        }
+        self.pc = match source {
+            PcSource::Sequential => self.pc + 4,
+            PcSource::BtbTarget(t) | PcSource::ComputedBranch(t) => t,
+            PcSource::ExceptionVector(v) => {
+                self.in_exception = true;
+                v
+            }
+            PcSource::Epc => {
+                self.in_exception = false;
+                self.epc
+            }
+        };
+    }
+
+    /// Whether the unit is executing an exception handler.
+    pub fn in_exception(&self) -> bool {
+        self.in_exception
+    }
+
+    /// Hardware inventory: PC, EPC, and the pipeline PC chain
+    /// (`pipe_depth` stages), with a five-input PC-bus multiplexer.
+    pub fn cost(pipe_depth: u32) -> HardwareCost {
+        let registers = 2 + pipe_depth;
+        HardwareCost {
+            registers,
+            register_bits: registers * PC_BITS,
+            mux_inputs: 5,
+            pipeline_tag_bits: 0,
+        }
+    }
+}
+
+/// The blocked PC unit of Figure 11: one PC, one EPC *per context*
+/// (doubling as the context-restart register).
+#[derive(Debug, Clone)]
+pub struct BlockedPcUnit {
+    pc: u64,
+    epc: Vec<u64>,
+    active: usize,
+    in_exception: bool,
+}
+
+impl BlockedPcUnit {
+    /// Creates the unit for `contexts` contexts, each starting at its
+    /// entry in `reset_pcs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reset_pcs` is empty.
+    pub fn new(reset_pcs: &[u64]) -> BlockedPcUnit {
+        assert!(!reset_pcs.is_empty(), "need at least one context");
+        BlockedPcUnit {
+            pc: reset_pcs[0],
+            epc: reset_pcs.to_vec(),
+            active: 0,
+            in_exception: false,
+        }
+    }
+
+    /// Current PC.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// The active context.
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// Advances the active context's PC (as in the single-context unit;
+    /// only the active context's EPC is updated).
+    pub fn step(&mut self, source: PcSource) {
+        if !self.in_exception {
+            self.epc[self.active] = self.pc;
+        }
+        self.pc = match source {
+            PcSource::Sequential => self.pc + 4,
+            PcSource::BtbTarget(t) | PcSource::ComputedBranch(t) => t,
+            PcSource::ExceptionVector(v) => {
+                self.in_exception = true;
+                v
+            }
+            PcSource::Epc => {
+                self.in_exception = false;
+                self.epc[self.active]
+            }
+        };
+    }
+
+    /// Context switch (at the normal exception point): the blocked
+    /// context's EPC stops loading — it holds the address of the
+    /// instruction that caused the switch, from which the context later
+    /// restarts — and the next context's EPC drives the PC bus.
+    pub fn switch_context(&mut self, to: usize, restart_pc: u64) {
+        assert!(to < self.epc.len(), "context out of range");
+        self.epc[self.active] = restart_pc;
+        self.active = to;
+        self.pc = self.epc[to];
+    }
+
+    /// Saved restart PC of a context.
+    pub fn restart_pc(&self, ctx: usize) -> u64 {
+        self.epc[ctx]
+    }
+
+    /// Hardware inventory: like the single-context unit plus one EPC per
+    /// additional context (the only change, per the paper).
+    pub fn cost(contexts: u32, pipe_depth: u32) -> HardwareCost {
+        let base = SingleCtxPcUnit::cost(pipe_depth);
+        let extra_epcs = contexts.saturating_sub(1);
+        HardwareCost {
+            registers: base.registers + extra_epcs,
+            register_bits: base.register_bits + extra_epcs * PC_BITS,
+            // The EPC leg of the PC-bus mux widens to `contexts` inputs.
+            mux_inputs: base.mux_inputs + extra_epcs,
+            pipeline_tag_bits: 0,
+        }
+    }
+}
+
+/// A per-context next-PC holding register of the interleaved unit
+/// (Figure 12).
+#[derive(Debug, Clone, Copy)]
+struct NpcReg {
+    value: u64,
+    /// Set when the register holds a computed target loaded by a
+    /// mispredicted branch: the BTB must be updated when this register
+    /// next drives the PC bus.
+    update_btb: bool,
+}
+
+/// The interleaved PC unit of Figure 12: per-context NPC holding
+/// registers (fed by sequential / predicted / computed sources) plus
+/// per-context EPCs, with every in-flight instruction tagged by its
+/// context identifier (CID).
+#[derive(Debug, Clone)]
+pub struct InterleavedPcUnit {
+    npc: Vec<NpcReg>,
+    epc: Vec<u64>,
+    epc_valid: Vec<bool>,
+}
+
+impl InterleavedPcUnit {
+    /// Creates the unit for the given per-context reset PCs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reset_pcs` is empty.
+    pub fn new(reset_pcs: &[u64]) -> InterleavedPcUnit {
+        assert!(!reset_pcs.is_empty(), "need at least one context");
+        InterleavedPcUnit {
+            npc: reset_pcs.iter().map(|&pc| NpcReg { value: pc, update_btb: false }).collect(),
+            epc: reset_pcs.to_vec(),
+            epc_valid: vec![false; reset_pcs.len()],
+        }
+    }
+
+    /// Number of contexts.
+    pub fn contexts(&self) -> usize {
+        self.npc.len()
+    }
+
+    /// Issues from `ctx`: drives its NPC onto the PC bus and reports
+    /// whether the BTB must be updated (a previously mispredicted branch's
+    /// computed target finally issuing).
+    ///
+    /// If the context is resuming from unavailability, its EPC drives the
+    /// bus instead (the re-executed faulting instruction).
+    pub fn issue(&mut self, ctx: usize) -> (u64, bool) {
+        if self.epc_valid[ctx] {
+            self.epc_valid[ctx] = false;
+            return (self.epc[ctx], false);
+        }
+        let reg = &mut self.npc[ctx];
+        let update = reg.update_btb;
+        reg.update_btb = false;
+        (reg.value, update)
+    }
+
+    /// Loads `ctx`'s NPC from one of its sources, in the paper's priority
+    /// order (computed branch overrides everything; the holding register
+    /// otherwise retains its value).
+    pub fn load_npc(&mut self, ctx: usize, source: PcSource, current_pc: u64) {
+        let reg = &mut self.npc[ctx];
+        match source {
+            PcSource::ComputedBranch(target) => {
+                reg.value = target;
+                reg.update_btb = true;
+            }
+            PcSource::BtbTarget(target) if !reg.update_btb => {
+                reg.value = target;
+            }
+            PcSource::Sequential if !reg.update_btb => {
+                reg.value = current_pc + 4;
+            }
+            // Exception/EPC flows are handled by make_unavailable/resume;
+            // a pending computed branch retains priority.
+            _ => {}
+        }
+    }
+
+    /// Marks `ctx` unavailable at the instruction at `fault_pc` (cache
+    /// miss): the PC is saved in the context's EPC with its valid bit set,
+    /// so the context re-executes from the faulting instruction when it
+    /// becomes available again.
+    pub fn make_unavailable(&mut self, ctx: usize, fault_pc: u64) {
+        self.epc[ctx] = fault_pc;
+        self.epc_valid[ctx] = true;
+        self.npc[ctx].update_btb = false;
+    }
+
+    /// Whether `ctx` will resume from its EPC.
+    pub fn resumes_from_epc(&self, ctx: usize) -> bool {
+        self.epc_valid[ctx]
+    }
+
+    /// Hardware inventory: per-context NPC (PC bits + mispredict bit) and
+    /// EPC (PC bits + valid bit), a three-input mux in front of every NPC,
+    /// a PC-bus mux with an input per context (NPC) plus EPC/vector legs,
+    /// and a CID tag on every pipeline stage.
+    pub fn cost(contexts: u32, pipe_depth: u32) -> HardwareCost {
+        let cid_bits = 32 - (contexts.max(2) - 1).leading_zeros(); // ceil(log2)
+        let registers = 2 * contexts + pipe_depth;
+        HardwareCost {
+            registers,
+            register_bits: contexts * (PC_BITS + 1) * 2 + pipe_depth * PC_BITS,
+            mux_inputs: 3 * contexts + contexts + 2,
+            pipeline_tag_bits: cid_bits * pipe_depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sequential_and_branch_flow() {
+        let mut u = SingleCtxPcUnit::new(0x100);
+        u.step(PcSource::Sequential);
+        assert_eq!(u.pc(), 0x104);
+        u.step(PcSource::BtbTarget(0x200));
+        assert_eq!(u.pc(), 0x200);
+        u.step(PcSource::ComputedBranch(0x300));
+        assert_eq!(u.pc(), 0x300);
+    }
+
+    #[test]
+    fn single_exception_save_restore() {
+        let mut u = SingleCtxPcUnit::new(0x100);
+        u.step(PcSource::Sequential); // pc 0x104, epc 0x100
+        u.step(PcSource::ExceptionVector(0x80)); // guilty instr 0x104 in EPC
+        assert!(u.in_exception());
+        assert_eq!(u.pc(), 0x80);
+        u.step(PcSource::Sequential); // handler runs; EPC frozen
+        u.step(PcSource::Epc); // ERET
+        assert!(!u.in_exception());
+        assert_eq!(u.pc(), 0x104, "execution continues at the guilty instruction");
+    }
+
+    #[test]
+    fn blocked_switch_and_restart() {
+        let mut u = BlockedPcUnit::new(&[0x100, 0x2000]);
+        u.step(PcSource::Sequential);
+        u.step(PcSource::Sequential); // ctx 0 at 0x108
+        // Cache miss at 0x108: switch to context 1.
+        u.switch_context(1, 0x108);
+        assert_eq!(u.active(), 1);
+        assert_eq!(u.pc(), 0x2000, "context 1 starts at its saved PC");
+        u.step(PcSource::Sequential);
+        // Switch back: context 0 restarts at the missing instruction.
+        u.switch_context(0, 0x2004);
+        assert_eq!(u.pc(), 0x108);
+        assert_eq!(u.restart_pc(1), 0x2004);
+    }
+
+    #[test]
+    fn blocked_exception_uses_active_epc() {
+        let mut u = BlockedPcUnit::new(&[0x100, 0x2000]);
+        u.step(PcSource::Sequential);
+        u.step(PcSource::ExceptionVector(0x80));
+        u.step(PcSource::Epc);
+        assert_eq!(u.pc(), 0x104);
+    }
+
+    #[test]
+    fn interleaved_npc_holding() {
+        let mut u = InterleavedPcUnit::new(&[0x100, 0x200]);
+        // ctx 0 issues; its next PC becomes sequential.
+        let (pc0, update) = u.issue(0);
+        assert_eq!((pc0, update), (0x100, false));
+        u.load_npc(0, PcSource::Sequential, pc0);
+        // ctx 1 issues meanwhile.
+        let (pc1, _) = u.issue(1);
+        assert_eq!(pc1, 0x200);
+        u.load_npc(1, PcSource::BtbTarget(0x280), pc1);
+        // Back to ctx 0: held sequential value.
+        assert_eq!(u.issue(0).0, 0x104);
+        // ctx 1 gets its predicted target.
+        assert_eq!(u.issue(1).0, 0x280);
+    }
+
+    #[test]
+    fn interleaved_mispredict_priority_and_btb_update() {
+        let mut u = InterleavedPcUnit::new(&[0x100]);
+        let (pc, _) = u.issue(0);
+        // A branch at `pc` mispredicted: the computed target is loaded and
+        // takes priority over later sequential/predicted loads.
+        u.load_npc(0, PcSource::ComputedBranch(0x500), pc);
+        u.load_npc(0, PcSource::Sequential, pc);
+        u.load_npc(0, PcSource::BtbTarget(0x900), pc);
+        let (next, update_btb) = u.issue(0);
+        assert_eq!(next, 0x500);
+        assert!(update_btb, "the BTB is updated when the computed target issues");
+        // The flag clears after one issue.
+        u.load_npc(0, PcSource::Sequential, next);
+        assert_eq!(u.issue(0), (0x504, false));
+    }
+
+    #[test]
+    fn interleaved_unavailability_resumes_from_epc() {
+        let mut u = InterleavedPcUnit::new(&[0x100, 0x200]);
+        let (pc, _) = u.issue(0);
+        u.load_npc(0, PcSource::Sequential, pc);
+        // The instruction at 0x100 missed: save it; resume re-executes it.
+        u.make_unavailable(0, 0x100);
+        assert!(u.resumes_from_epc(0));
+        assert_eq!(u.issue(0), (0x100, false));
+        assert!(!u.resumes_from_epc(0));
+    }
+
+    #[test]
+    fn costs_grow_as_the_paper_describes() {
+        let single = SingleCtxPcUnit::cost(7);
+        let blocked2 = BlockedPcUnit::cost(2, 7);
+        let blocked4 = BlockedPcUnit::cost(4, 7);
+        let inter2 = InterleavedPcUnit::cost(2, 7);
+        let inter4 = InterleavedPcUnit::cost(4, 7);
+
+        // Blocked adds exactly one EPC per extra context.
+        assert_eq!(blocked2.registers, single.registers + 1);
+        assert_eq!(blocked4.registers, single.registers + 3);
+        assert_eq!(blocked2.pipeline_tag_bits, 0);
+
+        // Interleaved replicates NPC+EPC per context and tags the pipe.
+        assert!(inter2.registers > blocked2.registers);
+        assert!(inter4.mux_inputs > blocked4.mux_inputs);
+        assert!(inter4.pipeline_tag_bits > 0);
+        assert_eq!(inter4.pipeline_tag_bits, 2 * 7);
+
+        // But the increase stays modest (the paper's conclusion): the
+        // 4-context interleaved unit is within ~2x of blocked storage.
+        assert!(inter4.register_bits < 2 * blocked4.register_bits + 16 * 7 * 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn blocked_switch_out_of_range_panics() {
+        let mut u = BlockedPcUnit::new(&[0x100]);
+        u.switch_context(3, 0x104);
+    }
+}

@@ -1,0 +1,209 @@
+use std::collections::VecDeque;
+
+use interleave_isa::Instr;
+
+/// An instruction between issue (entering EX) and retirement (end of WB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InFlight {
+    /// Hardware context it belongs to.
+    pub ctx: usize,
+    /// Position in the context's instruction stream.
+    pub fetch_index: u64,
+    /// The instruction.
+    pub instr: Instr,
+    /// Cycle it entered EX.
+    pub issued_at: u64,
+    /// Cycle it leaves WB (end of cycle).
+    pub retires_at: u64,
+}
+
+/// The set of issued-but-not-retired instructions.
+///
+/// The blocked scheme's cache-miss flush squashes *everything* here plus
+/// the front end (≈ pipeline depth, 7 cycles of lost work); the interleaved
+/// scheme squashes only the missing context's entries (1–4 cycles with four
+/// contexts) — the contrast of paper Figure 2.
+///
+/// # Examples
+///
+/// ```
+/// use interleave_isa::Instr;
+/// use interleave_pipeline::{InFlight, IssueWindow};
+///
+/// let mut w = IssueWindow::new();
+/// w.issue(InFlight { ctx: 0, fetch_index: 0, instr: Instr::nop(0), issued_at: 5, retires_at: 8 });
+/// assert_eq!(w.retire_due(7).len(), 0);
+/// assert_eq!(w.retire_due(8).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IssueWindow {
+    items: VecDeque<InFlight>,
+}
+
+impl IssueWindow {
+    /// Creates an empty window.
+    pub fn new() -> IssueWindow {
+        IssueWindow::default()
+    }
+
+    /// Records an issued instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retires_at` precedes `issued_at` (instructions spend at
+    /// least one cycle in flight) or if issue order is violated.
+    pub fn issue(&mut self, inflight: InFlight) {
+        assert!(inflight.retires_at >= inflight.issued_at, "retire before issue");
+        if let Some(last) = self.items.back() {
+            assert!(last.issued_at <= inflight.issued_at, "issue order violated");
+        }
+        self.items.push_back(inflight);
+    }
+
+    /// Removes and returns the instructions retiring at or before `now`.
+    ///
+    /// Integer and FP instructions leave their pipes independently, so an
+    /// integer instruction may retire past an older FP instruction of the
+    /// same context (squashes never reach behind the faulting instruction,
+    /// so completed work is never re-executed).
+    pub fn retire_due(&mut self, now: u64) -> Vec<InFlight> {
+        let mut retired = Vec::new();
+        let mut i = 0;
+        while i < self.items.len() {
+            if self.items[i].retires_at <= now {
+                retired.push(self.items.remove(i).expect("index in range"));
+            } else {
+                i += 1;
+            }
+        }
+        retired
+    }
+
+    /// Removes and returns every in-flight instruction of `ctx`
+    /// (used when the whole context leaves the machine, e.g. an OS swap).
+    pub fn squash_ctx(&mut self, ctx: usize) -> Vec<InFlight> {
+        self.squash_ctx_from(ctx, 0)
+    }
+
+    /// Removes and returns `ctx`'s in-flight instructions at or after
+    /// stream position `from` — the faulting instruction and everything
+    /// younger. Older instructions (e.g. FP operations still draining)
+    /// complete normally, exactly as in a machine that squashes by CID at
+    /// the detection point.
+    pub fn squash_ctx_from(&mut self, ctx: usize, from: u64) -> Vec<InFlight> {
+        let (squashed, kept): (Vec<_>, Vec<_>) = self
+            .items
+            .drain(..)
+            .partition(|i| i.ctx == ctx && i.fetch_index >= from);
+        self.items = kept.into();
+        squashed
+    }
+
+    /// Removes and returns every in-flight instruction (the blocked
+    /// scheme's full flush).
+    pub fn squash_all(&mut self) -> Vec<InFlight> {
+        self.items.drain(..).collect()
+    }
+
+    /// Number of in-flight instructions belonging to `ctx`.
+    pub fn count_ctx(&self, ctx: usize) -> usize {
+        self.items.iter().filter(|i| i.ctx == ctx).count()
+    }
+
+    /// Total in-flight instructions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inflight(ctx: usize, index: u64, issued: u64, retires: u64) -> InFlight {
+        InFlight {
+            ctx,
+            fetch_index: index,
+            instr: Instr::nop(index * 4),
+            issued_at: issued,
+            retires_at: retires,
+        }
+    }
+
+    #[test]
+    fn retire_in_order() {
+        let mut w = IssueWindow::new();
+        w.issue(inflight(0, 0, 1, 4));
+        w.issue(inflight(0, 1, 2, 5));
+        let r = w.retire_due(4);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].fetch_index, 0);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn younger_int_retires_past_older_fp() {
+        let mut w = IssueWindow::new();
+        w.issue(inflight(0, 0, 1, 6)); // FP: retires at issue + 5
+        w.issue(inflight(0, 1, 2, 5)); // int: leaves its pipe first
+        let r = w.retire_due(5);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].fetch_index, 1);
+        let r = w.retire_due(6);
+        assert_eq!(r[0].fetch_index, 0);
+    }
+
+    #[test]
+    fn squash_from_spares_older_instructions() {
+        let mut w = IssueWindow::new();
+        w.issue(inflight(0, 5, 1, 8)); // older FP, still draining
+        w.issue(inflight(0, 7, 2, 5)); // the faulting load
+        w.issue(inflight(0, 8, 3, 6)); // younger
+        let squashed = w.squash_ctx_from(0, 7);
+        assert_eq!(squashed.len(), 2);
+        assert!(squashed.iter().all(|i| i.fetch_index >= 7));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.retire_due(8)[0].fetch_index, 5);
+    }
+
+    #[test]
+    fn squash_ctx_selective() {
+        let mut w = IssueWindow::new();
+        w.issue(inflight(0, 0, 1, 4));
+        w.issue(inflight(1, 0, 2, 5));
+        w.issue(inflight(0, 1, 3, 6));
+        let squashed = w.squash_ctx(0);
+        assert_eq!(squashed.len(), 2);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.count_ctx(1), 1);
+    }
+
+    #[test]
+    fn squash_all_empties() {
+        let mut w = IssueWindow::new();
+        w.issue(inflight(0, 0, 1, 4));
+        w.issue(inflight(1, 0, 2, 5));
+        assert_eq!(w.squash_all().len(), 2);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn issue_order_enforced() {
+        let mut w = IssueWindow::new();
+        w.issue(inflight(0, 0, 5, 8));
+        w.issue(inflight(0, 1, 4, 7));
+    }
+
+    #[test]
+    #[should_panic]
+    fn retire_before_issue_rejected() {
+        let mut w = IssueWindow::new();
+        w.issue(inflight(0, 0, 5, 4));
+    }
+}

@@ -1,0 +1,109 @@
+//! Summary statistics and formatting helpers for the report harnesses.
+
+/// Geometric mean of a slice of positive values.
+///
+/// The paper summarizes per-workload throughput gains with a geometric mean
+/// (Table 7). Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// let m = interleave_stats::summary::geometric_mean(&[1.0, 4.0]).unwrap();
+/// assert!((m - 2.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn arithmetic_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Speedup of `new` relative to `baseline` in cycles (baseline / new).
+///
+/// # Panics
+///
+/// Panics if `new_cycles` is zero.
+pub fn speedup(baseline_cycles: u64, new_cycles: u64) -> f64 {
+    assert!(new_cycles > 0, "speedup denominator must be non-zero");
+    baseline_cycles as f64 / new_cycles as f64
+}
+
+/// Formats a throughput ratio like the paper's Table 7 entries (e.g. `1.22`).
+pub fn fmt_ratio(ratio: f64) -> String {
+    format!("{ratio:.2}")
+}
+
+/// Formats a throughput increase as a percentage (e.g. `+22%`).
+pub fn fmt_gain_pct(ratio: f64) -> String {
+    format!("{:+.0}%", (ratio - 1.0) * 100.0)
+}
+
+/// Formats a fraction as a percentage with no decimals (e.g. `63%`).
+pub fn fmt_pct(fraction: f64) -> String {
+    format!("{:.0}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geometric_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), None);
+        let single = geometric_mean(&[3.5]).unwrap();
+        assert!((single - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn geomean_rejects_nonpositive() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn arithmetic_mean_basic() {
+        assert_eq!(arithmetic_mean(&[1.0, 3.0]), Some(2.0));
+        assert_eq!(arithmetic_mean(&[]), None);
+    }
+
+    #[test]
+    fn speedup_basic() {
+        assert!((speedup(200, 100) - 2.0).abs() < 1e-12);
+        assert!((speedup(100, 200) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn speedup_zero_denominator() {
+        let _ = speedup(10, 0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ratio(1.2249), "1.22");
+        assert_eq!(fmt_gain_pct(1.5), "+50%");
+        assert_eq!(fmt_gain_pct(0.97), "-3%");
+        assert_eq!(fmt_pct(0.634), "63%");
+    }
+}

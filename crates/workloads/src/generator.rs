@@ -1,0 +1,646 @@
+use std::collections::VecDeque;
+
+use interleave_core::InstrSource;
+use interleave_isa::{Instr, Op, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::AppProfile;
+
+/// Deterministic synthetic instruction stream for one application.
+///
+/// The generator walks a program counter through the profile's code
+/// footprint (branch targets actually redirect the walk, so I-cache and
+/// BTB behaviour emerge from the control flow), emits the profile's
+/// operation mix with configurable dependency distances, and touches a
+/// data footprint with hot/cold, streaming, and strided components.
+///
+/// When the profile carries `latency_hints`, divides are followed by a
+/// backoff instruction covering the divide latency before the dependent
+/// consumer — the compiler support for latency tolerance the paper
+/// assumes (interpreted as a backoff by the interleaved scheme, an
+/// explicit switch by the blocked scheme, and a no-op by the
+/// single-context processor).
+///
+/// # Examples
+///
+/// ```
+/// use interleave_core::InstrSource;
+/// use interleave_workloads::{AppProfile, SyntheticApp};
+///
+/// let mut app = SyntheticApp::new(AppProfile::base("demo"), 0, 42);
+/// let first = app.next_instr().unwrap();
+/// let again = SyntheticApp::new(AppProfile::base("demo"), 0, 42).next_instr().unwrap();
+/// assert_eq!(first, again, "streams are deterministic per seed");
+/// ```
+pub struct SyntheticApp {
+    profile: AppProfile,
+    rng: SmallRng,
+    code_base: u64,
+    data_base: u64,
+    pc: u64,
+    /// Start of the current hot code region (phase): the walk stays inside
+    /// it until a phase change.
+    region_base: u64,
+    /// Active set of hot regions: phase changes mostly revisit these and
+    /// only occasionally bring in a new region (slow working-set drift).
+    active_regions: [u64; 3],
+    /// Base of the window cold data references currently fall in (drifts
+    /// slowly through the data footprint).
+    data_window: u64,
+    block_left: u32,
+    last_int: Reg,
+    last_fp: Reg,
+    int_rr: u8,
+    fp_rr: u8,
+    stream_pos: u64,
+    pending: VecDeque<Instr>,
+    /// Recent load destinations and when they were emitted: the
+    /// scheduler-modeled streams avoid using a load's result in its two
+    /// delay slots (the paper's code is scheduled by Twine).
+    recent_loads: [Option<(Reg, u64)>; 2],
+    /// A load result that must be consumed shortly: (register, countdown).
+    /// Real code uses nearly every loaded value within a few instructions;
+    /// without this the stream would behave like an unbounded
+    /// out-of-order memory system under the stall-on-use baseline.
+    due_consumer: Option<(Reg, u8)>,
+    emitted: u64,
+    limit: Option<u64>,
+}
+
+const INT_POOL_BASE: u8 = 8;
+const FP_POOL_BASE: u8 = 8;
+const POOL_LEN: u8 = 16;
+/// Base register used for addressing; never written, so address
+/// generation does not serialize on data results.
+const ADDR_REG: u8 = 29;
+
+fn mix_hash(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^ (x >> 33)
+}
+
+impl SyntheticApp {
+    /// Creates the stream for `profile`, placed in address slot
+    /// `app_slot` (each resident application gets disjoint code and data
+    /// regions that still conflict in the caches, as real multiprogrammed
+    /// applications do), seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`AppProfile::validate`].
+    pub fn new(profile: AppProfile, app_slot: usize, seed: u64) -> SyntheticApp {
+        profile.validate();
+        // Slot strides are deliberately not multiples of the cache size or
+        // TLB span, so co-resident applications interfere realistically
+        // instead of aliasing perfectly.
+        let code_base = 0x4000_0000 + app_slot as u64 * 0x0211_3000;
+        let data_base = 0x1_0000_0000 + app_slot as u64 * 0x1039_7000;
+        let mixed = seed ^ mix_hash(app_slot as u64 + 1) ^ mix_hash(profile.name.len() as u64);
+        SyntheticApp {
+            rng: SmallRng::seed_from_u64(mixed),
+            code_base,
+            data_base,
+            pc: code_base,
+            region_base: code_base,
+            active_regions: [code_base; 3],
+            data_window: 0,
+            block_left: profile.block_len,
+            last_int: Reg::int(INT_POOL_BASE),
+            last_fp: Reg::fp(FP_POOL_BASE),
+            int_rr: 0,
+            fp_rr: 0,
+            stream_pos: 0,
+            pending: VecDeque::new(),
+            recent_loads: [None; 2],
+            due_consumer: None,
+            emitted: 0,
+            limit: None,
+            profile,
+        }
+    }
+
+    /// Caps the stream at `limit` instructions (fixed-work runs).
+    pub fn with_limit(mut self, limit: u64) -> SyntheticApp {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// The profile this stream was built from.
+    pub fn profile(&self) -> &AppProfile {
+        &self.profile
+    }
+
+    fn next_int_dst(&mut self) -> Reg {
+        self.int_rr = (self.int_rr + 1) % POOL_LEN;
+        let reg = Reg::int(INT_POOL_BASE + self.int_rr);
+        self.last_int = reg;
+        reg
+    }
+
+    fn next_fp_dst(&mut self) -> Reg {
+        self.fp_rr = (self.fp_rr + 1) % POOL_LEN;
+        let reg = Reg::fp(FP_POOL_BASE + self.fp_rr);
+        self.last_fp = reg;
+        reg
+    }
+
+    fn int_src(&mut self) -> Reg {
+        let reg = if self.rng.gen_bool(self.profile.dep_near) {
+            self.last_int
+        } else {
+            Reg::int(INT_POOL_BASE + self.rng.gen_range(0..POOL_LEN))
+        };
+        self.scheduled(reg)
+    }
+
+    fn fp_src(&mut self) -> Reg {
+        let reg = if self.rng.gen_bool(self.profile.dep_near) {
+            self.last_fp
+        } else {
+            Reg::fp(FP_POOL_BASE + self.rng.gen_range(0..POOL_LEN))
+        };
+        self.scheduled(reg)
+    }
+
+    /// Models the global instruction scheduler: a load's result is not
+    /// consumed within its two delay slots (the compiler fills them with
+    /// independent work).
+    fn scheduled(&mut self, reg: Reg) -> Reg {
+        let embargoed = |r: Reg, loads: &[Option<(Reg, u64)>; 2], emitted: u64| {
+            loads.iter().flatten().any(|&(l, at)| l == r && emitted.saturating_sub(at) <= 2)
+        };
+        if !embargoed(reg, &self.recent_loads, self.emitted) {
+            return reg;
+        }
+        for offset in 1..POOL_LEN {
+            let n = (reg.number() - INT_POOL_BASE + offset) % POOL_LEN + INT_POOL_BASE;
+            let candidate = if reg.is_fp() { Reg::fp(n) } else { Reg::int(n) };
+            if !embargoed(candidate, &self.recent_loads, self.emitted) {
+                return candidate;
+            }
+        }
+        reg
+    }
+
+    /// Size of a hot code region (one "phase" of execution).
+    fn region_bytes(&self) -> u64 {
+        (2 * 1024).min(self.profile.code_footprint)
+    }
+
+    fn step_pc(&mut self) -> u64 {
+        let pc = self.pc;
+        self.pc = self.wrap_region(self.pc + 4);
+        pc
+    }
+
+    /// Keeps an address inside the current hot region.
+    fn wrap_region(&self, addr: u64) -> u64 {
+        let span = self.region_bytes();
+        let offset = addr.wrapping_sub(self.region_base) % span;
+        self.region_base + (offset & !3)
+    }
+
+    fn data_addr(&mut self) -> u64 {
+        let p = &self.profile;
+        let draw: f64 = self.rng.gen();
+        let offset = if draw < p.streaming {
+            self.stream_pos = (self.stream_pos + p.stream_stride) % p.data_footprint;
+            if p.software_prefetch {
+                // Prefetch the next stream element so its line is (mostly)
+                // resident by the time the stream reaches it.
+                let ahead =
+                    (self.stream_pos + 4 * p.stream_stride) % p.data_footprint;
+                let pf_pc = self.peek_pc(1);
+                self.pending.push_back(Instr::prefetch(
+                    pf_pc,
+                    Reg::int(ADDR_REG),
+                    self.data_base + (ahead & !3),
+                ));
+            }
+            self.stream_pos
+        } else if self.rng.gen_bool(p.locality) {
+            // The hot subset is what the application keeps in its primary
+            // cache; clamp it to cache scale so `locality` really means
+            // "re-references recently used data".
+            let hot = ((p.data_footprint as f64 * p.hot_fraction) as u64).clamp(64, 12 * 1024);
+            self.rng.gen_range(0..hot)
+        } else {
+            // Cold references fall in a window that drifts slowly through
+            // the footprint (working-set behaviour), not uniformly over
+            // the whole data segment.
+            let window = (32 * 1024).min(p.data_footprint);
+            if self.rng.gen_bool(0.002) {
+                let step = window / 4;
+                self.data_window = (self.data_window + step) % p.data_footprint;
+            }
+            (self.data_window + self.rng.gen_range(0..window)) % p.data_footprint
+        };
+        self.data_base + (offset & !3)
+    }
+
+    /// Emits a branch closing the current basic block. Site behaviour
+    /// (bias and target) is a pure function of the site PC, so the BTB
+    /// can learn the biased sites.
+    fn gen_branch(&mut self, pc: u64) -> Instr {
+        let p = self.profile;
+        // Phase change (a call into, or return from, another part of the
+        // program): jump to a new hot region. These look like indirect
+        // jumps to the BTB — their targets vary — and are the source of
+        // I-cache pressure proportional to the code footprint.
+        if self.rng.gen_bool(0.015) {
+            let regions = (p.code_footprint / self.region_bytes()).max(1);
+            if self.rng.gen_bool(0.05) {
+                // Working-set drift: bring a new region into the active set.
+                let pick = self.rng.gen_range(0..regions);
+                let slot = self.rng.gen_range(0..self.active_regions.len());
+                self.active_regions[slot] = self.code_base + pick * self.region_bytes();
+            }
+            let slot = self.rng.gen_range(0..self.active_regions.len());
+            self.region_base = self.active_regions[slot];
+            self.pc = self.region_base;
+            let cond = self.scheduled(self.last_int);
+            return Instr::branch(pc, Some(cond), true, self.region_base);
+        }
+        // Site behaviour within a region is a pure function of the site
+        // PC so the BTB can learn the biased sites.
+        let h = mix_hash(pc ^ 0x5EED);
+        let block_bytes = u64::from(p.block_len) * 4;
+        let is_loop = (h % 1000) as f64 / 1000.0 < p.loop_branch_frac;
+        let (taken_prob, target) = if is_loop {
+            // Loop-closing branch: strongly biased taken, tight backward
+            // target (the hot-loop attractor).
+            let back = block_bytes * (1 + (h >> 10) % 4);
+            (0.92, self.wrap_region(pc.wrapping_sub(back)))
+        } else {
+            // Data-dependent branch: unbiased, short forward target.
+            let fwd = block_bytes * (1 + (h >> 10) % 2);
+            (0.5, self.wrap_region(pc + fwd))
+        };
+        let taken = self.rng.gen_bool(taken_prob);
+        if taken {
+            self.pc = target;
+        }
+        let cond = self.scheduled(self.last_int);
+        Instr::branch(pc, Some(cond), taken, target)
+    }
+
+    /// Emits a divide followed (optionally) by a latency hint and the
+    /// dependent consumer, via the pending queue.
+    fn gen_divide(&mut self, pc: u64, op: Op) -> Instr {
+        let (dst, src, latency) = match op {
+            Op::IntDiv => {
+                let src = self.int_src();
+                (self.next_int_dst(), src, 35u32)
+            }
+            Op::FpDivSingle => {
+                let src = self.fp_src();
+                (self.next_fp_dst(), src, 31)
+            }
+            Op::FpDivDouble => {
+                let src = self.fp_src();
+                (self.next_fp_dst(), src, 61)
+            }
+            _ => unreachable!("gen_divide only handles divides"),
+        };
+        let div = Instr::arith(pc, op, Some(dst), Some(src), None);
+        if self.profile.latency_hints {
+            let hint_pc = self.peek_pc(0);
+            self.pending.push_back(Instr::backoff(hint_pc, latency.saturating_sub(4).max(1)));
+        }
+        let cons_pc = self.peek_pc(1);
+        let consumer = if dst.is_fp() {
+            Instr::arith(cons_pc, Op::FpAdd, Some(self.next_fp_dst()), Some(dst), None)
+        } else {
+            Instr::alu(cons_pc, Some(self.next_int_dst()), Some(dst), None)
+        };
+        self.pending.push_back(consumer);
+        div
+    }
+
+    fn peek_pc(&self, ahead: u64) -> u64 {
+        self.wrap_region(self.pc + ahead * 4)
+    }
+
+    fn gen_instr(&mut self) -> Instr {
+        if let Some(queued) = self.pending.pop_front() {
+            // Queued instructions carry pre-assigned PCs; keep the walk
+            // consistent by advancing past them.
+            self.pc = self.wrap_region(queued.pc + 4);
+            return queued;
+        }
+
+        // Consume a recently loaded value once its scheduled distance
+        // (past the delay slots) elapses.
+        if let Some((reg, countdown)) = self.due_consumer {
+            if countdown == 0 {
+                self.due_consumer = None;
+                let pc = self.step_pc();
+                return if reg.is_fp() {
+                    Instr::arith(pc, Op::FpAdd, Some(self.next_fp_dst()), Some(reg), None)
+                } else {
+                    Instr::alu(pc, Some(self.next_int_dst()), Some(reg), None)
+                };
+            }
+            self.due_consumer = Some((reg, countdown - 1));
+        }
+
+        if self.block_left == 0 {
+            self.block_left = self.jittered_block_len();
+            let pc = self.step_pc();
+            return self.gen_branch(pc);
+        }
+        self.block_left -= 1;
+        let pc = self.step_pc();
+
+        let p = self.profile;
+        let draw: f64 = self.rng.gen();
+        let mut acc = p.frac_load;
+        if draw < acc {
+            let dst = if self.rng.gen_bool(p.frac_fp) {
+                self.next_fp_dst()
+            } else {
+                self.next_int_dst()
+            };
+            let addr = self.data_addr();
+            self.recent_loads = [Some((dst, self.emitted)), self.recent_loads[0]];
+            if self.due_consumer.is_none() && self.rng.gen_bool(0.85) {
+                self.due_consumer = Some((dst, 2));
+            }
+            return Instr::load(pc, dst, Reg::int(ADDR_REG), addr);
+        }
+        acc += p.frac_store;
+        if draw < acc {
+            let src = self.int_src();
+            let addr = self.data_addr();
+            return Instr::store(pc, src, Reg::int(ADDR_REG), addr);
+        }
+        acc += p.frac_branch;
+        if draw < acc {
+            return self.gen_branch(pc);
+        }
+        acc += p.frac_fp;
+        if draw < acc {
+            if self.rng.gen_bool(p.fp_div_frac) {
+                let op = if self.rng.gen_bool(p.fp_double_frac) {
+                    Op::FpDivDouble
+                } else {
+                    Op::FpDivSingle
+                };
+                return self.gen_divide(pc, op);
+            }
+            let op = match self.rng.gen_range(0..3) {
+                0 => Op::FpAdd,
+                1 => Op::FpMul,
+                _ => Op::FpConv,
+            };
+            let (s1, s2) = (self.fp_src(), self.fp_src());
+            return Instr::arith(pc, op, Some(self.next_fp_dst()), Some(s1), Some(s2));
+        }
+        acc += p.frac_shift;
+        if draw < acc {
+            let src = self.int_src();
+            return Instr::arith(pc, Op::Shift, Some(self.next_int_dst()), Some(src), None);
+        }
+        acc += p.frac_int_mul;
+        if draw < acc {
+            let (s1, s2) = (self.int_src(), self.int_src());
+            return Instr::arith(pc, Op::IntMul, Some(self.next_int_dst()), Some(s1), Some(s2));
+        }
+        acc += p.frac_int_div;
+        if draw < acc {
+            return self.gen_divide(pc, Op::IntDiv);
+        }
+        let (s1, s2) = (self.int_src(), self.int_src());
+        Instr::alu(pc, Some(self.next_int_dst()), Some(s1), Some(s2))
+    }
+
+    fn jittered_block_len(&mut self) -> u32 {
+        let mean = self.profile.block_len;
+        self.rng.gen_range(mean.saturating_sub(mean / 2).max(1)..=mean + mean / 2)
+    }
+}
+
+impl InstrSource for SyntheticApp {
+    fn next_instr(&mut self) -> Option<Instr> {
+        if let Some(limit) = self.limit {
+            if self.emitted >= limit {
+                return None;
+            }
+        }
+        self.emitted += 1;
+        Some(self.gen_instr())
+    }
+}
+
+impl std::fmt::Debug for SyntheticApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyntheticApp")
+            .field("profile", &self.profile.name)
+            .field("emitted", &self.emitted)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn take(profile: AppProfile, n: usize) -> Vec<Instr> {
+        let mut app = SyntheticApp::new(profile, 0, 7);
+        (0..n).map(|_| app.next_instr().expect("unbounded stream")).collect()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = take(AppProfile::base("a"), 500);
+        let b = take(AppProfile::base("a"), 500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut x = SyntheticApp::new(AppProfile::base("a"), 0, 1);
+        let mut y = SyntheticApp::new(AppProfile::base("a"), 0, 2);
+        let xs: Vec<_> = (0..200).map(|_| x.next_instr().unwrap()).collect();
+        let ys: Vec<_> = (0..200).map(|_| y.next_instr().unwrap()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn op_mix_roughly_matches_profile() {
+        let mut p = AppProfile::base("mix");
+        p.frac_fp = 0.3;
+        p.frac_load = 0.2;
+        let instrs = take(p, 20_000);
+        let loads = instrs.iter().filter(|i| i.op == Op::Load).count() as f64;
+        let fps = instrs.iter().filter(|i| i.op.is_fp()).count() as f64;
+        let n = instrs.len() as f64;
+        assert!((loads / n - 0.2).abs() < 0.05, "load fraction {}", loads / n);
+        assert!((fps / n - 0.3).abs() < 0.08, "fp fraction {}", fps / n);
+    }
+
+    #[test]
+    fn code_stays_in_footprint() {
+        let p = AppProfile::base("code");
+        let app = SyntheticApp::new(p, 2, 3);
+        let base = app.code_base;
+        let mut app = app;
+        for _ in 0..5000 {
+            let i = app.next_instr().unwrap();
+            assert!(i.pc >= base && i.pc < base + p.code_footprint, "pc {:x}", i.pc);
+        }
+    }
+
+    #[test]
+    fn data_stays_in_footprint() {
+        let p = AppProfile::base("data");
+        let app = SyntheticApp::new(p, 1, 3);
+        let base = app.data_base;
+        let mut app = app;
+        for _ in 0..5000 {
+            if let Some(m) = app.next_instr().unwrap().mem {
+                assert!(m.addr >= base && m.addr < base + p.data_footprint);
+            }
+        }
+    }
+
+    #[test]
+    fn divides_carry_hints_and_consumers() {
+        let mut p = AppProfile::base("div");
+        p.frac_fp = 0.4;
+        p.fp_div_frac = 1.0;
+        p.latency_hints = true;
+        let instrs = take(p, 3000);
+        let divs = instrs.iter().filter(|i| i.op.is_divide()).count();
+        let hints = instrs.iter().filter(|i| i.op == Op::Backoff).count();
+        assert!(divs > 50, "expected many divides, got {divs}");
+        assert!(
+            (divs as i64 - hints as i64).abs() <= 1,
+            "every divide should carry a backoff hint ({divs} vs {hints})"
+        );
+        // Consumer follows the hint and reads the divide's destination.
+        for w in instrs.windows(3) {
+            if w[0].op.is_divide() {
+                assert_eq!(w[1].op, Op::Backoff);
+                assert_eq!(w[2].src1, w[0].dst);
+            }
+        }
+    }
+
+    #[test]
+    fn no_hints_when_disabled() {
+        let mut p = AppProfile::base("nohint");
+        p.frac_fp = 0.4;
+        p.fp_div_frac = 1.0;
+        p.latency_hints = false;
+        let instrs = take(p, 2000);
+        assert_eq!(instrs.iter().filter(|i| i.op == Op::Backoff).count(), 0);
+        assert!(instrs.iter().any(|i| i.op.is_divide()));
+    }
+
+    #[test]
+    fn load_results_not_used_in_delay_slots() {
+        let mut p = AppProfile::base("sched");
+        p.frac_load = 0.4;
+        p.dep_near = 0.9;
+        let instrs = take(p, 20_000);
+        for window in instrs.windows(3) {
+            if window[0].op == Op::Load {
+                let dst = window[0].dst.unwrap();
+                for later in &window[1..] {
+                    assert!(
+                        later.sources().all(|s| s != dst),
+                        "load at {:x} consumed in a delay slot: {:?} then {:?}",
+                        window[0].pc,
+                        window[0],
+                        later
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn software_prefetch_emits_prefetches_for_streams() {
+        let mut p = AppProfile::base("pf");
+        p.streaming = 0.5;
+        p.software_prefetch = true;
+        let instrs = take(p, 10_000);
+        let prefetches = instrs.iter().filter(|i| i.op == Op::Prefetch).count();
+        let loads = instrs.iter().filter(|i| i.op == Op::Load).count();
+        assert!(prefetches > loads / 8, "streams should carry prefetches ({prefetches})");
+        // Prefetches bind nothing.
+        assert!(instrs.iter().filter(|i| i.op == Op::Prefetch).all(|i| i.dst.is_none()));
+    }
+
+    #[test]
+    fn load_results_are_consumed_soon() {
+        let mut p = AppProfile::base("consume");
+        p.frac_load = 0.3;
+        let instrs = take(p, 20_000);
+        let mut consumed = 0;
+        let mut loads = 0;
+        for (i, instr) in instrs.iter().enumerate() {
+            if instr.op == Op::Load {
+                loads += 1;
+                let dst = instr.dst.unwrap();
+                if instrs[i + 1..].iter().take(8).any(|c| c.sources().any(|s| s == dst)) {
+                    consumed += 1;
+                }
+            }
+        }
+        assert!(
+            consumed as f64 / loads as f64 > 0.6,
+            "most load results should be consumed within a few instructions ({consumed}/{loads})"
+        );
+    }
+
+    #[test]
+    fn limit_caps_stream() {
+        let mut app = SyntheticApp::new(AppProfile::base("lim"), 0, 9).with_limit(10);
+        let mut n = 0;
+        while app.next_instr().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn most_branch_sites_are_consistent() {
+        // Site PCs keep fixed targets (so the BTB can learn), except the
+        // few phase-change branches, which behave like indirect jumps.
+        let mut p = AppProfile::base("sites");
+        p.frac_branch = 0.4;
+        let instrs = take(p, 20_000);
+        let mut targets: std::collections::HashMap<u64, std::collections::HashSet<u64>> =
+            std::collections::HashMap::new();
+        let mut total = 0usize;
+        for i in &instrs {
+            if let Some(b) = i.branch {
+                targets.entry(i.pc).or_default().insert(b.target);
+                total += 1;
+            }
+        }
+        assert!(total > 1000, "expected many branches");
+        let single = targets.values().filter(|t| t.len() == 1).count();
+        assert!(
+            single as f64 / targets.len() as f64 > 0.5,
+            "most sites should keep one target ({single}/{})",
+            targets.len()
+        );
+    }
+
+    #[test]
+    fn code_walk_visits_multiple_regions() {
+        let mut p = AppProfile::base("phases");
+        p.code_footprint = 64 * 1024;
+        let instrs = take(p, 60_000);
+        let regions: std::collections::HashSet<u64> =
+            instrs.iter().map(|i| i.pc >> 12).collect();
+        assert!(regions.len() >= 3, "phase changes should spread over the code");
+    }
+}

@@ -1,0 +1,46 @@
+//! Synthetic application models, multiprogrammed workloads, and the OS
+//! scheduler model for the workstation study (paper Section 4.3).
+//!
+//! The paper drove its simulator with compiled Spec89 binaries through
+//! Tango-Lite; this reproduction cannot execute MIPS binaries, so each
+//! application is replaced by a *statistical stream model*
+//! ([`AppProfile`] + [`SyntheticApp`]): a deterministic, seeded generator
+//! that emits instruction streams with the application's characteristic
+//! operation mix, dependency structure, branch behaviour, code/data
+//! footprints, and access patterns. The mechanisms the paper evaluates —
+//! pipeline dependency stalls, primary misses that hit in the secondary
+//! cache, TLB pressure, FP-divide serialization — are all exercised by the
+//! same hardware paths; see DESIGN.md for the substitution argument.
+//!
+//! Provided here:
+//!
+//! * [`AppProfile`] / [`SyntheticApp`] — the stream models;
+//! * [`spec`] — named profiles for the Spec89 applications and NASA7
+//!   kernels of Table 5, plus uniprocessor SPLASH models;
+//! * [`mixes`] — the seven multiprogrammed workloads (IC, DC, DT, FP, R0,
+//!   R1, SP) of Table 5;
+//! * [`OsModel`] — the 30 ms time-slice scheduler with cache-interference
+//!   displacement (Table 6) and three-slice affinity;
+//! * [`MultiprogramSim`] — the fixed-work multiprogramming driver that
+//!   produces the paper's Figure 6/7 breakdowns and Table 7 throughput
+//!   numbers;
+//! * [`trace`] — a text trace format and replaying instruction source,
+//!   for driving the simulator with externally generated traces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+mod measure;
+pub mod mixes;
+mod os;
+mod profile;
+mod sim;
+pub mod spec;
+pub mod trace;
+
+pub use generator::SyntheticApp;
+pub use measure::{measure_profile, StreamStats};
+pub use os::{InterferenceTable, OsModel};
+pub use profile::AppProfile;
+pub use sim::{MultiprogramResult, MultiprogramSim};

@@ -1,0 +1,109 @@
+//! The seven multiprogrammed workloads of paper Table 5.
+//!
+//! Each workload is four applications chosen to stress one mechanism:
+//! IC the instruction cache, DC the data cache, DT the data TLB, FP the
+//! floating-point units, R0/R1 random mixes, and SP uniprocessor builds of
+//! four SPLASH applications.
+
+use crate::{spec, AppProfile};
+
+/// A named four-application workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name (IC, DC, DT, FP, R0, R1, SP).
+    pub name: &'static str,
+    /// The four applications.
+    pub apps: Vec<AppProfile>,
+}
+
+/// IC — stresses the instruction cache: Doduc, Li, Eqntott, Mxm.
+pub fn ic() -> Workload {
+    Workload { name: "IC", apps: vec![spec::doduc(), spec::li(), spec::eqntott(), spec::mxm()] }
+}
+
+/// DC — stresses the data cache: Cfft2d, Gmtry, Tomcatv, Vpenta.
+pub fn dc() -> Workload {
+    Workload {
+        name: "DC",
+        apps: vec![spec::cfft2d(), spec::gmtry(), spec::tomcatv(), spec::vpenta()],
+    }
+}
+
+/// DT — stresses the data TLB: Btrix, Cholsky, Gmtry, Vpenta.
+pub fn dt() -> Workload {
+    Workload {
+        name: "DT",
+        apps: vec![spec::btrix(), spec::cholsky(), spec::gmtry(), spec::vpenta()],
+    }
+}
+
+/// FP — floating-point intensive: Emit, Cholsky, Doduc, Matrix300.
+pub fn fp() -> Workload {
+    Workload {
+        name: "FP",
+        apps: vec![spec::emit(), spec::cholsky(), spec::doduc(), spec::matrix300()],
+    }
+}
+
+/// R0 — random mix: Emit, Btrix, Cfft2d, Eqntott.
+pub fn r0() -> Workload {
+    Workload {
+        name: "R0",
+        apps: vec![spec::emit(), spec::btrix(), spec::cfft2d(), spec::eqntott()],
+    }
+}
+
+/// R1 — random mix: Mxm, Li, Matrix300, Tomcatv.
+pub fn r1() -> Workload {
+    Workload {
+        name: "R1",
+        apps: vec![spec::mxm(), spec::li(), spec::matrix300(), spec::tomcatv()],
+    }
+}
+
+/// SP — uniprocessor versions of four SPLASH applications: MP3D, Water,
+/// Locus, Barnes.
+pub fn sp() -> Workload {
+    Workload {
+        name: "SP",
+        apps: vec![spec::mp3d_uni(), spec::water_uni(), spec::locus_uni(), spec::barnes_uni()],
+    }
+}
+
+/// All seven workloads in the paper's presentation order.
+pub fn all() -> Vec<Workload> {
+    vec![ic(), dc(), dt(), fp(), r0(), r1(), sp()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_workloads_of_four() {
+        let ws = all();
+        assert_eq!(ws.len(), 7);
+        for w in &ws {
+            assert_eq!(w.apps.len(), 4, "{} should have four applications", w.name);
+            for app in &w.apps {
+                app.validate();
+            }
+        }
+    }
+
+    #[test]
+    fn table5_composition() {
+        assert_eq!(
+            ic().apps.iter().map(|a| a.name).collect::<Vec<_>>(),
+            ["Doduc", "Li", "Eqntott", "Mxm"]
+        );
+        assert_eq!(
+            dt().apps.iter().map(|a| a.name).collect::<Vec<_>>(),
+            ["Btrix", "Cholsky", "Gmtry", "Vpenta"]
+        );
+        assert_eq!(
+            sp().apps.iter().map(|a| a.name).collect::<Vec<_>>(),
+            ["MP3D", "Water", "Locus", "Barnes"]
+        );
+    }
+}

@@ -1,0 +1,153 @@
+/// Statistical parameters of one application's instruction stream.
+///
+/// A profile is a compact stand-in for a compiled benchmark: the generator
+/// in [`crate::SyntheticApp`] turns it into a deterministic instruction
+/// stream. Fractions are of all instructions unless noted; the remainder
+/// after loads, stores, branches, FP, shifts, and multiplies/divides are
+/// single-cycle integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppProfile {
+    /// Short name (as in the paper's Table 5).
+    pub name: &'static str,
+    /// Fraction of loads.
+    pub frac_load: f64,
+    /// Fraction of stores.
+    pub frac_store: f64,
+    /// Fraction of branches.
+    pub frac_branch: f64,
+    /// Fraction of FP arithmetic (add/mul/conv + divides).
+    pub frac_fp: f64,
+    /// Fraction of shifts.
+    pub frac_shift: f64,
+    /// Fraction of integer multiplies.
+    pub frac_int_mul: f64,
+    /// Fraction of integer divides.
+    pub frac_int_div: f64,
+    /// Of the FP operations, the fraction that are divides.
+    pub fp_div_frac: f64,
+    /// Of FP divides, the fraction that are double precision.
+    pub fp_double_frac: f64,
+    /// Code footprint in bytes (drives I-cache/I-TLB behaviour).
+    pub code_footprint: u64,
+    /// Data footprint in bytes (drives D-cache behaviour).
+    pub data_footprint: u64,
+    /// Probability a data reference falls in the hot subset.
+    pub locality: f64,
+    /// Fraction of the data footprint that is hot.
+    pub hot_fraction: f64,
+    /// Fraction of data references that advance a sequential stream.
+    pub streaming: f64,
+    /// Stride of the sequential streams, in bytes (large strides stress
+    /// the TLB — the DT workload's applications).
+    pub stream_stride: u64,
+    /// Probability a source operand is the most recent result (short
+    /// dependency distances cause pipeline stalls).
+    pub dep_near: f64,
+    /// Fraction of branch sites that are strongly biased loop branches
+    /// (the rest are data-dependent, ~50% taken).
+    pub loop_branch_frac: f64,
+    /// Mean basic-block length in instructions.
+    pub block_len: u32,
+    /// Whether the compiled code carries backoff / explicit-switch
+    /// instructions after long-latency producers (Section 4.2).
+    pub latency_hints: bool,
+    /// Whether the compiler inserts non-binding software prefetches for
+    /// the predictable (streaming) references — the alternative
+    /// latency-tolerance technique of the paper's introduction.
+    pub software_prefetch: bool,
+}
+
+impl AppProfile {
+    /// A neutral integer-code profile; named profiles in [`crate::spec`]
+    /// adjust from here.
+    pub fn base(name: &'static str) -> AppProfile {
+        AppProfile {
+            name,
+            frac_load: 0.22,
+            frac_store: 0.10,
+            frac_branch: 0.15,
+            frac_fp: 0.0,
+            frac_shift: 0.05,
+            frac_int_mul: 0.01,
+            frac_int_div: 0.001,
+            fp_div_frac: 0.02,
+            fp_double_frac: 0.8,
+            code_footprint: 16 * 1024,
+            data_footprint: 48 * 1024,
+            locality: 0.85,
+            hot_fraction: 0.25,
+            streaming: 0.2,
+            stream_stride: 8,
+            dep_near: 0.4,
+            loop_branch_frac: 0.8,
+            block_len: 6,
+            latency_hints: true,
+            software_prefetch: false,
+        }
+    }
+
+    /// Checks that the mix fractions are sane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is outside `[0, 1]` or the op-mix fractions
+    /// sum past 1, or footprints/strides are zero.
+    pub fn validate(&self) {
+        let mix = self.frac_load
+            + self.frac_store
+            + self.frac_branch
+            + self.frac_fp
+            + self.frac_shift
+            + self.frac_int_mul
+            + self.frac_int_div;
+        assert!(mix <= 1.0 + 1e-9, "{}: op mix sums to {mix} > 1", self.name);
+        for (label, f) in [
+            ("frac_load", self.frac_load),
+            ("frac_store", self.frac_store),
+            ("frac_branch", self.frac_branch),
+            ("frac_fp", self.frac_fp),
+            ("frac_shift", self.frac_shift),
+            ("frac_int_mul", self.frac_int_mul),
+            ("frac_int_div", self.frac_int_div),
+            ("fp_div_frac", self.fp_div_frac),
+            ("fp_double_frac", self.fp_double_frac),
+            ("locality", self.locality),
+            ("hot_fraction", self.hot_fraction),
+            ("streaming", self.streaming),
+            ("dep_near", self.dep_near),
+            ("loop_branch_frac", self.loop_branch_frac),
+        ] {
+            assert!((0.0..=1.0).contains(&f), "{}: {label} = {f} out of range", self.name);
+        }
+        assert!(self.code_footprint >= 4096, "{}: code footprint too small", self.name);
+        assert!(self.data_footprint >= 4096, "{}: data footprint too small", self.name);
+        assert!(self.stream_stride >= 4, "{}: stream stride too small", self.name);
+        assert!(self.block_len >= 2, "{}: blocks must hold a branch and a body", self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_profile_validates() {
+        AppProfile::base("x").validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn overfull_mix_rejected() {
+        let mut p = AppProfile::base("bad");
+        p.frac_fp = 0.9;
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_fraction_rejected() {
+        let mut p = AppProfile::base("bad");
+        p.locality = 1.5;
+        p.validate();
+    }
+}

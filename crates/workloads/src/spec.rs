@@ -1,0 +1,371 @@
+//! Named application profiles for the paper's workloads.
+//!
+//! These are statistical stand-ins for the Spec89 applications and NASA7
+//! kernels of Table 5 plus the uniprocessor SPLASH applications of the SP
+//! workload. Footprints and mixes are chosen to reproduce each
+//! application's *qualitative* role in the study — which hardware
+//! mechanism it stresses (I-cache, D-cache, D-TLB, FP units, divides) —
+//! not its exact dynamic profile; see DESIGN.md's substitution notes.
+
+use crate::AppProfile;
+
+const KB: u64 = 1024;
+
+/// Doduc: Monte Carlo nuclear reactor simulation — FP-heavy with divides
+/// and a large code footprint (an I-cache stressor in the IC workload).
+pub fn doduc() -> AppProfile {
+    AppProfile {
+        frac_load: 0.22,
+        frac_store: 0.08,
+        frac_branch: 0.10,
+        frac_fp: 0.30,
+        fp_div_frac: 0.05,
+        code_footprint: 160 * KB,
+        data_footprint: 64 * KB,
+        locality: 0.85,
+        dep_near: 0.45,
+        block_len: 8,
+        ..AppProfile::base("Doduc")
+    }
+}
+
+/// Eqntott: boolean equation to truth-table conversion — integer and
+/// branchy, with many data-dependent branches.
+pub fn eqntott() -> AppProfile {
+    AppProfile {
+        frac_load: 0.26,
+        frac_store: 0.06,
+        frac_branch: 0.24,
+        loop_branch_frac: 0.55,
+        code_footprint: 24 * KB,
+        data_footprint: 96 * KB,
+        locality: 0.9,
+        dep_near: 0.5,
+        block_len: 4,
+        ..AppProfile::base("Eqntott")
+    }
+}
+
+/// Li: Lisp interpreter — pointer chasing, large code, short blocks
+/// (an I-cache stressor).
+pub fn li() -> AppProfile {
+    AppProfile {
+        frac_load: 0.28,
+        frac_store: 0.12,
+        frac_branch: 0.20,
+        loop_branch_frac: 0.6,
+        code_footprint: 120 * KB,
+        data_footprint: 80 * KB,
+        locality: 0.7,
+        hot_fraction: 0.15,
+        dep_near: 0.6,
+        block_len: 4,
+        ..AppProfile::base("Li")
+    }
+}
+
+/// Matrix300: dense matrix multiply — streaming FP over a footprint well
+/// past the secondary cache.
+pub fn matrix300() -> AppProfile {
+    AppProfile {
+        frac_load: 0.30,
+        frac_store: 0.08,
+        frac_branch: 0.06,
+        frac_fp: 0.42,
+        fp_div_frac: 0.0,
+        code_footprint: 8 * KB,
+        data_footprint: 1536 * KB,
+        locality: 0.68,
+        streaming: 0.5,
+        stream_stride: 8,
+        dep_near: 0.25,
+        block_len: 12,
+        ..AppProfile::base("Matrix300")
+    }
+}
+
+/// Tomcatv: vectorized mesh generation — streaming FP, large data.
+pub fn tomcatv() -> AppProfile {
+    AppProfile {
+        frac_load: 0.28,
+        frac_store: 0.10,
+        frac_branch: 0.05,
+        frac_fp: 0.40,
+        fp_div_frac: 0.015,
+        code_footprint: 8 * KB,
+        data_footprint: 256 * KB,
+        locality: 0.78,
+        streaming: 0.32,
+        stream_stride: 8,
+        dep_near: 0.3,
+        block_len: 12,
+        ..AppProfile::base("Tomcatv")
+    }
+}
+
+/// NASA7 Btrix: block-tridiagonal solver — strided FP, TLB pressure.
+pub fn btrix() -> AppProfile {
+    AppProfile {
+        frac_load: 0.28,
+        frac_store: 0.10,
+        frac_branch: 0.06,
+        frac_fp: 0.38,
+        code_footprint: 12 * KB,
+        data_footprint: 192 * KB,
+        locality: 0.76,
+        streaming: 0.2,
+        stream_stride: 4096 + 32,
+        dep_near: 0.3,
+        block_len: 10,
+        ..AppProfile::base("Btrix")
+    }
+}
+
+/// NASA7 Cholsky: Cholesky decomposition — FP with moderate reuse.
+pub fn cholsky() -> AppProfile {
+    AppProfile {
+        frac_load: 0.26,
+        frac_store: 0.08,
+        frac_branch: 0.07,
+        frac_fp: 0.40,
+        fp_div_frac: 0.02,
+        code_footprint: 8 * KB,
+        data_footprint: 192 * KB,
+        locality: 0.75,
+        streaming: 0.3,
+        stream_stride: 264,
+        dep_near: 0.35,
+        block_len: 10,
+        ..AppProfile::base("Cholsky")
+    }
+}
+
+/// NASA7 Cfft2d: 2-D FFT — butterfly access pattern stressing the data
+/// cache.
+pub fn cfft2d() -> AppProfile {
+    AppProfile {
+        frac_load: 0.30,
+        frac_store: 0.12,
+        frac_branch: 0.06,
+        frac_fp: 0.36,
+        code_footprint: 8 * KB,
+        data_footprint: 192 * KB,
+        locality: 0.78,
+        hot_fraction: 0.1,
+        streaming: 0.28,
+        stream_stride: 8,
+        dep_near: 0.35,
+        block_len: 10,
+        ..AppProfile::base("Cfft2d")
+    }
+}
+
+/// NASA7 Emit: vortex generation — small working set, FP.
+pub fn emit() -> AppProfile {
+    AppProfile {
+        frac_load: 0.22,
+        frac_store: 0.08,
+        frac_branch: 0.08,
+        frac_fp: 0.32,
+        code_footprint: 8 * KB,
+        data_footprint: 32 * KB,
+        locality: 0.92,
+        dep_near: 0.4,
+        block_len: 9,
+        ..AppProfile::base("Emit")
+    }
+}
+
+/// NASA7 Gmtry: Gaussian elimination setup — strided FP with divides
+/// (stresses both the data cache and the D-TLB).
+pub fn gmtry() -> AppProfile {
+    AppProfile {
+        frac_load: 0.28,
+        frac_store: 0.10,
+        frac_branch: 0.06,
+        frac_fp: 0.38,
+        fp_div_frac: 0.06,
+        code_footprint: 8 * KB,
+        data_footprint: 160 * KB,
+        locality: 0.74,
+        streaming: 0.22,
+        stream_stride: 4096 + 64,
+        dep_near: 0.3,
+        block_len: 10,
+        ..AppProfile::base("Gmtry")
+    }
+}
+
+/// NASA7 Mxm: blocked matrix multiply — high FP intensity, cache-resident
+/// blocks, tiny code (used in the IC mix as the well-behaved partner).
+pub fn mxm() -> AppProfile {
+    AppProfile {
+        frac_load: 0.26,
+        frac_store: 0.06,
+        frac_branch: 0.05,
+        frac_fp: 0.46,
+        fp_div_frac: 0.0,
+        code_footprint: 4 * KB,
+        data_footprint: 96 * KB,
+        locality: 0.85,
+        streaming: 0.4,
+        stream_stride: 8,
+        dep_near: 0.3,
+        block_len: 14,
+        ..AppProfile::base("Mxm")
+    }
+}
+
+/// NASA7 Vpenta: pentadiagonal inversion — large-stride vector code, the
+/// classic TLB breaker.
+pub fn vpenta() -> AppProfile {
+    AppProfile {
+        frac_load: 0.30,
+        frac_store: 0.12,
+        frac_branch: 0.05,
+        frac_fp: 0.38,
+        code_footprint: 8 * KB,
+        data_footprint: 256 * KB,
+        locality: 0.72,
+        streaming: 0.22,
+        stream_stride: 4096 + 32,
+        dep_near: 0.3,
+        block_len: 12,
+        ..AppProfile::base("Vpenta")
+    }
+}
+
+/// SPLASH MP3D (uniprocessor build): particle simulation — poor locality
+/// over a large footprint.
+pub fn mp3d_uni() -> AppProfile {
+    AppProfile {
+        frac_load: 0.28,
+        frac_store: 0.12,
+        frac_branch: 0.10,
+        frac_fp: 0.24,
+        code_footprint: 12 * KB,
+        data_footprint: 384 * KB,
+        locality: 0.65,
+        hot_fraction: 0.05,
+        streaming: 0.25,
+        stream_stride: 64,
+        dep_near: 0.35,
+        block_len: 7,
+        ..AppProfile::base("MP3D")
+    }
+}
+
+/// SPLASH Water (uniprocessor build): molecular dynamics — FP-divide
+/// heavy, small working set.
+pub fn water_uni() -> AppProfile {
+    AppProfile {
+        frac_load: 0.22,
+        frac_store: 0.08,
+        frac_branch: 0.08,
+        frac_fp: 0.38,
+        fp_div_frac: 0.10,
+        code_footprint: 12 * KB,
+        data_footprint: 48 * KB,
+        locality: 0.9,
+        dep_near: 0.45,
+        block_len: 9,
+        ..AppProfile::base("Water")
+    }
+}
+
+/// SPLASH LocusRoute (uniprocessor build): VLSI routing — integer,
+/// branchy, moderate working set.
+pub fn locus_uni() -> AppProfile {
+    AppProfile {
+        frac_load: 0.26,
+        frac_store: 0.10,
+        frac_branch: 0.18,
+        loop_branch_frac: 0.65,
+        code_footprint: 48 * KB,
+        data_footprint: 192 * KB,
+        locality: 0.7,
+        dep_near: 0.5,
+        block_len: 5,
+        ..AppProfile::base("Locus")
+    }
+}
+
+/// SPLASH Barnes-Hut (uniprocessor build): N-body — FP divides, irregular
+/// tree walks.
+pub fn barnes_uni() -> AppProfile {
+    AppProfile {
+        frac_load: 0.26,
+        frac_store: 0.08,
+        frac_branch: 0.12,
+        frac_fp: 0.32,
+        fp_div_frac: 0.08,
+        code_footprint: 16 * KB,
+        data_footprint: 256 * KB,
+        locality: 0.6,
+        hot_fraction: 0.1,
+        dep_near: 0.4,
+        block_len: 7,
+        ..AppProfile::base("Barnes")
+    }
+}
+
+/// Every named profile, for exhaustive validation in tests and reports.
+pub fn all_profiles() -> Vec<AppProfile> {
+    vec![
+        doduc(),
+        eqntott(),
+        li(),
+        matrix300(),
+        tomcatv(),
+        btrix(),
+        cholsky(),
+        cfft2d(),
+        emit(),
+        gmtry(),
+        mxm(),
+        vpenta(),
+        mp3d_uni(),
+        water_uni(),
+        locus_uni(),
+        barnes_uni(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for p in all_profiles() {
+            p.validate();
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let profiles = all_profiles();
+        for (i, a) in profiles.iter().enumerate() {
+            for b in &profiles[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn role_assignments() {
+        // IC stressors have large code footprints.
+        assert!(doduc().code_footprint > 64 * KB);
+        assert!(li().code_footprint > 64 * KB);
+        // DT stressors use page-scale strides.
+        assert!(vpenta().stream_stride >= 4096);
+        assert!(btrix().stream_stride >= 4096);
+        assert!(gmtry().stream_stride >= 4096);
+        // Divide-heavy applications.
+        assert!(water_uni().fp_div_frac >= 0.08);
+        assert!(barnes_uni().fp_div_frac >= 0.06);
+        // Cache-resident applications.
+        assert!(emit().data_footprint <= 64 * KB);
+        assert!(water_uni().data_footprint <= 64 * KB);
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build an interleaved multiple-context processor, run two
+//! applications on it, and compare it against the single-context and
+//! blocked alternatives.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use interleave::core::{ProcConfig, Processor, Scheme};
+use interleave::mem::{MemConfig, UniMemSystem};
+use interleave::stats::Category;
+use interleave::workloads::{spec, SyntheticApp};
+
+/// Instructions each application executes.
+const WORK: u64 = 100_000;
+
+fn run(scheme: Scheme, contexts: usize) -> (u64, f64, f64) {
+    let mut cpu = Processor::new(
+        ProcConfig::new(scheme, contexts),
+        UniMemSystem::new(MemConfig::workstation()),
+    );
+    // Two applications: a divide-heavy FP code and a branchy integer code.
+    let apps = [spec::water_uni(), spec::eqntott()];
+    for (ctx, profile) in apps.iter().enumerate().take(contexts) {
+        let quota = WORK * apps.len() as u64 / contexts as u64;
+        cpu.attach(ctx, Box::new(SyntheticApp::new(*profile, ctx, 2026).with_limit(quota)));
+    }
+    let cycles = cpu.run_until_done(200_000_000);
+    assert!(cpu.is_done(), "run did not complete");
+    let busy = cpu.breakdown().fraction(Category::Busy);
+    let switch = cpu.breakdown().fraction(Category::Switch);
+    (cycles, busy, switch)
+}
+
+fn main() {
+    println!("Quickstart: two applications, {} instructions each\n", WORK);
+    println!("{:<22} {:>10} {:>8} {:>8} {:>9}", "configuration", "cycles", "busy", "switch", "speedup");
+    let (base, busy, switch) = run(Scheme::Single, 1);
+    println!(
+        "{:<22} {:>10} {:>7.1}% {:>7.1}% {:>8.2}x",
+        "single-context", base, busy * 100.0, switch * 100.0, 1.0
+    );
+    for (label, scheme) in [("blocked, 2 ctx", Scheme::Blocked), ("interleaved, 2 ctx", Scheme::Interleaved)] {
+        let (cycles, busy, switch) = run(scheme, 2);
+        println!(
+            "{:<22} {:>10} {:>7.1}% {:>7.1}% {:>8.2}x",
+            label,
+            cycles,
+            busy * 100.0,
+            switch * 100.0,
+            base as f64 / cycles as f64
+        );
+    }
+    println!();
+    println!("The interleaved scheme's cycle-by-cycle issue and selective squash convert");
+    println!("stall time into busy time at a fraction of the blocked scheme's switch cost");
+    println!("(paper Section 3).");
+}

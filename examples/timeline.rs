@@ -1,0 +1,90 @@
+//! The paper's Figure 3 as a live timeline: four threads (A: 2
+//! instructions; B: 3 with a two-cycle dependency; C: 4; D: 6), each
+//! ending with a cache miss, under the blocked and interleaved schemes.
+//!
+//! Run with: `cargo run --release --example timeline`
+
+use interleave::core::{IssueRecord, ProcConfig, Processor, Scheme, VecSource};
+use interleave::isa::{Instr, Reg};
+use interleave::mem::{MemConfig, UniMemSystem};
+
+fn alu(pc: u64) -> Instr {
+    Instr::alu(pc, Some(Reg::int(1)), Some(Reg::int(2)), None)
+}
+
+fn machine(scheme: Scheme) -> Processor<UniMemSystem> {
+    let mut mem_cfg = MemConfig::workstation();
+    mem_cfg.tlbs_enabled = false;
+    let mut cpu = Processor::new(ProcConfig::new(scheme, 4), UniMemSystem::new(mem_cfg));
+    for pc in (0..0x1000u64).step_by(32) {
+        cpu.port_mut().preload_inst(pc);
+    }
+    cpu.port_mut().preload_data(0x10);
+    cpu.set_trace(true);
+    // Thread A: two instructions.
+    cpu.attach(
+        0,
+        Box::new(VecSource::new(vec![
+            alu(0x100),
+            Instr::load(0x104, Reg::int(4), Reg::int(29), 0x8000_0000),
+        ])),
+    );
+    // Thread B: three instructions with a two-cycle dependency between the
+    // first (a hit load) and the second.
+    cpu.attach(
+        1,
+        Box::new(VecSource::new(vec![
+            Instr::load(0x200, Reg::int(4), Reg::int(29), 0x10),
+            Instr::alu(0x204, Some(Reg::int(5)), Some(Reg::int(4)), None),
+            Instr::load(0x208, Reg::int(6), Reg::int(29), 0x8000_0040),
+        ])),
+    );
+    // Thread C: four instructions.
+    cpu.attach(
+        2,
+        Box::new(VecSource::new(vec![
+            alu(0x300),
+            alu(0x304),
+            alu(0x308),
+            Instr::load(0x30C, Reg::int(4), Reg::int(29), 0x8000_0080),
+        ])),
+    );
+    // Thread D: six instructions.
+    cpu.attach(
+        3,
+        Box::new(VecSource::new(vec![
+            alu(0x400),
+            alu(0x404),
+            alu(0x408),
+            alu(0x40C),
+            alu(0x410),
+            Instr::load(0x414, Reg::int(4), Reg::int(29), 0x8000_00C0),
+        ])),
+    );
+    cpu
+}
+
+fn main() {
+    println!("Figure 3 timeline: issue slot per cycle");
+    println!("(A-D: issuing context, '-': dependency stall, '.': bubble)\n");
+    for scheme in [Scheme::Blocked, Scheme::Interleaved] {
+        let mut cpu = machine(scheme);
+        let cycles = cpu.run_until_done(10_000);
+        assert!(cpu.is_done(), "timeline run did not finish");
+        let timeline: String = cpu
+            .trace()
+            .iter()
+            .map(|r| match r {
+                IssueRecord::Issued { ctx, .. } => (b'A' + *ctx as u8) as char,
+                IssueRecord::Stalled(_) => '-',
+                IssueRecord::Bubble(Some(_)) => '.',
+                IssueRecord::Bubble(None) => ' ',
+            })
+            .collect();
+        println!("{:<12} ({cycles:3} cycles):", format!("{scheme:?}"));
+        println!("  {}\n", timeline.trim_end());
+    }
+    println!("As in the paper: interleaving spaces out B's dependent instructions (no");
+    println!("stall), and a miss squashes only the missing context's instructions, so all");
+    println!("four threads complete well before the blocked scheme.");
+}

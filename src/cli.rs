@@ -1,0 +1,376 @@
+//! Argument parsing and report rendering for the `interleave-sim` binary.
+//!
+//! Hand-rolled (no external dependencies): subcommands `uni`, `mp`,
+//! `trace`, and `list`, each with `--flag value` options.
+
+use crate::core::Scheme;
+use crate::mp::{splash_suite, MpSim, SplashProfile};
+use crate::stats::{Category, Table};
+use crate::workloads::mixes::{self, Workload};
+use crate::workloads::MultiprogramSim;
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run a workstation multiprogramming simulation.
+    Uni {
+        /// Table 5 workload.
+        workload: String,
+        /// Scheduling scheme.
+        scheme: Scheme,
+        /// Hardware contexts.
+        contexts: usize,
+        /// Instructions per application.
+        quota: u64,
+        /// Stream seed.
+        seed: u64,
+    },
+    /// Run a multiprocessor simulation.
+    Mp {
+        /// SPLASH application name.
+        app: String,
+        /// Scheduling scheme.
+        scheme: Scheme,
+        /// Nodes in the machine.
+        nodes: usize,
+        /// Contexts per node.
+        contexts: usize,
+        /// Total instructions of work.
+        work: u64,
+        /// Stream seed.
+        seed: u64,
+    },
+    /// Replay a trace file on a single-context processor.
+    Trace {
+        /// Path to the trace file.
+        path: String,
+        /// Scheduling scheme.
+        scheme: Scheme,
+        /// Hardware contexts (the trace runs on context 0).
+        contexts: usize,
+    },
+    /// List available workloads and applications.
+    List,
+    /// Show usage.
+    Help,
+}
+
+/// Error produced for invalid command lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn parse_scheme(value: &str) -> Result<Scheme, CliError> {
+    match value.to_ascii_lowercase().as_str() {
+        "single" => Ok(Scheme::Single),
+        "blocked" => Ok(Scheme::Blocked),
+        "interleaved" => Ok(Scheme::Interleaved),
+        "fine-grained" | "finegrained" | "hep" => Ok(Scheme::FineGrained),
+        other => Err(CliError(format!(
+            "unknown scheme `{other}` (expected single, blocked, interleaved, fine-grained)"
+        ))),
+    }
+}
+
+struct Flags<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &'a [String]) -> Result<Flags<'a>, CliError> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(CliError(format!("expected a --flag, got `{flag}`")));
+            };
+            let Some(value) = it.next() else {
+                return Err(CliError(format!("--{name} needs a value")));
+            };
+            pairs.push((name, value.as_str()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    fn num(&self, name: &str, default: u64) -> Result<u64, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("--{name} expects a number, got `{v}`"))),
+        }
+    }
+
+    fn scheme(&self, default: Scheme) -> Result<Scheme, CliError> {
+        match self.get("scheme") {
+            None => Ok(default),
+            Some(v) => parse_scheme(v),
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+interleave-sim — cycle-level multiple-context processor simulator
+
+USAGE:
+  interleave-sim uni   [--workload IC|DC|DT|FP|R0|R1|SP] [--scheme S] [--contexts N]
+                       [--quota N] [--seed N]
+  interleave-sim mp    [--app NAME] [--scheme S] [--nodes N] [--contexts N]
+                       [--work N] [--seed N]
+  interleave-sim trace --file PATH [--scheme S] [--contexts N]
+  interleave-sim list
+  interleave-sim help
+
+SCHEMES: single, blocked, interleaved, fine-grained
+";
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown subcommands, flags, or values.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let flags = Flags::parse(&args[1..])?;
+    match sub.as_str() {
+        "uni" => Ok(Command::Uni {
+            workload: flags.get("workload").unwrap_or("FP").to_string(),
+            scheme: flags.scheme(Scheme::Interleaved)?,
+            contexts: flags.num("contexts", 4)? as usize,
+            quota: flags.num("quota", 40_000)?,
+            seed: flags.num("seed", 0x19940501)?,
+        }),
+        "mp" => Ok(Command::Mp {
+            app: flags.get("app").unwrap_or("Water").to_string(),
+            scheme: flags.scheme(Scheme::Interleaved)?,
+            nodes: flags.num("nodes", 8)? as usize,
+            contexts: flags.num("contexts", 4)? as usize,
+            work: flags.num("work", 400_000)?,
+            seed: flags.num("seed", 0x19941004)?,
+        }),
+        "trace" => Ok(Command::Trace {
+            path: flags
+                .get("file")
+                .ok_or_else(|| CliError("trace requires --file PATH".into()))?
+                .to_string(),
+            scheme: flags.scheme(Scheme::Single)?,
+            contexts: flags.num("contexts", 1)? as usize,
+        }),
+        "list" => Ok(Command::List),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(CliError(format!("unknown subcommand `{other}` (try `help`)"))),
+    }
+}
+
+fn find_workload(name: &str) -> Result<Workload, CliError> {
+    mixes::all()
+        .into_iter()
+        .find(|w| w.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| CliError(format!("unknown workload `{name}` (try `list`)")))
+}
+
+fn find_app(name: &str) -> Result<SplashProfile, CliError> {
+    splash_suite()
+        .into_iter()
+        .find(|a| a.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| CliError(format!("unknown application `{name}` (try `list`)")))
+}
+
+fn breakdown_report(title: &str, b: &crate::stats::Breakdown) -> Table {
+    let mut t = Table::new(title.to_string());
+    t.headers(["category", "cycles", "fraction"]);
+    for c in Category::ALL {
+        t.row([
+            c.label().to_string(),
+            b.get(c).to_string(),
+            format!("{:.1}%", b.fraction(c) * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Executes a parsed command, printing reports to stdout.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown names or unreadable trace files.
+pub fn run(command: Command) -> Result<(), CliError> {
+    match command {
+        Command::Help => print!("{USAGE}"),
+        Command::List => {
+            let mut t = Table::new("Table 5 workloads");
+            t.headers(["name", "applications"]);
+            for w in mixes::all() {
+                let apps: Vec<&str> = w.apps.iter().map(|a| a.name).collect();
+                t.row([w.name.to_string(), apps.join(" ")]);
+            }
+            println!("{t}");
+            let mut t = Table::new("SPLASH applications");
+            t.headers(["name", "sharing", "locks", "barriers"]);
+            for a in splash_suite() {
+                t.row([
+                    a.name.to_string(),
+                    format!("{:?}", a.pattern),
+                    a.lock_period.map(|p| format!("every {p}")).unwrap_or_else(|| "-".into()),
+                    a.barrier_period.map(|p| format!("every {p}")).unwrap_or_else(|| "-".into()),
+                ]);
+            }
+            println!("{t}");
+        }
+        Command::Uni { workload, scheme, contexts, quota, seed } => {
+            let workload = find_workload(&workload)?;
+            let mut sim = MultiprogramSim::new(workload.clone(), scheme, contexts);
+            sim.quota = quota;
+            sim.seed = seed;
+            let result = sim.run();
+            println!(
+                "{} | {scheme:?} x{contexts} | {} cycles | IPC {:.3}\n",
+                workload.name,
+                result.cycles,
+                result.throughput()
+            );
+            println!("{}", breakdown_report("execution-time breakdown", &result.breakdown));
+            println!(
+                "memory: {:.1}% L1D miss, {:.2}% L1I miss, {} DTLB misses, {:.0}% of misses hit L2",
+                result.mem_stats.l1d_miss_rate() * 100.0,
+                result.mem_stats.l1i_miss_rate() * 100.0,
+                result.mem_stats.dtlb_misses,
+                result.mem_stats.l2_hit_fraction() * 100.0,
+            );
+        }
+        Command::Mp { app, scheme, nodes, contexts, work, seed } => {
+            let app = find_app(&app)?;
+            let mut sim = MpSim::new(app.clone(), scheme, nodes, contexts);
+            sim.total_work = work;
+            sim.seed = seed;
+            let result = sim.run();
+            println!(
+                "{} | {scheme:?} | {nodes} nodes x {contexts} contexts = {} threads | {} cycles\n",
+                app.name, result.threads, result.cycles
+            );
+            println!("{}", breakdown_report("all-processor breakdown", &result.breakdown));
+            let d = result.directory;
+            println!(
+                "protocol: {} local, {} remote, {} remote-cache, {} upgrades, {} invalidations",
+                d.local, d.remote, d.remote_cache, d.upgrades, d.invalidations
+            );
+        }
+        Command::Trace { path, scheme, contexts } => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+            let source = crate::workloads::trace::TraceSource::from_text(&text, 0x1000)
+                .map_err(|e| CliError(e.to_string()))?;
+            let mut cpu = crate::core::Processor::new(
+                crate::core::ProcConfig::new(scheme, contexts),
+                crate::mem::UniMemSystem::new(crate::mem::MemConfig::workstation()),
+            );
+            cpu.attach(0, Box::new(source));
+            let cycles = cpu.run_until_done(u64::MAX / 2);
+            println!(
+                "{path} | {scheme:?} | {} instructions in {cycles} cycles (IPC {:.3})\n",
+                cpu.retired(0),
+                cpu.retired(0) as f64 / cycles.max(1) as f64
+            );
+            println!("{}", breakdown_report("execution-time breakdown", cpu.breakdown()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_uni_defaults() {
+        let cmd = parse(&argv("uni")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Uni {
+                workload: "FP".into(),
+                scheme: Scheme::Interleaved,
+                contexts: 4,
+                quota: 40_000,
+                seed: 0x19940501,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_uni_flags() {
+        let cmd = parse(&argv("uni --workload DC --scheme blocked --contexts 2 --quota 999")).unwrap();
+        match cmd {
+            Command::Uni { workload, scheme, contexts, quota, .. } => {
+                assert_eq!(workload, "DC");
+                assert_eq!(scheme, Scheme::Blocked);
+                assert_eq!(contexts, 2);
+                assert_eq!(quota, 999);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_mp_and_trace() {
+        assert!(matches!(parse(&argv("mp --app MP3D --nodes 4")).unwrap(), Command::Mp { .. }));
+        match parse(&argv("trace --file t.txt --scheme hep")).unwrap() {
+            Command::Trace { path, scheme, .. } => {
+                assert_eq!(path, "t.txt");
+                assert_eq!(scheme, Scheme::FineGrained);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("uni --scheme warp")).is_err());
+        assert!(parse(&argv("uni --contexts")).is_err());
+        assert!(parse(&argv("uni contexts 4")).is_err());
+        assert!(parse(&argv("trace")).is_err());
+        assert!(parse(&argv("uni --quota abc")).is_err());
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn list_runs() {
+        run(Command::List).unwrap();
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let err = run(Command::Uni {
+            workload: "nope".into(),
+            scheme: Scheme::Single,
+            contexts: 1,
+            quota: 10,
+            seed: 1,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("unknown workload"));
+    }
+}

@@ -1,0 +1,61 @@
+//! # interleave — the interleaved multiple-context processor, reproduced
+//!
+//! A cycle-level reproduction of **“Interleaving: A Multithreading
+//! Technique Targeting Multiprocessors and Workstations”** (Laudon,
+//! Gupta & Horowitz, ASPLOS 1994), as a Rust workspace.
+//!
+//! The paper proposes a multiple-context processor that interleaves
+//! instruction issue cycle-by-cycle over *available* hardware contexts
+//! while keeping data caches and full pipeline interlocks, so that one
+//! loaded context runs at full single-thread speed and a context switch
+//! (making a context unavailable on a cache miss) costs only the few
+//! instructions that context had in flight — instead of the full pipeline
+//! flush of the classic *blocked* scheme.
+//!
+//! This facade crate re-exports the workspace's public APIs:
+//!
+//! * [`isa`] — instruction & operation-timing model (paper Table 3);
+//! * [`pipeline`] — BTB, scoreboard, front end, issue window (Figure 5);
+//! * [`mem`] — the workstation memory hierarchy (Tables 1–2);
+//! * [`core`] — the single / blocked / interleaved processor models;
+//! * [`workloads`] — synthetic Spec89-like applications, Table 5
+//!   multiprogrammed mixes, the OS scheduler model, and the
+//!   multiprogramming driver;
+//! * [`mp`] — the DASH-like directory-coherent multiprocessor and
+//!   SPLASH-like parallel application models;
+//! * [`stats`] — cycle attribution and report rendering.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use interleave::core::{ProcConfig, Processor, Scheme};
+//! use interleave::mem::{MemConfig, UniMemSystem};
+//! use interleave::workloads::{spec, SyntheticApp};
+//!
+//! // A two-context interleaved processor over the workstation memory
+//! // system, running two applications.
+//! let mut cpu = Processor::new(
+//!     ProcConfig::new(Scheme::Interleaved, 2),
+//!     UniMemSystem::new(MemConfig::workstation()),
+//! );
+//! cpu.attach(0, Box::new(SyntheticApp::new(spec::water_uni(), 0, 42).with_limit(2_000)));
+//! cpu.attach(1, Box::new(SyntheticApp::new(spec::eqntott(), 1, 42).with_limit(2_000)));
+//! cpu.run_until_done(1_000_000);
+//! assert_eq!(cpu.retired(0) + cpu.retired(1), 4_000);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench`
+//! for the harnesses that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use interleave_core as core;
+pub use interleave_isa as isa;
+pub use interleave_mem as mem;
+pub use interleave_mp as mp;
+pub use interleave_pipeline as pipeline;
+pub use interleave_stats as stats;
+pub use interleave_workloads as workloads;

@@ -1,0 +1,106 @@
+//! End-to-end integration tests across the whole workspace, driven
+//! through the facade crate.
+
+use interleave::core::{ProcConfig, Processor, Scheme};
+use interleave::mem::{MemConfig, UniMemSystem};
+use interleave::mp::{splash_suite, MpSim};
+use interleave::stats::Category;
+use interleave::workloads::{mixes, spec, MultiprogramSim, SyntheticApp};
+
+#[test]
+fn facade_quickstart_runs() {
+    let mut cpu = Processor::new(
+        ProcConfig::new(Scheme::Interleaved, 2),
+        UniMemSystem::new(MemConfig::workstation()),
+    );
+    cpu.attach(0, Box::new(SyntheticApp::new(spec::water_uni(), 0, 42).with_limit(2_000)));
+    cpu.attach(1, Box::new(SyntheticApp::new(spec::eqntott(), 1, 42).with_limit(2_000)));
+    let cycles = cpu.run_until_done(10_000_000);
+    assert!(cpu.is_done());
+    assert_eq!(cpu.retired(0) + cpu.retired(1), 4_000);
+    assert_eq!(cpu.breakdown().total() + cpu.drained_cycles(), cycles);
+}
+
+#[test]
+fn every_scheme_completes_every_workload() {
+    for workload in mixes::all() {
+        for (scheme, contexts) in [(Scheme::Single, 1), (Scheme::Blocked, 2), (Scheme::Interleaved, 2)] {
+            let mut sim = MultiprogramSim::new(workload.clone(), scheme, contexts);
+            sim.quota = 1_500;
+            sim.warmup_cycles = 1_000;
+            sim.os.slice_cycles = 6_000;
+            let r = sim.run();
+            assert!(
+                r.instructions >= 4 * 1_500,
+                "{} under {scheme:?}x{contexts} retired too little",
+                workload.name
+            );
+            assert_eq!(r.breakdown.total(), r.cycles, "{} accounting", workload.name);
+        }
+    }
+}
+
+#[test]
+fn every_splash_app_completes_on_the_multiprocessor() {
+    for app in splash_suite() {
+        let mut sim = MpSim::new(app.clone(), Scheme::Interleaved, 4, 2);
+        sim.total_work = 16_000;
+        sim.warmup_cycles = 1_000;
+        let r = sim.run();
+        assert!(r.cycles > 0, "{}", app.name);
+        assert!(r.breakdown.get(Category::Busy) > 0, "{}", app.name);
+    }
+}
+
+#[test]
+fn interleaved_workstation_gains_over_single_at_four_contexts() {
+    let run = |scheme, contexts| {
+        let mut sim = MultiprogramSim::new(mixes::sp(), scheme, contexts);
+        sim.quota = 8_000;
+        sim.warmup_cycles = 5_000;
+        sim.run().throughput()
+    };
+    let single = run(Scheme::Single, 1);
+    let interleaved = run(Scheme::Interleaved, 4);
+    assert!(
+        interleaved > single * 1.1,
+        "interleaved x4 ({interleaved:.3}) should clearly beat single ({single:.3})"
+    );
+}
+
+#[test]
+fn multiprocessor_contexts_speed_up_memory_bound_apps() {
+    let app = splash_suite().remove(0); // MP3D
+    let run = |scheme, contexts| {
+        let mut sim = MpSim::new(app.clone(), scheme, 4, contexts);
+        sim.total_work = 60_000;
+        sim.warmup_cycles = 2_000;
+        sim.run().cycles
+    };
+    let single = run(Scheme::Single, 1);
+    let interleaved = run(Scheme::Interleaved, 4);
+    assert!(
+        interleaved < single,
+        "4-context interleaved ({interleaved}) should beat single-context ({single})"
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run = || {
+        let mut sim = MultiprogramSim::new(mixes::r0(), Scheme::Interleaved, 2);
+        sim.quota = 2_000;
+        sim.warmup_cycles = 1_000;
+        let r = sim.run();
+        (r.cycles, r.instructions)
+    };
+    assert_eq!(run(), run());
+
+    let mp_run = || {
+        let mut sim = MpSim::new(splash_suite()[4].clone(), Scheme::Blocked, 2, 2);
+        sim.total_work = 12_000;
+        sim.warmup_cycles = 1_000;
+        sim.run().cycles
+    };
+    assert_eq!(mp_run(), mp_run());
+}
