@@ -1,25 +1,32 @@
 //! Ablation: branch target buffer size (0 = disabled .. 2048) on the
 //! branchy IC workload, single-context processor.
 
-use interleave_bench::uni_sim;
+use interleave_bench::{ExperimentSpec, Runner, Scale};
 use interleave_core::Scheme;
 use interleave_stats::Table;
 use interleave_workloads::mixes;
 
 fn main() {
+    let scale = Scale::from_env();
+    let runner = Runner::from_env();
     let mut t = Table::new("Ablation: BTB size vs throughput (IC workload, single context)");
     t.headers(["BTB entries", "IPC", "vs 2048-entry"]);
     let mut results = Vec::new();
     for entries in [0usize, 64, 512, 2048] {
-        let mut sim = uni_sim(mixes::ic(), Scheme::Single, 1);
-        sim.quota /= 2; // sweep point; half quota keeps the sweep quick
-        let mut result = None;
-        // Rebuild with a custom processor config via the public fields.
-        // MultiprogramSim owns the ProcConfig internally; expose the knob
-        // through the btb_entries field.
-        sim.btb_entries = entries;
-        result.replace(sim.run());
-        results.push((entries, result.expect("ran")));
+        let spec = ExperimentSpec::new(format!("ablation_btb_{entries}"), scale)
+            .uni(mixes::ic())
+            .schemes([Scheme::Single])
+            .contexts([1])
+            .baseline(false)
+            .quota(scale.uni_quota() / 2) // sweep point; half quota keeps it quick
+            .btb_entries(entries);
+        let sweep = runner.run(&spec);
+        let result = sweep
+            .get("IC", Scheme::Single, 1)
+            .and_then(|c| c.as_uni())
+            .expect("single sweep cell")
+            .clone();
+        results.push((entries, result));
     }
     let reference = results.last().expect("non-empty").1.throughput();
     for (entries, r) in &results {

@@ -2,19 +2,35 @@
 //! (the paper's default) vs a release-consistent write buffer, one of the
 //! alternative latency-tolerance techniques from the introduction.
 
-use interleave_bench::uni_sim;
+use interleave_bench::{ExperimentSpec, Runner, Scale, SweepResult};
 use interleave_core::{Scheme, StorePolicy};
 use interleave_stats::Table;
 use interleave_workloads::mixes;
 
-fn run(scheme: Scheme, contexts: usize, policy: StorePolicy) -> f64 {
-    let mut sim = uni_sim(mixes::dc(), scheme, contexts);
-    sim.quota /= 2;
-    sim.store_policy = policy;
-    sim.run().throughput()
+fn sweep(policy: StorePolicy) -> SweepResult {
+    let scale = Scale::from_env();
+    let name = match policy {
+        StorePolicy::SwitchOnMiss => "ablation_consistency_switch",
+        StorePolicy::WriteBuffer => "ablation_consistency_buffer",
+    };
+    let spec = ExperimentSpec::new(name, scale)
+        .uni(mixes::dc())
+        .contexts([2, 4])
+        .baseline(false)
+        .quota(scale.uni_quota() / 2)
+        .store_policy(policy);
+    Runner::from_env().run(&spec)
 }
 
 fn main() {
+    let switch = sweep(StorePolicy::SwitchOnMiss);
+    let buffer = sweep(StorePolicy::WriteBuffer);
+    let ipc = |s: &SweepResult, scheme, contexts| {
+        s.get("DC", scheme, contexts)
+            .and_then(|c| c.as_uni())
+            .expect("sweep covers the cell")
+            .throughput()
+    };
     let mut t = Table::new("Ablation: store-miss policy (DC workload)");
     t.headers(["Configuration", "switch-on-miss IPC", "write-buffer IPC", "gain"]);
     for (label, scheme, contexts) in [
@@ -23,8 +39,8 @@ fn main() {
         ("blocked x4", Scheme::Blocked, 4),
         ("interleaved x4", Scheme::Interleaved, 4),
     ] {
-        let sc = run(scheme, contexts, StorePolicy::SwitchOnMiss);
-        let wb = run(scheme, contexts, StorePolicy::WriteBuffer);
+        let sc = ipc(&switch, scheme, contexts);
+        let wb = ipc(&buffer, scheme, contexts);
         t.row([
             label.to_string(),
             format!("{sc:.3}"),

@@ -1,23 +1,28 @@
 //! Ablation: context count sweep (1..8) for the interleaved scheme —
 //! where do the workstation gains saturate?
 
-use interleave_bench::uni_sim;
+use interleave_bench::{ExperimentSpec, Runner, Scale};
 use interleave_core::Scheme;
 use interleave_stats::Table;
 use interleave_workloads::mixes;
 
 fn main() {
+    let scale = Scale::from_env();
+    let spec = ExperimentSpec::new("ablation_contexts", scale)
+        .uni(mixes::dc())
+        .schemes([Scheme::Interleaved])
+        .contexts([2, 3, 4, 6, 8])
+        .quota(scale.uni_quota() / 2);
+    let sweep = Runner::from_env().run(&spec);
+    sweep.maybe_emit_json();
+
     let mut t = Table::new("Ablation: interleaved context count (DC workload)");
     t.headers(["Contexts", "IPC", "vs 1 ctx"]);
     let mut base = None;
-    for n in [1usize, 2, 3, 4, 6, 8] {
-        let scheme = if n == 1 { Scheme::Single } else { Scheme::Interleaved };
-        let mut sim = uni_sim(mixes::dc(), scheme, n);
-        sim.quota /= 2;
-        let r = sim.run();
-        let tp = r.throughput();
+    for (cell, result) in &sweep.cells {
+        let tp = result.as_uni().expect("uniprocessor sweep").throughput();
         let b = *base.get_or_insert(tp);
-        t.row([n.to_string(), format!("{tp:.3}"), format!("{:.2}x", tp / b)]);
+        t.row([cell.contexts.to_string(), format!("{tp:.3}"), format!("{:.2}x", tp / b)]);
     }
     println!("{t}");
     println!("Expected shape: gains grow quickly to ~4 contexts and flatten as cache and");

@@ -28,9 +28,18 @@ fn main() {
 
     let mut t = Table::new("single-thread performance (IPC, one loaded thread)");
     t.headers(["Machine", "IPC"]);
-    t.row(["Single-context (interlocked, cached)".to_string(), format!("{:.3}", run(Scheme::Single, 1, 1, true))]);
-    t.row(["Fine-grained (no interlocks, cached)".to_string(), format!("{:.3}", run(Scheme::FineGrained, 16, 1, true))]);
-    t.row(["Fine-grained (no interlocks, no D-cache)".to_string(), format!("{:.3}", run(Scheme::FineGrained, 16, 1, false))]);
+    t.row([
+        "Single-context (interlocked, cached)".to_string(),
+        format!("{:.3}", run(Scheme::Single, 1, 1, true)),
+    ]);
+    t.row([
+        "Fine-grained (no interlocks, cached)".to_string(),
+        format!("{:.3}", run(Scheme::FineGrained, 16, 1, true)),
+    ]);
+    t.row([
+        "Fine-grained (no interlocks, no D-cache)".to_string(),
+        format!("{:.3}", run(Scheme::FineGrained, 16, 1, false)),
+    ]);
     println!("{t}");
 
     let mut t = Table::new("threads needed to fill the pipeline (aggregate IPC)");

@@ -1,28 +1,36 @@
 //! Ablation: compiler latency hints (backoff / explicit switch after
 //! divides) on the divide-heavy SP workload.
 
-use interleave_bench::uni_sim;
+use interleave_bench::{ExperimentSpec, Runner, Scale, SweepResult};
 use interleave_core::Scheme;
 use interleave_stats::Table;
 use interleave_workloads::mixes;
 
+fn sweep(hints: bool) -> SweepResult {
+    let scale = Scale::from_env();
+    let mut workload = mixes::sp();
+    for app in &mut workload.apps {
+        app.latency_hints = hints;
+    }
+    let spec =
+        ExperimentSpec::new(if hints { "ablation_hints_on" } else { "ablation_hints_off" }, scale)
+            .uni(workload)
+            .contexts([4])
+            .baseline(false)
+            .quota(scale.uni_quota() / 2);
+    Runner::from_env().run(&spec)
+}
+
 fn main() {
+    let on = sweep(true);
+    let off = sweep(false);
     let mut t = Table::new("Ablation: latency hints after divides (SP workload, 4 contexts)");
     t.headers(["Scheme", "hints", "IPC"]);
     for scheme in [Scheme::Blocked, Scheme::Interleaved] {
-        for hints in [true, false] {
-            let mut workload = mixes::sp();
-            for app in &mut workload.apps {
-                app.latency_hints = hints;
-            }
-            let mut sim = uni_sim(workload, scheme, 4);
-            sim.quota /= 2;
-            let r = sim.run();
-            t.row([
-                format!("{scheme:?}"),
-                if hints { "on" } else { "off" }.to_string(),
-                format!("{:.3}", r.throughput()),
-            ]);
+        for (label, sweep) in [("on", &on), ("off", &off)] {
+            let r =
+                sweep.get("SP", scheme, 4).and_then(|c| c.as_uni()).expect("sweep covers the cell");
+            t.row([format!("{scheme:?}"), label.to_string(), format!("{:.3}", r.throughput())]);
         }
     }
     println!("{t}");

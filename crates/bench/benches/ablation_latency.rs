@@ -1,7 +1,7 @@
 //! Ablation: multiprocessor memory latency sensitivity — scale the
 //! Table 8 ranges and watch the multiple-context gains shift.
 
-use interleave_bench::{mp_nodes, mp_sim};
+use interleave_bench::{ExperimentSpec, Runner, Scale};
 use interleave_core::Scheme;
 use interleave_mp::LatencyModel;
 use interleave_stats::Table;
@@ -17,28 +17,34 @@ fn scaled(model: LatencyModel, factor: f64) -> LatencyModel {
 }
 
 fn main() {
+    let scale = Scale::from_env();
+    let runner = Runner::from_env();
     let app = interleave_mp::splash_suite()[0].clone(); // MP3D
     println!(
         "Ablation: memory latency sensitivity (MP3D, {} nodes, 4 contexts)\n",
-        mp_nodes()
+        scale.mp_nodes()
     );
-    let mut t = Table::new("speedup of 4-context interleaved over single-context, per latency scale");
+    let mut t =
+        Table::new("speedup of 4-context interleaved over single-context, per latency scale");
     t.headers(["Latency scale", "single cycles", "interleaved-4 cycles", "speedup"]);
     for factor in [0.5, 1.0, 2.0] {
-        let latency = scaled(LatencyModel::dash_like(), factor);
-        let mut single = mp_sim(app.clone(), Scheme::Single, 1);
-        single.latency = latency;
-        single.total_work /= 2;
-        let s = single.run();
-        let mut inter = mp_sim(app.clone(), Scheme::Interleaved, 4);
-        inter.latency = latency;
-        inter.total_work /= 2;
-        let i = inter.run();
+        let spec = ExperimentSpec::new(format!("ablation_latency_{factor}x"), scale)
+            .mp(app.clone())
+            .schemes([Scheme::Interleaved])
+            .contexts([4])
+            .work(scale.mp_work() / 2)
+            .latency(scaled(LatencyModel::dash_like(), factor));
+        let sweep = runner.run(&spec);
+        let cycles = |scheme, contexts| {
+            sweep.get(app.name, scheme, contexts).expect("sweep covers the cell").cycles()
+        };
+        let s = cycles(Scheme::Single, 1);
+        let i = cycles(Scheme::Interleaved, 4);
         t.row([
             format!("{factor}x"),
-            s.cycles.to_string(),
-            i.cycles.to_string(),
-            format!("{:.2}", s.cycles as f64 / i.cycles as f64),
+            s.to_string(),
+            i.to_string(),
+            format!("{:.2}", s as f64 / i as f64),
         ]);
     }
     println!("{t}");

@@ -3,33 +3,48 @@
 //! Prefetching covers the *predictable* (streaming) misses; multiple
 //! contexts are "universal" and cover the rest too.
 
-use interleave_bench::uni_sim;
+use interleave_bench::{ExperimentSpec, Runner, Scale, SweepResult};
 use interleave_core::Scheme;
 use interleave_stats::Table;
 use interleave_workloads::mixes;
 
-fn run(scheme: Scheme, contexts: usize, prefetch: bool) -> f64 {
+fn sweep(prefetch: bool) -> SweepResult {
+    let scale = Scale::from_env();
     let mut workload = mixes::dc();
     for app in &mut workload.apps {
         app.software_prefetch = prefetch;
     }
-    let mut sim = uni_sim(workload, scheme, contexts);
-    sim.quota /= 2;
-    sim.run().throughput()
+    let spec = ExperimentSpec::new(
+        if prefetch { "ablation_prefetch_on" } else { "ablation_prefetch_off" },
+        scale,
+    )
+    .uni(workload)
+    .schemes([Scheme::Interleaved])
+    .contexts([2, 4])
+    .quota(scale.uni_quota() / 2);
+    Runner::from_env().run(&spec)
 }
 
 fn main() {
-    let base = run(Scheme::Single, 1, false);
+    let plain = sweep(false);
+    let prefetched = sweep(true);
+    let ipc = |s: &SweepResult, scheme, contexts| {
+        s.get("DC", scheme, contexts)
+            .and_then(|c| c.as_uni())
+            .expect("sweep covers the cell")
+            .throughput()
+    };
+    let base = ipc(&plain, Scheme::Single, 1);
     let mut t = Table::new("Ablation: software prefetch vs multiple contexts (DC workload)");
     t.headers(["Configuration", "IPC", "vs baseline"]);
-    for (label, scheme, contexts, prefetch) in [
-        ("single", Scheme::Single, 1, false),
-        ("single + prefetch", Scheme::Single, 1, true),
-        ("interleaved x2", Scheme::Interleaved, 2, false),
-        ("interleaved x4", Scheme::Interleaved, 4, false),
-        ("interleaved x4 + prefetch", Scheme::Interleaved, 4, true),
+    for (label, sweep, scheme, contexts) in [
+        ("single", &plain, Scheme::Single, 1),
+        ("single + prefetch", &prefetched, Scheme::Single, 1),
+        ("interleaved x2", &plain, Scheme::Interleaved, 2),
+        ("interleaved x4", &plain, Scheme::Interleaved, 4),
+        ("interleaved x4 + prefetch", &prefetched, Scheme::Interleaved, 4),
     ] {
-        let ipc = run(scheme, contexts, prefetch);
+        let ipc = ipc(sweep, scheme, contexts);
         t.row([label.to_string(), format!("{ipc:.3}"), format!("{:.2}x", ipc / base)]);
     }
     println!("{t}");

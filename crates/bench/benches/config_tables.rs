@@ -47,7 +47,8 @@ fn main() {
     println!("{t2}");
 
     let timing = TimingModel::r4000_like();
-    let mut t3 = Table::new("Table 3: long-latency operations (issue / latency, * = reconstructed)");
+    let mut t3 =
+        Table::new("Table 3: long-latency operations (issue / latency, * = reconstructed)");
     t3.headers(["Operation", "Issue", "Latency"]);
     for (label, op, reconstructed) in [
         ("Integer divide", Op::IntDiv, true),
@@ -75,7 +76,8 @@ fn main() {
     println!("{t6}");
 
     let lat = LatencyModel::dash_like();
-    let mut t8 = Table::new("Table 8: multiprocessor memory latencies (uniform ranges, reconstructed)");
+    let mut t8 =
+        Table::new("Table 8: multiprocessor memory latencies (uniform ranges, reconstructed)");
     t8.headers(["Access", "cycles"]);
     t8.row(["Hit in primary cache".to_string(), lat.hit.to_string()]);
     t8.row(["Reply from local memory".to_string(), format!("{}..{}", lat.local.0, lat.local.1)]);

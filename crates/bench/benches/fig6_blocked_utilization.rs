@@ -7,7 +7,9 @@ use interleave_workloads::mixes;
 
 fn main() {
     println!("Figure 6: blocked scheme processor utilization (fractions of execution time)\n");
-    let mut t = Table::new("columns: busy / instruction stall / inst cache+TLB / data cache+TLB / context switch");
+    let mut t = Table::new(
+        "columns: busy / instruction stall / inst cache+TLB / data cache+TLB / context switch",
+    );
     t.headers(["Workload", "ctx", "busy", "instr", "inst-mem", "data-mem", "switch"]);
     for w in mixes::all() {
         let (baseline, rows) = uni_grid(&w, &[2, 4]);

@@ -1,14 +1,14 @@
 //! Figure 9: multiprocessor execution-time breakdown, interleaved scheme,
 //! at 1/2/4/8 contexts per processor.
 
-use interleave_bench::{breakdown_cells, mp_grid, mp_nodes};
+use interleave_bench::{breakdown_cells, mp_grid, Scale};
 use interleave_core::Scheme;
 use interleave_stats::Table;
 
 fn main() {
     println!(
         "Figure 9: interleaved scheme execution-time breakdown ({} nodes)\n",
-        mp_nodes()
+        Scale::from_env().mp_nodes()
     );
     let mut t = Table::new("columns: busy / instr(short) / instr(long) / memory / sync / switch");
     t.headers(["App", "ctx", "busy", "short", "long", "memory", "sync", "switch"]);

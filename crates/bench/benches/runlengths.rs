@@ -3,21 +3,34 @@
 //! round-robin divides the machine among applications — the motivation
 //! for the paper's context-usage feedback to the operating system.
 
-use interleave_bench::uni_sim;
+use interleave_bench::{ExperimentSpec, Runner, Scale};
 use interleave_core::Scheme;
 use interleave_stats::Table;
 use interleave_workloads::mixes;
 
 fn main() {
-    let mut t = Table::new("Mean run length (instructions between unavailability events, 4 contexts)");
+    let scale = Scale::from_env();
+    let mut spec = ExperimentSpec::new("runlengths", scale)
+        .contexts([4])
+        .baseline(false)
+        .quota(scale.uni_quota() / 2); // half quota keeps the sweep quick
+    for w in mixes::all() {
+        spec = spec.uni(w);
+    }
+    let sweep = Runner::from_env().run(&spec);
+    sweep.maybe_emit_json();
+
+    let mut t =
+        Table::new("Mean run length (instructions between unavailability events, 4 contexts)");
     t.headers(["Workload", "Blocked", "Interleaved", "min..max (interleaved)"]);
     for w in mixes::all() {
         let mut row = vec![w.name.to_string()];
         let mut detail = String::new();
         for scheme in [Scheme::Blocked, Scheme::Interleaved] {
-            let mut sim = uni_sim(w.clone(), scheme, 4);
-            sim.quota /= 2;
-            let r = sim.run();
+            let r = sweep
+                .get(w.name, scheme, 4)
+                .and_then(|c| c.as_uni())
+                .expect("sweep covers every workload cell");
             row.push(format!("{:.1}", r.run_lengths.mean()));
             if scheme == Scheme::Interleaved {
                 detail = format!("{}..{}", r.run_lengths.min, r.run_lengths.max);

@@ -1,17 +1,25 @@
 //! Table 10: application speedup due to multiple contexts on the
 //! DASH-like multiprocessor (2/4/8 contexts per processor, both schemes).
 
-use interleave_bench::{mp_grid, mp_nodes};
+use interleave_bench::{ExperimentSpec, Runner, Scale};
 use interleave_core::Scheme;
 use interleave_stats::summary::{fmt_ratio, geometric_mean};
 use interleave_stats::Table;
 
 fn main() {
+    let scale = Scale::from_env();
     let apps = interleave_mp::splash_suite();
     println!(
         "Table 10: application speedup due to multiple contexts ({} nodes)\n",
-        mp_nodes()
+        scale.mp_nodes()
     );
+    let mut spec = ExperimentSpec::new("table10", scale).contexts([2, 4, 8]);
+    for app in &apps {
+        spec = spec.mp(app.clone());
+    }
+    let sweep = Runner::from_env().run(&spec);
+    sweep.maybe_emit_json();
+
     // rows[contexts][scheme] -> per-app speedups
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 6];
     let mut rows: Vec<Vec<String>> = vec![
@@ -23,18 +31,17 @@ fn main() {
         vec![String::new(), "Blocked".into()],
     ];
     for app in &apps {
-        let (baseline, grid) = mp_grid(app);
-        for (scheme, n, r) in &grid {
-            let speedup = baseline.cycles as f64 / r.cycles as f64;
-            let slot = match (n, scheme) {
-                (2, Scheme::Interleaved) => 0,
-                (2, Scheme::Blocked) => 1,
-                (4, Scheme::Interleaved) => 2,
-                (4, Scheme::Blocked) => 3,
-                (8, Scheme::Interleaved) => 4,
-                (8, Scheme::Blocked) => 5,
-                _ => unreachable!("grid covers 2/4/8 contexts"),
-            };
+        let baseline = sweep.baseline(app.name).expect("sweep includes the baseline").cycles();
+        for (n, scheme, slot) in [
+            (2, Scheme::Interleaved, 0),
+            (2, Scheme::Blocked, 1),
+            (4, Scheme::Interleaved, 2),
+            (4, Scheme::Blocked, 3),
+            (8, Scheme::Interleaved, 4),
+            (8, Scheme::Blocked, 5),
+        ] {
+            let cycles = sweep.get(app.name, scheme, n).expect("sweep covers the grid").cycles();
+            let speedup = baseline as f64 / cycles as f64;
             speedups[slot].push(speedup);
             rows[slot].push(fmt_ratio(speedup));
         }
@@ -43,7 +50,8 @@ fn main() {
         row.push(fmt_ratio(geometric_mean(&speedups[slot]).expect("seven apps")));
     }
 
-    let mut t = Table::new("speedup over the single-context processor (same machine, same total work)");
+    let mut t =
+        Table::new("speedup over the single-context processor (same machine, same total work)");
     let mut headers = vec!["Contexts".to_string(), "Scheme".to_string()];
     headers.extend(apps.iter().map(|a| a.name.to_string()));
     headers.push("Mean".to_string());

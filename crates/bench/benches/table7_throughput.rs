@@ -1,7 +1,7 @@
 //! Table 7: increase in application throughput with multiple contexts
 //! (two and four contexts, blocked vs interleaved, geometric mean).
 
-use interleave_bench::{uni_grid, uni_sim};
+use interleave_bench::{ExperimentSpec, Runner, Scale};
 use interleave_core::Scheme;
 use interleave_stats::summary::{fmt_ratio, geometric_mean};
 use interleave_stats::Table;
@@ -9,6 +9,20 @@ use interleave_workloads::mixes;
 
 fn main() {
     let workloads = mixes::all();
+    let mut spec = ExperimentSpec::new("table7", Scale::from_env()).contexts([2, 4]);
+    for w in &workloads {
+        spec = spec.uni(w.clone());
+    }
+    let runner = Runner::from_env();
+    let sweep = runner.run(&spec);
+    sweep.maybe_emit_json();
+    eprintln!(
+        "table7 sweep: {} cells, {} jobs, {:.2?} wall",
+        sweep.cells.len(),
+        sweep.jobs,
+        sweep.wall
+    );
+
     let mut gains: Vec<Vec<f64>> = vec![Vec::new(); 4]; // [I2, B2, I4, B4]
     let mut rows: Vec<Vec<String>> = vec![
         vec!["Two".into(), "Interleaved".into()],
@@ -18,18 +32,22 @@ fn main() {
     ];
 
     for w in &workloads {
-        let (baseline, grid) = uni_grid(w, &[2, 4]);
-        let base_tp = baseline.throughput();
-        let _ = uni_sim(w.clone(), Scheme::Single, 1); // scale echo
-        for (scheme, n, r) in &grid {
+        let base_tp = sweep
+            .baseline(w.name)
+            .and_then(|c| c.as_uni())
+            .expect("sweep includes the baseline")
+            .throughput();
+        for (n, scheme, slot) in [
+            (2, Scheme::Interleaved, 0),
+            (2, Scheme::Blocked, 1),
+            (4, Scheme::Interleaved, 2),
+            (4, Scheme::Blocked, 3),
+        ] {
+            let r = sweep
+                .get(w.name, scheme, n)
+                .and_then(|c| c.as_uni())
+                .expect("sweep covers the grid");
             let ratio = r.throughput() / base_tp;
-            let slot = match (n, scheme) {
-                (2, Scheme::Interleaved) => 0,
-                (2, Scheme::Blocked) => 1,
-                (4, Scheme::Interleaved) => 2,
-                (4, Scheme::Blocked) => 3,
-                _ => unreachable!("grid covers 2 and 4 contexts"),
-            };
             gains[slot].push(ratio);
             rows[slot].push(fmt_ratio(ratio));
         }

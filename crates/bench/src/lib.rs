@@ -3,86 +3,134 @@
 //!
 //! Each harness is a `harness = false` bench target; `cargo bench
 //! --workspace` runs them all and prints the rows/series the paper
-//! reports. Set `INTERLEAVE_FULL=1` to run paper-scale configurations
-//! (36 × 6M-cycle time slices, 16-node machines); the default is a scaled
-//! configuration that preserves the shapes while finishing quickly (see
-//! DESIGN.md).
+//! reports. Harnesses describe their work as an
+//! [`runner::ExperimentSpec`] and execute it with a [`runner::Runner`],
+//! which parallelizes cells across OS threads (`INTERLEAVE_JOBS`
+//! controls the worker count) with bit-identical results at any job
+//! count. Set `INTERLEAVE_FULL=1` to run paper-scale configurations
+//! (36 × 6M-cycle time slices, 16-node machines); the default is a
+//! scaled configuration that preserves the shapes while finishing
+//! quickly (see DESIGN.md). `INTERLEAVE_CSV=<dir>` writes table CSVs and
+//! `INTERLEAVE_JSON=<dir>` writes machine-readable `BENCH_*.json` sweep
+//! artifacts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod runner;
 
 use interleave_core::Scheme;
 use interleave_mp::{MpResult, MpSim, SplashProfile};
 use interleave_stats::{Breakdown, Category, Table};
 use interleave_workloads::mixes::Workload;
-use interleave_workloads::{MultiprogramResult, MultiprogramSim, OsModel};
+use interleave_workloads::{MultiprogramResult, MultiprogramSim};
+
+pub use runner::{Cell, CellResult, ExperimentSpec, Runner, Scale, SweepResult, Target};
 
 /// Whether paper-scale runs were requested via `INTERLEAVE_FULL=1`.
+#[deprecated(since = "0.2.0", note = "use `Scale::from_env()` instead")]
 pub fn full_scale() -> bool {
-    std::env::var("INTERLEAVE_FULL").map(|v| v == "1").unwrap_or(false)
+    Scale::from_env() == Scale::Full
 }
 
 /// Builds a uniprocessor multiprogramming simulation at the configured
 /// scale.
+#[deprecated(
+    since = "0.2.0",
+    note = "describe the run as an `ExperimentSpec` and execute it with `Runner`"
+)]
 pub fn uni_sim(workload: Workload, scheme: Scheme, contexts: usize) -> MultiprogramSim {
-    let mut sim = MultiprogramSim::new(workload, scheme, contexts);
-    if full_scale() {
-        sim.quota = 1_500_000;
-        sim.warmup_cycles = 6_000_000;
-        sim.os = OsModel::paper_scale();
-    }
-    sim
+    let scale = Scale::from_env();
+    MultiprogramSim::builder(workload)
+        .scheme(scheme)
+        .contexts(contexts)
+        .quota(scale.uni_quota())
+        .warmup(scale.uni_warmup())
+        .os(scale.os_model())
+        .build()
 }
 
 /// Runs the uniprocessor grid for one workload: the single-context
 /// baseline plus blocked/interleaved at the given context counts.
 /// Returns `(baseline, [(scheme, contexts, result), ...])`.
+///
+/// Cells execute on a [`Runner`] sized from `INTERLEAVE_JOBS` (default:
+/// available parallelism); results are identical at any job count.
 pub fn uni_grid(
     workload: &Workload,
     context_counts: &[usize],
 ) -> (MultiprogramResult, Vec<(Scheme, usize, MultiprogramResult)>) {
-    let baseline = uni_sim(workload.clone(), Scheme::Single, 1).run();
+    let spec = ExperimentSpec::new(format!("uni_grid_{}", workload.name), Scale::from_env())
+        .uni(workload.clone())
+        .contexts(context_counts.iter().copied());
+    let sweep = Runner::from_env().run(&spec);
+    unpack_uni(sweep)
+}
+
+fn unpack_uni(
+    sweep: SweepResult,
+) -> (MultiprogramResult, Vec<(Scheme, usize, MultiprogramResult)>) {
+    let mut baseline = None;
     let mut rows = Vec::new();
-    for &n in context_counts {
-        for scheme in [Scheme::Blocked, Scheme::Interleaved] {
-            let result = uni_sim(workload.clone(), scheme, n).run();
-            rows.push((scheme, n, result));
+    for (cell, result) in sweep.cells {
+        let CellResult::Uni(r) = result else {
+            unreachable!("uni spec produced a multiprocessor cell")
+        };
+        if cell.scheme == Scheme::Single && cell.contexts == 1 {
+            baseline = Some(r);
+        } else {
+            rows.push((cell.scheme, cell.contexts, r));
         }
     }
-    (baseline, rows)
+    (baseline.expect("spec includes the baseline cell"), rows)
 }
 
 /// Number of multiprocessor nodes at the configured scale (the paper's
 /// DASH-like machine; 16 at full scale, 8 scaled).
+#[deprecated(since = "0.2.0", note = "use `Scale::from_env().mp_nodes()` instead")]
 pub fn mp_nodes() -> usize {
-    if full_scale() {
-        16
-    } else {
-        8
-    }
+    Scale::from_env().mp_nodes()
 }
 
 /// Builds a multiprocessor simulation at the configured scale.
+#[deprecated(
+    since = "0.2.0",
+    note = "describe the run as an `ExperimentSpec` and execute it with `Runner`"
+)]
 pub fn mp_sim(app: SplashProfile, scheme: Scheme, contexts: usize) -> MpSim {
-    let mut sim = MpSim::new(app, scheme, mp_nodes(), contexts);
-    if full_scale() {
-        sim.total_work = 4_000_000;
-        sim.warmup_cycles = 100_000;
-    }
-    sim
+    let scale = Scale::from_env();
+    MpSim::builder(app)
+        .scheme(scheme)
+        .contexts(contexts)
+        .nodes(scale.mp_nodes())
+        .work(scale.mp_work())
+        .warmup(scale.mp_warmup())
+        .build()
 }
 
 /// Runs one application's multiprocessor grid: single-context baseline
 /// plus both schemes at 2/4/8 contexts per processor.
+///
+/// Cells execute on a [`Runner`] sized from `INTERLEAVE_JOBS` (default:
+/// available parallelism); results are identical at any job count.
 pub fn mp_grid(app: &SplashProfile) -> (MpResult, Vec<(Scheme, usize, MpResult)>) {
-    let baseline = mp_sim(app.clone(), Scheme::Single, 1).run();
+    let spec = ExperimentSpec::new(format!("mp_grid_{}", app.name), Scale::from_env())
+        .mp(app.clone())
+        .contexts([2, 4, 8]);
+    let sweep = Runner::from_env().run(&spec);
+    let mut baseline = None;
     let mut rows = Vec::new();
-    for n in [2usize, 4, 8] {
-        for scheme in [Scheme::Blocked, Scheme::Interleaved] {
-            rows.push((scheme, n, mp_sim(app.clone(), scheme, n).run()));
+    for (cell, result) in sweep.cells {
+        let CellResult::Mp(r) = result else {
+            unreachable!("mp spec produced a uniprocessor cell")
+        };
+        if cell.scheme == Scheme::Single && cell.contexts == 1 {
+            baseline = Some(r);
+        } else {
+            rows.push((cell.scheme, cell.contexts, r));
         }
     }
-    (baseline, rows)
+    (baseline.expect("spec includes the baseline cell"), rows)
 }
 
 /// Formats a breakdown as percentage cells in `Category::ALL` order,
@@ -129,7 +177,8 @@ fn maybe_write_csv(table: &Table, stem: Option<&str>) {
     };
     let stem = stem.map(str::to_string).unwrap_or_else(|| slug(&table.to_string()));
     let path = std::path::Path::new(&dir).join(format!("{stem}.csv"));
-    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, table.to_csv()))
+    if let Err(e) =
+        std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, table.to_csv()))
     {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
@@ -153,12 +202,17 @@ mod tests {
     use interleave_workloads::mixes;
 
     #[test]
-    fn scaled_sims_construct() {
+    #[allow(deprecated)]
+    fn deprecated_shims_match_scale_defaults() {
+        let scale = Scale::from_env();
         let sim = uni_sim(mixes::fp(), Scheme::Interleaved, 2);
-        assert!(sim.quota > 0);
+        assert_eq!(sim.quota(), scale.uni_quota());
+        assert_eq!(sim.warmup_cycles(), scale.uni_warmup());
+        assert_eq!(sim.contexts(), 2);
         let mp = mp_sim(interleave_mp::splash_suite()[0].clone(), Scheme::Blocked, 4);
-        assert!(mp.total_work > 0);
-        assert!(mp_nodes() >= 4);
+        assert_eq!(mp.total_work(), scale.mp_work());
+        assert_eq!(mp.nodes(), scale.mp_nodes());
+        assert_eq!(mp_nodes(), scale.mp_nodes());
     }
 
     #[test]
@@ -176,5 +230,17 @@ mod tests {
         assert_eq!(breakdown_cells(&b, true).len(), 5);
         assert_eq!(breakdown_cells(&b, false).len(), 6);
         assert_eq!(breakdown_cells(&b, true)[1], "50.0%");
+    }
+
+    #[test]
+    fn uni_grid_rides_the_runner() {
+        std::env::set_var("INTERLEAVE_JOBS", "2");
+        let (baseline, rows) = uni_grid(&mixes::ic(), &[2]);
+        std::env::remove_var("INTERLEAVE_JOBS");
+        assert!(baseline.cycles > 0);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, Scheme::Blocked);
+        assert_eq!(rows[1].0, Scheme::Interleaved);
+        assert_eq!(rows[0].1, 2);
     }
 }

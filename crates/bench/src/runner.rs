@@ -1,0 +1,736 @@
+//! Unified experiment API: specs, cells, and a parallel sweep runner.
+//!
+//! Every table/figure harness, the `interleave-sim sweep` subcommand, and
+//! the grid helpers in the crate root describe their work as an
+//! [`ExperimentSpec`] — a grid of (target × scheme × context-count ×
+//! seed) cells plus configuration overrides — and hand it to a
+//! [`Runner`], which executes the cells across OS threads and aggregates
+//! the results into a [`SweepResult`].
+//!
+//! Determinism is the design invariant: cells are enumerated in a fixed
+//! order, each cell's configuration (including its seed) is a pure
+//! function of its coordinates, and workers write results into
+//! index-addressed slots, so a sweep produces bit-identical results
+//! whether it runs serially or on any number of threads (see the
+//! `determinism` integration test).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use interleave_core::{Scheme, StorePolicy};
+use interleave_mp::{LatencyModel, MpResult, MpSim, SplashProfile};
+use interleave_stats::{Breakdown, Category, Table};
+use interleave_workloads::mixes::Workload;
+use interleave_workloads::{MultiprogramResult, MultiprogramSim, OsModel};
+
+/// Problem scale, resolved once from `INTERLEAVE_FULL`.
+///
+/// [`Scale::Ci`] preserves the paper's shapes at sizes that finish in
+/// seconds; [`Scale::Full`] is the paper-scale configuration (36 ×
+/// 6M-cycle time slices, 16-node machines). All scale-dependent knobs in
+/// the workspace resolve through this type — nothing else should read
+/// `INTERLEAVE_FULL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Scaled-down configuration for CI and quick iteration (default).
+    Ci,
+    /// Paper-scale configuration (`INTERLEAVE_FULL=1`).
+    Full,
+}
+
+impl Scale {
+    /// Resolves the scale from the `INTERLEAVE_FULL` environment
+    /// variable (`1` means [`Scale::Full`]).
+    pub fn from_env() -> Scale {
+        match std::env::var("INTERLEAVE_FULL") {
+            Ok(v) if v == "1" => Scale::Full,
+            _ => Scale::Ci,
+        }
+    }
+
+    /// Parses `"ci"` / `"full"` (as accepted by `sweep --scale`).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "ci" => Some(Scale::Ci),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Name used in reports and JSON (`ci` / `full`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Ci => "ci",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Per-application instruction quota for uniprocessor runs.
+    pub fn uni_quota(self) -> u64 {
+        match self {
+            Scale::Ci => 40_000,
+            Scale::Full => 1_500_000,
+        }
+    }
+
+    /// Warmup cycles for uniprocessor runs.
+    pub fn uni_warmup(self) -> u64 {
+        match self {
+            Scale::Ci => 30_000,
+            Scale::Full => 6_000_000,
+        }
+    }
+
+    /// Operating-system model for uniprocessor runs.
+    pub fn os_model(self) -> OsModel {
+        match self {
+            Scale::Ci => OsModel::scaled(),
+            Scale::Full => OsModel::paper_scale(),
+        }
+    }
+
+    /// Multiprocessor node count (the paper's DASH-like machine is 16
+    /// nodes; the scaled machine is 8).
+    pub fn mp_nodes(self) -> usize {
+        match self {
+            Scale::Ci => 8,
+            Scale::Full => 16,
+        }
+    }
+
+    /// Total application work for multiprocessor runs.
+    pub fn mp_work(self) -> u64 {
+        match self {
+            Scale::Ci => 400_000,
+            Scale::Full => 4_000_000,
+        }
+    }
+
+    /// Warmup cycles for multiprocessor runs.
+    pub fn mp_warmup(self) -> u64 {
+        match self {
+            Scale::Ci => 20_000,
+            Scale::Full => 100_000,
+        }
+    }
+}
+
+/// What a cell simulates: a uniprocessor multiprogramming workload or a
+/// multiprocessor SPLASH-like application.
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// Four-application multiprogrammed workload (paper Table 5).
+    Uni(Workload),
+    /// SPLASH-like parallel application (paper Table 9).
+    Mp(SplashProfile),
+}
+
+impl Target {
+    /// The workload or application name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Target::Uni(w) => w.name,
+            Target::Mp(a) => a.name,
+        }
+    }
+}
+
+/// One point of an experiment grid: target × scheme × contexts × seed.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// What to simulate.
+    pub target: Target,
+    /// Context scheduling scheme.
+    pub scheme: Scheme,
+    /// Hardware contexts (per processor for multiprocessor targets).
+    pub contexts: usize,
+    /// Explicit seed, or `None` for the sim's canonical default. The
+    /// seed is part of the cell's coordinates, never derived from
+    /// execution order, so sweeps are reproducible under any schedule.
+    pub seed: Option<u64>,
+}
+
+/// The result of one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellResult {
+    /// Uniprocessor multiprogramming result.
+    Uni(MultiprogramResult),
+    /// Multiprocessor result.
+    Mp(MpResult),
+}
+
+impl CellResult {
+    /// Measured cycles.
+    pub fn cycles(&self) -> u64 {
+        match self {
+            CellResult::Uni(r) => r.cycles,
+            CellResult::Mp(r) => r.cycles,
+        }
+    }
+
+    /// Execution-time breakdown.
+    pub fn breakdown(&self) -> &Breakdown {
+        match self {
+            CellResult::Uni(r) => &r.breakdown,
+            CellResult::Mp(r) => &r.breakdown,
+        }
+    }
+
+    /// Processor utilization (busy fraction of the breakdown).
+    pub fn utilization(&self) -> f64 {
+        self.breakdown().fraction(Category::Busy)
+    }
+
+    /// The uniprocessor result, if this cell ran one.
+    pub fn as_uni(&self) -> Option<&MultiprogramResult> {
+        match self {
+            CellResult::Uni(r) => Some(r),
+            CellResult::Mp(_) => None,
+        }
+    }
+
+    /// The multiprocessor result, if this cell ran one.
+    pub fn as_mp(&self) -> Option<&MpResult> {
+        match self {
+            CellResult::Mp(r) => Some(r),
+            CellResult::Uni(_) => None,
+        }
+    }
+}
+
+/// Configuration overrides applied uniformly to every cell of a spec.
+///
+/// `None` means "use the scale-resolved default". Uniprocessor-only
+/// knobs are ignored by multiprocessor cells and vice versa.
+#[derive(Debug, Clone, Default)]
+struct Overrides {
+    quota: Option<u64>,
+    warmup: Option<u64>,
+    os: Option<OsModel>,
+    btb_entries: Option<usize>,
+    store_policy: Option<StorePolicy>,
+    nodes: Option<usize>,
+    work: Option<u64>,
+    latency: Option<LatencyModel>,
+}
+
+/// Declarative description of an experiment grid.
+///
+/// A spec is a set of targets crossed with schemes, context counts, and
+/// seeds, plus overrides. Build one with the fluent methods, then hand
+/// it to [`Runner::run`]:
+///
+/// ```
+/// use interleave_bench::runner::{ExperimentSpec, Runner, Scale};
+/// use interleave_core::Scheme;
+/// use interleave_workloads::mixes;
+///
+/// let spec = ExperimentSpec::new("demo", Scale::Ci)
+///     .uni(mixes::fp())
+///     .schemes([Scheme::Blocked, Scheme::Interleaved])
+///     .contexts([2])
+///     .quota(2_000) // tiny run for the doctest
+///     .warmup(500);
+/// let sweep = Runner::serial().run(&spec);
+/// assert_eq!(sweep.cells.len(), 3); // baseline + 2 schemes × 1 count
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    name: String,
+    scale: Scale,
+    targets: Vec<Target>,
+    schemes: Vec<Scheme>,
+    contexts: Vec<usize>,
+    seeds: Vec<Option<u64>>,
+    baseline: bool,
+    overrides: Overrides,
+}
+
+impl ExperimentSpec {
+    /// A new empty spec named `name` (used for table titles and the
+    /// `BENCH_<name>.json` artifact stem) at the given scale. Defaults:
+    /// no targets, schemes `[Blocked, Interleaved]`, contexts `[2, 4]`,
+    /// the default seed, baseline included.
+    pub fn new(name: impl Into<String>, scale: Scale) -> ExperimentSpec {
+        ExperimentSpec {
+            name: name.into(),
+            scale,
+            targets: Vec::new(),
+            schemes: vec![Scheme::Blocked, Scheme::Interleaved],
+            contexts: vec![2, 4],
+            seeds: vec![None],
+            baseline: true,
+            overrides: Overrides::default(),
+        }
+    }
+
+    /// Adds a uniprocessor multiprogramming workload target.
+    pub fn uni(mut self, workload: Workload) -> Self {
+        self.targets.push(Target::Uni(workload));
+        self
+    }
+
+    /// Adds a multiprocessor application target.
+    pub fn mp(mut self, app: SplashProfile) -> Self {
+        self.targets.push(Target::Mp(app));
+        self
+    }
+
+    /// Replaces the scheme axis.
+    pub fn schemes(mut self, schemes: impl IntoIterator<Item = Scheme>) -> Self {
+        self.schemes = schemes.into_iter().collect();
+        self
+    }
+
+    /// Replaces the context-count axis.
+    pub fn contexts(mut self, counts: impl IntoIterator<Item = usize>) -> Self {
+        self.contexts = counts.into_iter().collect();
+        self
+    }
+
+    /// Replaces the seed axis with explicit seeds.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().map(Some).collect();
+        self
+    }
+
+    /// Whether each target also runs a single-context baseline cell
+    /// (default true).
+    pub fn baseline(mut self, include: bool) -> Self {
+        self.baseline = include;
+        self
+    }
+
+    /// Overrides the uniprocessor per-application instruction quota.
+    pub fn quota(mut self, quota: u64) -> Self {
+        self.overrides.quota = Some(quota);
+        self
+    }
+
+    /// Overrides warmup cycles (both uniprocessor and multiprocessor).
+    pub fn warmup(mut self, cycles: u64) -> Self {
+        self.overrides.warmup = Some(cycles);
+        self
+    }
+
+    /// Overrides the uniprocessor operating-system model.
+    pub fn os(mut self, os: OsModel) -> Self {
+        self.overrides.os = Some(os);
+        self
+    }
+
+    /// Overrides the branch-target-buffer size (0 disables the BTB).
+    pub fn btb_entries(mut self, entries: usize) -> Self {
+        self.overrides.btb_entries = Some(entries);
+        self
+    }
+
+    /// Overrides the store-miss handling policy.
+    pub fn store_policy(mut self, policy: StorePolicy) -> Self {
+        self.overrides.store_policy = Some(policy);
+        self
+    }
+
+    /// Overrides the multiprocessor node count.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.overrides.nodes = Some(nodes);
+        self
+    }
+
+    /// Overrides the multiprocessor total work.
+    pub fn work(mut self, total_work: u64) -> Self {
+        self.overrides.work = Some(total_work);
+        self
+    }
+
+    /// Overrides the multiprocessor latency model.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.overrides.latency = Some(latency);
+        self
+    }
+
+    /// The spec's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The spec's scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Enumerates the grid in its canonical order: per target, the
+    /// baseline cell first (one per seed), then contexts × schemes ×
+    /// seeds. The order is a pure function of the spec, never of
+    /// execution.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut cells = Vec::new();
+        for target in &self.targets {
+            for &seed in &self.seeds {
+                if self.baseline {
+                    cells.push(Cell {
+                        target: target.clone(),
+                        scheme: Scheme::Single,
+                        contexts: 1,
+                        seed,
+                    });
+                }
+                for &contexts in &self.contexts {
+                    for &scheme in &self.schemes {
+                        cells.push(Cell { target: target.clone(), scheme, contexts, seed });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Builds and runs the simulation for one cell.
+    pub fn run_cell(&self, cell: &Cell) -> CellResult {
+        let ov = &self.overrides;
+        match &cell.target {
+            Target::Uni(workload) => {
+                let mut b = MultiprogramSim::builder(workload.clone())
+                    .scheme(cell.scheme)
+                    .contexts(cell.contexts)
+                    .quota(ov.quota.unwrap_or_else(|| self.scale.uni_quota()))
+                    .warmup(ov.warmup.unwrap_or_else(|| self.scale.uni_warmup()))
+                    .os(ov.os.clone().unwrap_or_else(|| self.scale.os_model()));
+                if let Some(seed) = cell.seed {
+                    b = b.seed(seed);
+                }
+                if let Some(entries) = ov.btb_entries {
+                    b = b.btb_entries(entries);
+                }
+                if let Some(policy) = ov.store_policy {
+                    b = b.store_policy(policy);
+                }
+                CellResult::Uni(b.build().run())
+            }
+            Target::Mp(app) => {
+                let mut b = MpSim::builder(app.clone())
+                    .scheme(cell.scheme)
+                    .contexts(cell.contexts)
+                    .nodes(ov.nodes.unwrap_or_else(|| self.scale.mp_nodes()))
+                    .work(ov.work.unwrap_or_else(|| self.scale.mp_work()))
+                    .warmup(ov.warmup.unwrap_or_else(|| self.scale.mp_warmup()));
+                if let Some(seed) = cell.seed {
+                    b = b.seed(seed);
+                }
+                if let Some(latency) = ov.latency.clone() {
+                    b = b.latency(latency);
+                }
+                CellResult::Mp(b.build().run())
+            }
+        }
+    }
+}
+
+/// Executes an [`ExperimentSpec`]'s cells, optionally across OS threads.
+///
+/// Workers pull cell indices from a shared counter and deposit results
+/// into per-index slots, so aggregation order — and therefore every
+/// downstream table and JSON artifact — is independent of thread
+/// scheduling.
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    jobs: usize,
+}
+
+impl Runner {
+    /// A runner using `jobs` worker threads (clamped to at least 1).
+    pub fn new(jobs: usize) -> Runner {
+        Runner { jobs: jobs.max(1) }
+    }
+
+    /// A single-threaded runner.
+    pub fn serial() -> Runner {
+        Runner::new(1)
+    }
+
+    /// A runner using `INTERLEAVE_JOBS` if set, else the machine's
+    /// available parallelism.
+    pub fn from_env() -> Runner {
+        let jobs = std::env::var("INTERLEAVE_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        Runner::new(jobs)
+    }
+
+    /// The worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every cell of `spec` and returns the aggregated sweep.
+    pub fn run(&self, spec: &ExperimentSpec) -> SweepResult {
+        let cells = spec.cells();
+        let started = Instant::now();
+        let results: Vec<CellResult> = if self.jobs == 1 || cells.len() <= 1 {
+            cells.iter().map(|c| spec.run_cell(c)).collect()
+        } else {
+            let slots: Vec<OnceLock<CellResult>> =
+                (0..cells.len()).map(|_| OnceLock::new()).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..self.jobs.min(cells.len()) {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cells.len() {
+                            break;
+                        }
+                        let result = spec.run_cell(&cells[i]);
+                        slots[i].set(result).expect("cell index claimed twice");
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("worker pool covered every cell"))
+                .collect()
+        };
+        SweepResult {
+            name: spec.name.clone(),
+            scale: spec.scale,
+            jobs: self.jobs,
+            wall: started.elapsed(),
+            cells: cells.into_iter().zip(results).collect(),
+        }
+    }
+}
+
+/// The aggregated outcome of running an [`ExperimentSpec`].
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Spec name (JSON artifact stem).
+    pub name: String,
+    /// Scale the sweep ran at.
+    pub scale: Scale,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock duration of the sweep.
+    pub wall: Duration,
+    /// Every cell with its result, in the spec's canonical order.
+    pub cells: Vec<(Cell, CellResult)>,
+}
+
+impl SweepResult {
+    /// Looks up a cell's result by coordinates (first seed-axis match).
+    pub fn get(&self, target: &str, scheme: Scheme, contexts: usize) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|(c, _)| {
+                c.target.name() == target && c.scheme == scheme && c.contexts == contexts
+            })
+            .map(|(_, r)| r)
+    }
+
+    /// A target's single-context baseline result.
+    pub fn baseline(&self, target: &str) -> Option<&CellResult> {
+        self.get(target, Scheme::Single, 1)
+    }
+
+    /// Whether two sweeps produced identical results cell for cell
+    /// (coordinates and simulation outputs; wall time and job count are
+    /// ignored).
+    pub fn results_match(&self, other: &SweepResult) -> bool {
+        self.cells.len() == other.cells.len()
+            && self.cells.iter().zip(&other.cells).all(|((a, ra), (b, rb))| {
+                a.target.name() == b.target.name()
+                    && a.scheme == b.scheme
+                    && a.contexts == b.contexts
+                    && a.seed == b.seed
+                    && ra == rb
+            })
+    }
+
+    /// Renders the sweep as a generic summary table: one row per cell
+    /// with cycles, utilization, and speedup over the target's baseline.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(format!("Sweep: {} ({} scale)", self.name, self.scale.name()));
+        table.headers(["target", "scheme", "contexts", "cycles", "util", "speedup"]);
+        for (cell, result) in &self.cells {
+            let speedup = self
+                .baseline(cell.target.name())
+                .map(|b| format!("{:.2}", b.cycles() as f64 / result.cycles() as f64))
+                .unwrap_or_else(|| "-".into());
+            table.row([
+                cell.target.name().to_string(),
+                cell.scheme.name().to_string(),
+                cell.contexts.to_string(),
+                result.cycles().to_string(),
+                format!("{:.1}%", result.utilization() * 100.0),
+                speedup,
+            ]);
+        }
+        table
+    }
+
+    /// Serializes the sweep as a machine-readable JSON document.
+    pub fn to_json(&self) -> String {
+        let timestamp = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"artifact\": {},\n", json_str(&self.name)));
+        out.push_str(&format!("  \"unix_timestamp\": {timestamp},\n"));
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale.name()));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("  \"wall_ms\": {},\n", self.wall.as_millis()));
+        out.push_str("  \"cells\": [\n");
+        for (i, (cell, result)) in self.cells.iter().enumerate() {
+            let seed = cell.seed.map(|s| s.to_string()).unwrap_or_else(|| "null".into());
+            let common = format!(
+                "\"target\": {}, \"scheme\": \"{}\", \"contexts\": {}, \"seed\": {seed}, \
+                 \"cycles\": {}, \"utilization\": {:.6}",
+                json_str(cell.target.name()),
+                cell.scheme.name(),
+                cell.contexts,
+                result.cycles(),
+                result.utilization(),
+            );
+            let extra = match result {
+                CellResult::Uni(r) => format!(
+                    "\"kind\": \"uni\", \"instructions\": {}, \"throughput\": {:.6}",
+                    r.instructions,
+                    r.throughput()
+                ),
+                CellResult::Mp(r) => format!(
+                    "\"kind\": \"mp\", \"threads\": {}, \"avg_mlp\": {:.6}",
+                    r.threads, r.avg_mlp
+                ),
+            };
+            let comma = if i + 1 < self.cells.len() { "," } else { "" };
+            out.push_str(&format!("    {{{common}, {extra}}}{comma}\n"));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` into `dir`.
+    pub fn write_json(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// When `INTERLEAVE_JSON=<dir>` is set, writes the JSON artifact
+    /// there (logging to stderr); otherwise does nothing.
+    pub fn maybe_emit_json(&self) {
+        let Ok(dir) = std::env::var("INTERLEAVE_JSON") else {
+            return;
+        };
+        match self.write_json(std::path::Path::new(&dir)) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_{}.json: {e}", self.name),
+        }
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interleave_mp::splash_suite;
+    use interleave_workloads::mixes;
+
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec::new("tiny", Scale::Ci)
+            .uni(mixes::ic())
+            .mp(splash_suite()[0].clone())
+            .contexts([2])
+            .quota(2_000)
+            .work(8_000)
+            .warmup(500)
+    }
+
+    #[test]
+    fn cell_enumeration_is_canonical() {
+        let cells = tiny_spec().cells();
+        // Per target: baseline + 1 count × 2 schemes.
+        assert_eq!(cells.len(), 6);
+        assert_eq!(cells[0].scheme, Scheme::Single);
+        assert_eq!(cells[0].contexts, 1);
+        assert_eq!(cells[1].scheme, Scheme::Blocked);
+        assert_eq!(cells[2].scheme, Scheme::Interleaved);
+        assert!(matches!(cells[3].target, Target::Mp(_)));
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_match() {
+        let spec = tiny_spec();
+        let serial = Runner::serial().run(&spec);
+        let parallel = Runner::new(4).run(&spec);
+        assert_eq!(parallel.jobs, 4);
+        assert!(serial.results_match(&parallel));
+    }
+
+    #[test]
+    fn seeds_axis_changes_results() {
+        let spec = ExperimentSpec::new("seeded", Scale::Ci)
+            .uni(mixes::fp())
+            .contexts([2])
+            .schemes([Scheme::Interleaved])
+            .baseline(false)
+            .quota(2_000)
+            .warmup(500);
+        let default = Runner::serial().run(&spec.clone());
+        let reseeded = Runner::serial().run(&spec.seeds([7]));
+        assert_eq!(default.cells.len(), 1);
+        assert_eq!(reseeded.cells[0].0.seed, Some(7));
+        assert!(!default.results_match(&reseeded));
+    }
+
+    #[test]
+    fn sweep_table_and_json_are_well_formed() {
+        let sweep = Runner::serial().run(&tiny_spec());
+        let table = sweep.to_table();
+        assert_eq!(table.len(), 6);
+        let json = sweep.to_json();
+        assert!(json.contains("\"artifact\": \"tiny\""));
+        assert!(json.contains("\"kind\": \"uni\""));
+        assert!(json.contains("\"kind\": \"mp\""));
+        assert_eq!(json.matches("\"cycles\"").count(), 6);
+        // Balanced braces — cheap structural sanity check without a
+        // JSON parser in the dependency set.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn lookup_by_coordinates() {
+        let sweep = Runner::new(2).run(&tiny_spec());
+        assert!(sweep.baseline("IC").is_some());
+        assert!(sweep.get("IC", Scheme::Interleaved, 2).is_some());
+        assert!(sweep.get("IC", Scheme::Interleaved, 64).is_none());
+    }
+
+    #[test]
+    fn scale_parse_and_knobs() {
+        assert_eq!(Scale::parse("ci"), Some(Scale::Ci));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("huge"), None);
+        assert!(Scale::Full.uni_quota() > Scale::Ci.uni_quota());
+        assert!(Scale::Full.mp_nodes() > Scale::Ci.mp_nodes());
+        assert_eq!(Scale::Ci.name(), "ci");
+    }
+}

@@ -270,11 +270,7 @@ impl<P: SystemPort> Processor<P> {
 
     /// Whether every attached stream is exhausted and the pipeline drained.
     pub fn is_done(&mut self) -> bool {
-        let units_done = self
-            .units
-            .iter_mut()
-            .flatten()
-            .all(|u| u.is_done());
+        let units_done = self.units.iter_mut().flatten().all(|u| u.is_done());
         units_done && self.window.is_empty() && self.front.occupancy() == 0
     }
 
@@ -359,10 +355,7 @@ impl<P: SystemPort> Processor<P> {
 
         let retired = self.window.retire_due(now);
         for r in retired {
-            self.units[r.ctx]
-                .as_mut()
-                .expect("retiring context has a unit")
-                .retire(r.fetch_index);
+            self.units[r.ctx].as_mut().expect("retiring context has a unit").retire(r.fetch_index);
             self.ctx[r.ctx].retired += 1;
         }
 
@@ -374,8 +367,7 @@ impl<P: SystemPort> Processor<P> {
     fn process_events(&mut self, now: u64) {
         // Misses first: they bump epochs that invalidate branch resolves.
         let due: Vec<Event> = {
-            let (due, rest): (Vec<_>, Vec<_>) =
-                self.events.drain(..).partition(|e| e.due() <= now);
+            let (due, rest): (Vec<_>, Vec<_>) = self.events.drain(..).partition(|e| e.due() <= now);
             self.events = rest;
             due
         };
@@ -450,15 +442,9 @@ impl<P: SystemPort> Processor<P> {
                 self.transfer_squashed(&squashed);
                 let front_squashed = self.front.squash_all();
                 let mut mins: Vec<(usize, u64)> = Vec::new();
-                let indices = squashed
-                    .iter()
-                    .map(|s| (s.ctx, s.fetch_index))
-                    .chain(
-                        front_squashed
-                            .iter()
-                            .filter(|s| !s.wrong_path)
-                            .map(|s| (s.ctx, s.fetch_index)),
-                    );
+                let indices = squashed.iter().map(|s| (s.ctx, s.fetch_index)).chain(
+                    front_squashed.iter().filter(|s| !s.wrong_path).map(|s| (s.ctx, s.fetch_index)),
+                );
                 for (c, idx) in indices {
                     match mins.iter_mut().find(|(mc, _)| *mc == c) {
                         Some((_, m)) => *m = (*m).min(idx),
@@ -619,9 +605,7 @@ impl<P: SystemPort> Processor<P> {
                     }
                 }
                 Scheme::Blocked | Scheme::Interleaved | Scheme::FineGrained => {
-                    if kind == Access::Write
-                        && self.cfg.store_policy == StorePolicy::WriteBuffer
-                    {
+                    if kind == Access::Write && self.cfg.store_policy == StorePolicy::WriteBuffer {
                         // Release-consistent write buffering: the store
                         // retires; the fill proceeds in the background.
                         return;
@@ -790,10 +774,8 @@ impl<P: SystemPort> Processor<P> {
             });
         }
 
-        let instr = self
-            .unit_mut(ctx)
-            .peek()
-            .expect("select_context verified the stream is non-empty");
+        let instr =
+            self.unit_mut(ctx).peek().expect("select_context verified the stream is non-empty");
         let cursor = self.unit_mut(ctx).cursor();
         if self.ctx[ctx].bound_ifetch == Some(cursor) {
             // The outstanding I-fill delivers this fetch directly.

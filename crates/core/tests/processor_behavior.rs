@@ -132,8 +132,7 @@ fn predicted_branch_is_free() {
 #[test]
 fn not_taken_branches_never_mispredict_cold() {
     let mut cpu = Processor::new(ProcConfig::new(Scheme::Single, 1), PerfectMemory);
-    let prog: Vec<Instr> =
-        (0..10).map(|i| Instr::branch(i * 4, None, false, 0x1000)).collect();
+    let prog: Vec<Instr> = (0..10).map(|i| Instr::branch(i * 4, None, false, 0x1000)).collect();
     cpu.attach(0, Box::new(VecSource::new(prog)));
     run_to_completion(&mut cpu);
     assert_eq!(cpu.breakdown().get(Category::InstrShort), 0);
@@ -185,8 +184,6 @@ fn figure2_switch_costs() {
 /// scheme finishes well before the blocked scheme.
 #[test]
 fn figure3_interleaved_beats_blocked() {
-    
-
     let threads = || {
         let a = vec![alu(0x100), Instr::load(0x104, Reg::int(4), Reg::int(29), MISS_BASE)];
         let b = vec![
@@ -452,12 +449,7 @@ fn trace_records_issue_slots() {
 #[test]
 fn prefetch_never_blocks_and_warms_the_line() {
     let mut cpu = Processor::new(ProcConfig::new(Scheme::Single, 1), FixedMissMemory::new(30));
-    let prog = vec![
-        Instr::prefetch(0, Reg::int(29), MISS_BASE),
-        alu(4),
-        alu(8),
-        alu(12),
-    ];
+    let prog = vec![Instr::prefetch(0, Reg::int(29), MISS_BASE), alu(4), alu(8), alu(12)];
     cpu.attach(0, Box::new(VecSource::new(prog)));
     let cycles = run_to_completion(&mut cpu);
     // The prefetch retires like a one-cycle op; nothing waits on it.
@@ -494,7 +486,12 @@ fn run_lengths_reflect_miss_spacing() {
         for i in 0..4u64 {
             prog.push(alu(burst * 0x40 + i * 4));
         }
-        prog.push(Instr::load(burst * 0x40 + 16, Reg::int(4), Reg::int(29), MISS_BASE + burst * 64));
+        prog.push(Instr::load(
+            burst * 0x40 + 16,
+            Reg::int(4),
+            Reg::int(29),
+            MISS_BASE + burst * 64,
+        ));
     }
     cpu.attach(0, Box::new(VecSource::new(prog)));
     cpu.attach(1, Box::new(VecSource::new((0..40).map(|i| alu(0x1000 + i * 4)))));
@@ -515,9 +512,10 @@ fn swap_unit_preserves_application_progress() {
     let a_done = cpu.retired(0);
     assert!(a_done > 0 && a_done < 30);
     // Swap in app B; park A.
-    let parked_a = cpu.swap_unit(0, FetchUnit::new(Box::new(VecSource::new(
-        (0..10).map(|i| alu(0x1000 + i * 4)),
-    ))));
+    let parked_a = cpu.swap_unit(
+        0,
+        FetchUnit::new(Box::new(VecSource::new((0..10).map(|i| alu(0x1000 + i * 4))))),
+    );
     cpu.run_cycles(40); // B finishes
     assert_eq!(cpu.retired(0), 10);
     // Swap A back; it must finish exactly its remaining instructions.

@@ -55,13 +55,9 @@ fn materialize(recipes: &[Recipe], ctx: usize) -> Vec<Instr> {
                 Recipe::FpAdd { dst, src } => {
                     Instr::arith(pc, Op::FpAdd, Some(Reg::fp(dst)), Some(Reg::fp(src)), None)
                 }
-                Recipe::FpDiv { dst, src } => Instr::arith(
-                    pc,
-                    Op::FpDivSingle,
-                    Some(Reg::fp(dst)),
-                    Some(Reg::fp(src)),
-                    None,
-                ),
+                Recipe::FpDiv { dst, src } => {
+                    Instr::arith(pc, Op::FpDivSingle, Some(Reg::fp(dst)), Some(Reg::fp(src)), None)
+                }
                 Recipe::Load { dst, addr } => {
                     Instr::load(pc, Reg::int(dst), Reg::int(29), data_base + u64::from(addr))
                 }

@@ -195,10 +195,7 @@ impl Instr {
     ///
     /// The hardwired-zero register is filtered out.
     pub fn sources(&self) -> impl Iterator<Item = Reg> + '_ {
-        [self.src1, self.src2]
-            .into_iter()
-            .flatten()
-            .filter(|r| !r.is_zero())
+        [self.src1, self.src2].into_iter().flatten().filter(|r| !r.is_zero())
     }
 
     /// Destination register that participates in dependence checking.
@@ -284,7 +281,8 @@ mod tests {
 
     #[test]
     fn arith_accepts_fp() {
-        let i = Instr::arith(0, Op::FpDivDouble, Some(Reg::fp(0)), Some(Reg::fp(1)), Some(Reg::fp(2)));
+        let i =
+            Instr::arith(0, Op::FpDivDouble, Some(Reg::fp(0)), Some(Reg::fp(1)), Some(Reg::fp(2)));
         assert_eq!(i.op, Op::FpDivDouble);
         assert_eq!(i.sources().count(), 2);
     }

@@ -109,10 +109,7 @@ impl Op {
     /// FP loads/stores use the integer pipeline's memory stages (as on the
     /// R4000); only FP arithmetic flows down the FP pipe.
     pub fn is_fp(self) -> bool {
-        matches!(
-            self,
-            Op::FpAdd | Op::FpMul | Op::FpConv | Op::FpDivSingle | Op::FpDivDouble
-        )
+        matches!(self, Op::FpAdd | Op::FpMul | Op::FpConv | Op::FpDivSingle | Op::FpDivDouble)
     }
 
     /// Whether this is one of the non-pipelined long operations (divides).

@@ -90,10 +90,7 @@ impl TimingModel {
     }
 
     fn slot(op: Op) -> usize {
-        Op::ALL
-            .iter()
-            .position(|&o| o == op)
-            .expect("Op::ALL is exhaustive")
+        Op::ALL.iter().position(|&o| o == op).expect("Op::ALL is exhaustive")
     }
 }
 

@@ -86,8 +86,8 @@ impl DirectCache {
             if old_tag == new_tag {
                 None
             } else {
-                let old_addr = (old_tag << self.index_mask.count_ones() | index as u64)
-                    << self.line_shift;
+                let old_addr =
+                    (old_tag << self.index_mask.count_ones() | index as u64) << self.line_shift;
                 Some(Writeback { addr: old_addr, dirty: self.dirty[index] })
             }
         });
@@ -201,7 +201,7 @@ mod tests {
         let mut c = small();
         c.fill(0x00, false);
         assert!(c.fill(0x10, true).is_none()); // same line
-        // Dirty state updated by the refill.
+                                               // Dirty state updated by the refill.
         let wb = c.fill(0x80, false).unwrap();
         assert!(wb.dirty);
     }

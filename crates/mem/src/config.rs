@@ -36,7 +36,10 @@ impl CacheParams {
     /// multiple of the line size, or any occupancy is zero.
     pub fn validate(&self) {
         assert!(self.line.is_power_of_two(), "line size must be a power of two");
-        assert!(self.size.is_multiple_of(self.line) && self.size > 0, "size must be a line multiple");
+        assert!(
+            self.size.is_multiple_of(self.line) && self.size > 0,
+            "size must be a line multiple"
+        );
         assert!(self.fetch_lines >= 1);
         assert!(
             self.read_occupancy >= 1
@@ -140,7 +143,11 @@ impl PathTiming {
 
     /// Unloaded memory service time from lookup start.
     pub fn unloaded_memory(&self, l2: &CacheParams) -> u64 {
-        self.l1_lookup + l2.read_occupancy + self.bus_request + self.bank_access + self.bus_reply
+        self.l1_lookup
+            + l2.read_occupancy
+            + self.bus_request
+            + self.bank_access
+            + self.bus_reply
             + 1
     }
 }
@@ -210,10 +217,7 @@ impl MemConfig {
         assert!(self.mshrs >= 1, "need at least one MSHR");
         assert!(self.page_size.is_power_of_two(), "page size must be a power of two");
         assert!(self.dtlb_entries >= 1 && self.itlb_entries >= 1);
-        assert_eq!(
-            self.l1d.line, self.l2.line,
-            "primary and secondary line sizes must match"
-        );
+        assert_eq!(self.l1d.line, self.l2.line, "primary and secondary line sizes must match");
     }
 }
 

@@ -52,7 +52,13 @@ mod tests {
 
     #[test]
     fn rates() {
-        let s = MemStats { l1d_hits: 90, l1d_misses: 10, l2_hits: 8, l2_misses: 2, ..Default::default() };
+        let s = MemStats {
+            l1d_hits: 90,
+            l1d_misses: 10,
+            l2_hits: 8,
+            l2_misses: 2,
+            ..Default::default()
+        };
         assert!((s.l1d_miss_rate() - 0.1).abs() < 1e-12);
         assert!((s.l2_hit_fraction() - 0.8).abs() < 1e-12);
     }

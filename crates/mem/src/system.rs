@@ -243,8 +243,7 @@ impl UniMemSystem {
             let req = self.bus_request.acquire(l2_done, path.bus_request);
             let bank = self.bank_for(addr);
             let bank_start = self.banks[bank].acquire(req + path.bus_request, path.bank_access);
-            let reply =
-                self.bus_reply.acquire(bank_start + path.bank_access, path.bus_reply);
+            let reply = self.bus_reply.acquire(bank_start + path.bank_access, path.bus_reply);
             let data_at = reply + path.bus_reply;
             // Fill the secondary cache (fills contend with other fills on
             // a dedicated fill port so a reserved future fill slot cannot
@@ -335,7 +334,6 @@ impl UniMemSystem {
     pub fn line_size(&self) -> u64 {
         self.cfg.l1d.line
     }
-
 }
 
 #[cfg(test)]
@@ -552,9 +550,7 @@ mod tests {
         m.os_displace(0, 2048, 7);
         let mut misses = 0;
         for i in 0..256u64 {
-            if m.access_data(10_000 + i * 50, 0x4000 + i * 32, Access::Read, 0)
-                != DataAccess::Hit
-            {
+            if m.access_data(10_000 + i * 50, 0x4000 + i * 32, Access::Read, 0) != DataAccess::Hit {
                 misses += 1;
             }
         }

@@ -21,12 +21,7 @@ pub struct LatencyModel {
 impl LatencyModel {
     /// The reconstructed DASH-like default ranges.
     pub fn dash_like() -> LatencyModel {
-        LatencyModel {
-            hit: 1,
-            local: (22, 38),
-            remote: (80, 130),
-            remote_cache: (100, 160),
-        }
+        LatencyModel { hit: 1, local: (22, 38), remote: (80, 130), remote_cache: (100, 160) }
     }
 
     /// Checks range sanity.
@@ -37,11 +32,9 @@ impl LatencyModel {
     /// ordered hit < local < remote.
     pub fn validate(&self) {
         assert!(self.hit >= 1);
-        for (name, (lo, hi)) in [
-            ("local", self.local),
-            ("remote", self.remote),
-            ("remote_cache", self.remote_cache),
-        ] {
+        for (name, (lo, hi)) in
+            [("local", self.local), ("remote", self.remote), ("remote_cache", self.remote_cache)]
+        {
             assert!(lo >= 1 && lo <= hi, "{name} range ({lo}, {hi}) invalid");
         }
         assert!(self.hit < self.local.0, "local memory must be slower than a hit");

@@ -115,9 +115,7 @@ impl MpShared {
             MissClass::Hit => return DataOutcome::Hit,
             MissClass::LocalMem => self.latency.sample(self.latency.local, &mut self.rng),
             MissClass::RemoteMem => self.latency.sample(self.latency.remote, &mut self.rng),
-            MissClass::RemoteCache => {
-                self.latency.sample(self.latency.remote_cache, &mut self.rng)
-            }
+            MissClass::RemoteCache => self.latency.sample(self.latency.remote_cache, &mut self.rng),
             // Upgrades travel to the home (and possibly sharers): sample
             // local or remote by home placement.
             MissClass::Upgrade => {
@@ -301,14 +299,9 @@ mod tests {
     fn incoming_invalidations_occupy_the_victim_port() {
         // Degenerate latency ranges: sampling noise cannot mask the
         // queueing delay under comparison.
-        let fixed = LatencyModel {
-            hit: 1,
-            local: (30, 30),
-            remote: (100, 100),
-            remote_cache: (130, 130),
-        };
-        let fixed_shared =
-            || Rc::new(RefCell::new(MpShared::new(2, 2, fixed, 1)));
+        let fixed =
+            LatencyModel { hit: 1, local: (30, 30), remote: (100, 100), remote_cache: (130, 130) };
+        let fixed_shared = || Rc::new(RefCell::new(MpShared::new(2, 2, fixed, 1)));
         let s = fixed_shared();
         let mut p0 = NodePort::new(0, s.clone());
         let mut p1 = NodePort::new(1, s.clone());

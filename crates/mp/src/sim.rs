@@ -22,34 +22,97 @@ use crate::{DirectoryStats, LatencyModel, MpShared, NodePort, SplashProfile, Spl
 /// use interleave_core::Scheme;
 /// use interleave_mp::{splash_suite, MpSim};
 ///
-/// let mut sim = MpSim::new(splash_suite()[1].clone(), Scheme::Interleaved, 4, 2);
-/// sim.total_work = 8_000; // tiny run for the doctest
-/// sim.warmup_cycles = 500;
+/// let sim = MpSim::builder(splash_suite()[1].clone())
+///     .scheme(Scheme::Interleaved)
+///     .nodes(4)
+///     .contexts(2)
+///     .work(8_000) // tiny run for the doctest
+///     .warmup(500)
+///     .build();
 /// let r = sim.run();
 /// assert!(r.cycles > 0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct MpSim {
     /// The application.
-    pub app: SplashProfile,
+    app: SplashProfile,
     /// Context scheduling scheme.
-    pub scheme: Scheme,
+    scheme: Scheme,
     /// Number of nodes (processors).
-    pub nodes: usize,
+    nodes: usize,
     /// Hardware contexts per processor (threads per node).
-    pub contexts_per_node: usize,
+    contexts_per_node: usize,
     /// Total instructions of application work, split evenly over threads.
-    pub total_work: u64,
+    total_work: u64,
     /// Cycles before statistics reset.
-    pub warmup_cycles: u64,
+    warmup_cycles: u64,
     /// Latency model (Table 8).
-    pub latency: LatencyModel,
+    latency: LatencyModel,
     /// Seed for streams and latency sampling.
-    pub seed: u64,
+    seed: u64,
+}
+
+/// Builder for [`MpSim`]; obtained from [`MpSim::builder`].
+///
+/// Defaults (before any setter) are a single-context 8-node machine with
+/// 400 000 instructions of total work, 20 000 warmup cycles, the
+/// DASH-like latencies, and the fixed default seed.
+#[derive(Debug, Clone)]
+pub struct MpSimBuilder {
+    sim: MpSim,
+}
+
+impl MpSimBuilder {
+    /// Context scheduling scheme (default [`Scheme::Single`]).
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.sim.scheme = scheme;
+        self
+    }
+
+    /// Number of nodes / processors (default 8).
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.sim.nodes = nodes;
+        self
+    }
+
+    /// Hardware contexts per processor (default 1).
+    pub fn contexts(mut self, contexts_per_node: usize) -> Self {
+        self.sim.contexts_per_node = contexts_per_node;
+        self
+    }
+
+    /// Total instructions of application work (default 400 000).
+    pub fn work(mut self, total_work: u64) -> Self {
+        self.sim.total_work = total_work;
+        self
+    }
+
+    /// Warmup cycles before statistics reset (default 20 000).
+    pub fn warmup(mut self, cycles: u64) -> Self {
+        self.sim.warmup_cycles = cycles;
+        self
+    }
+
+    /// Latency model (default [`LatencyModel::dash_like`]).
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.sim.latency = latency;
+        self
+    }
+
+    /// Seed for streams and latency sampling.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+
+    /// Finalizes the simulation.
+    pub fn build(self) -> MpSim {
+        self.sim
+    }
 }
 
 /// Results of one multiprocessor run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MpResult {
     /// Measured cycles until every thread finished its share.
     pub cycles: u64,
@@ -67,23 +130,67 @@ pub struct MpResult {
 }
 
 impl MpSim {
+    /// Starts building a simulation of `app` with default work sizes and
+    /// the DASH-like latencies (see [`MpSimBuilder`]).
+    pub fn builder(app: SplashProfile) -> MpSimBuilder {
+        MpSimBuilder {
+            sim: MpSim {
+                app,
+                scheme: Scheme::Single,
+                nodes: 8,
+                contexts_per_node: 1,
+                total_work: 400_000,
+                warmup_cycles: 20_000,
+                latency: LatencyModel::dash_like(),
+                seed: 0x19941004,
+            },
+        }
+    }
+
     /// A simulation with default work sizes and the DASH-like latencies.
+    #[deprecated(since = "0.2.0", note = "use `MpSim::builder(app)` instead")]
     pub fn new(
         app: SplashProfile,
         scheme: Scheme,
         nodes: usize,
         contexts_per_node: usize,
     ) -> MpSim {
-        MpSim {
-            app,
-            scheme,
-            nodes,
-            contexts_per_node,
-            total_work: 400_000,
-            warmup_cycles: 20_000,
-            latency: LatencyModel::dash_like(),
-            seed: 0x19941004,
-        }
+        MpSim::builder(app).scheme(scheme).nodes(nodes).contexts(contexts_per_node).build()
+    }
+
+    /// The application being run.
+    pub fn app(&self) -> &SplashProfile {
+        &self.app
+    }
+
+    /// Context scheduling scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Number of nodes (processors).
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Hardware contexts per processor.
+    pub fn contexts_per_node(&self) -> usize {
+        self.contexts_per_node
+    }
+
+    /// Total instructions of application work.
+    pub fn total_work(&self) -> u64 {
+        self.total_work
+    }
+
+    /// Warmup cycles before statistics reset.
+    pub fn warmup_cycles(&self) -> u64 {
+        self.warmup_cycles
+    }
+
+    /// Seed for streams and latency sampling.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Runs the simulation to completion.
@@ -156,9 +263,9 @@ impl MpSim {
             for _ in 0..128 {
                 step(&mut cpus, &mut now);
             }
-            let done = cpus.iter().all(|cpu| {
-                (0..self.contexts_per_node).all(|ctx| cpu.retired(ctx) >= quota)
-            });
+            let done = cpus
+                .iter()
+                .all(|cpu| (0..self.contexts_per_node).all(|ctx| cpu.retired(ctx) >= quota));
             if done {
                 break;
             }
@@ -180,10 +287,32 @@ mod tests {
     use interleave_stats::Category;
 
     fn quick(app: SplashProfile, scheme: Scheme, nodes: usize, ctxs: usize) -> MpResult {
-        let mut sim = MpSim::new(app, scheme, nodes, ctxs);
-        sim.total_work = 24_000;
-        sim.warmup_cycles = 2_000;
-        sim.run()
+        MpSim::builder(app)
+            .scheme(scheme)
+            .nodes(nodes)
+            .contexts(ctxs)
+            .work(24_000)
+            .warmup(2_000)
+            .build()
+            .run()
+    }
+
+    #[test]
+    fn builder_defaults_match_old_constructor() {
+        #[allow(deprecated)]
+        let old = MpSim::new(apps::water(), Scheme::Blocked, 4, 2);
+        let new =
+            MpSim::builder(apps::water()).scheme(Scheme::Blocked).nodes(4).contexts(2).build();
+        assert_eq!(old.scheme, new.scheme);
+        assert_eq!(old.nodes, new.nodes);
+        assert_eq!(old.contexts_per_node, new.contexts_per_node);
+        assert_eq!(old.total_work, new.total_work);
+        assert_eq!(old.warmup_cycles, new.warmup_cycles);
+        assert_eq!(old.seed, new.seed);
+        assert_eq!(old.app.name, new.app.name);
+        // And the runs they produce are bit-identical at a tiny scale.
+        let shrink = |sim: MpSim| MpSim { total_work: 8_000, warmup_cycles: 500, ..sim };
+        assert_eq!(shrink(old).run(), shrink(new).run());
     }
 
     #[test]

@@ -142,9 +142,7 @@ impl SyncController {
                 let done: Vec<u32> = self
                     .barriers
                     .iter()
-                    .filter(|(k, b)| {
-                        **k + 4 < instance && b.passed.len() as u32 >= b.expected
-                    })
+                    .filter(|(k, b)| **k + 4 < instance && b.passed.len() as u32 >= b.expected)
                     .map(|(k, _)| *k)
                     .collect();
                 for k in done {

@@ -35,10 +35,7 @@ impl Btb {
             entries == 0 || entries.is_power_of_two(),
             "BTB entries must be zero or a power of two"
         );
-        Btb {
-            entries: vec![None; entries],
-            index_mask: entries.saturating_sub(1) as u64,
-        }
+        Btb { entries: vec![None; entries], index_mask: entries.saturating_sub(1) as u64 }
     }
 
     /// Whether the predictor is disabled (zero entries).

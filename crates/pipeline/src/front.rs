@@ -142,11 +142,7 @@ impl FrontEnd {
 
     /// Instructions of `ctx` currently in the front end.
     pub fn count_ctx(&self, ctx: usize) -> usize {
-        self.stages
-            .iter()
-            .filter_map(FrontSlot::slot)
-            .filter(|s| s.ctx == ctx)
-            .count()
+        self.stages.iter().filter_map(FrontSlot::slot).filter(|s| s.ctx == ctx).count()
     }
 
     /// Iterates over the stages from IF1 (youngest) to RF (oldest).

@@ -130,12 +130,7 @@ impl BlockedPcUnit {
     /// Panics if `reset_pcs` is empty.
     pub fn new(reset_pcs: &[u64]) -> BlockedPcUnit {
         assert!(!reset_pcs.is_empty(), "need at least one context");
-        BlockedPcUnit {
-            pc: reset_pcs[0],
-            epc: reset_pcs.to_vec(),
-            active: 0,
-            in_exception: false,
-        }
+        BlockedPcUnit { pc: reset_pcs[0], epc: reset_pcs.to_vec(), active: 0, in_exception: false }
     }
 
     /// Current PC.
@@ -344,7 +339,7 @@ mod tests {
         let mut u = BlockedPcUnit::new(&[0x100, 0x2000]);
         u.step(PcSource::Sequential);
         u.step(PcSource::Sequential); // ctx 0 at 0x108
-        // Cache miss at 0x108: switch to context 1.
+                                      // Cache miss at 0x108: switch to context 1.
         u.switch_context(1, 0x108);
         assert_eq!(u.active(), 1);
         assert_eq!(u.pc(), 0x2000, "context 1 starts at its saved PC");

@@ -91,10 +91,8 @@ impl IssueWindow {
     /// complete normally, exactly as in a machine that squashes by CID at
     /// the detection point.
     pub fn squash_ctx_from(&mut self, ctx: usize, from: u64) -> Vec<InFlight> {
-        let (squashed, kept): (Vec<_>, Vec<_>) = self
-            .items
-            .drain(..)
-            .partition(|i| i.ctx == ctx && i.fetch_index >= from);
+        let (squashed, kept): (Vec<_>, Vec<_>) =
+            self.items.drain(..).partition(|i| i.ctx == ctx && i.fetch_index >= from);
         self.items = kept.into();
         squashed
     }

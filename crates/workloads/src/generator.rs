@@ -212,8 +212,7 @@ impl SyntheticApp {
             if p.software_prefetch {
                 // Prefetch the next stream element so its line is (mostly)
                 // resident by the time the stream reaches it.
-                let ahead =
-                    (self.stream_pos + 4 * p.stream_stride) % p.data_footprint;
+                let ahead = (self.stream_pos + 4 * p.stream_stride) % p.data_footprint;
                 let pf_pc = self.peek_pc(1);
                 self.pending.push_back(Instr::prefetch(
                     pf_pc,
@@ -360,11 +359,8 @@ impl SyntheticApp {
         let draw: f64 = self.rng.gen();
         let mut acc = p.frac_load;
         if draw < acc {
-            let dst = if self.rng.gen_bool(p.frac_fp) {
-                self.next_fp_dst()
-            } else {
-                self.next_int_dst()
-            };
+            let dst =
+                if self.rng.gen_bool(p.frac_fp) { self.next_fp_dst() } else { self.next_int_dst() };
             let addr = self.data_addr();
             self.recent_loads = [Some((dst, self.emitted)), self.recent_loads[0]];
             if self.due_consumer.is_none() && self.rng.gen_bool(0.85) {
@@ -639,8 +635,7 @@ mod tests {
         let mut p = AppProfile::base("phases");
         p.code_footprint = 64 * 1024;
         let instrs = take(p, 60_000);
-        let regions: std::collections::HashSet<u64> =
-            instrs.iter().map(|i| i.pc >> 12).collect();
+        let regions: std::collections::HashSet<u64> = instrs.iter().map(|i| i.pc >> 12).collect();
         assert!(regions.len() >= 3, "phase changes should spread over the code");
     }
 }

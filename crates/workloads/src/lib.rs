@@ -43,4 +43,4 @@ pub use generator::SyntheticApp;
 pub use measure::{measure_profile, StreamStats};
 pub use os::{InterferenceTable, OsModel};
 pub use profile::AppProfile;
-pub use sim::{MultiprogramResult, MultiprogramSim};
+pub use sim::{MultiprogramResult, MultiprogramSim, MultiprogramSimBuilder};

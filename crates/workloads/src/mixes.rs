@@ -55,10 +55,7 @@ pub fn r0() -> Workload {
 
 /// R1 — random mix: Mxm, Li, Matrix300, Tomcatv.
 pub fn r1() -> Workload {
-    Workload {
-        name: "R1",
-        apps: vec![spec::mxm(), spec::li(), spec::matrix300(), spec::tomcatv()],
-    }
+    Workload { name: "R1", apps: vec![spec::mxm(), spec::li(), spec::matrix300(), spec::tomcatv()] }
 }
 
 /// SP — uniprocessor versions of four SPLASH applications: MP3D, Water,

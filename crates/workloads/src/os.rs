@@ -16,13 +16,7 @@ impl InterferenceTable {
     /// The reconstructed Table 6.
     pub fn torrellas_like() -> InterferenceTable {
         InterferenceTable {
-            rows: vec![
-                (0, 40, 30),
-                (1, 170, 140),
-                (2, 320, 260),
-                (4, 600, 500),
-                (8, 1100, 900),
-            ],
+            rows: vec![(0, 40, 30), (1, 170, 140), (2, 320, 260), (4, 600, 500), (8, 1100, 900)],
         }
     }
 

@@ -3,9 +3,9 @@ use interleave_mem::{MemConfig, MemStats, UniMemSystem};
 use interleave_stats::Breakdown;
 
 use crate::mixes::Workload;
-use crate::{OsModel, SyntheticApp};
 #[cfg(test)]
 use crate::InterferenceTable;
+use crate::{OsModel, SyntheticApp};
 
 /// Fixed-work multiprogramming driver for the workstation study.
 ///
@@ -23,9 +23,12 @@ use crate::InterferenceTable;
 /// use interleave_core::Scheme;
 /// use interleave_workloads::{mixes, MultiprogramSim};
 ///
-/// let mut sim = MultiprogramSim::new(mixes::fp(), Scheme::Interleaved, 2);
-/// sim.quota = 2_000; // tiny run for the doctest
-/// sim.warmup_cycles = 500;
+/// let sim = MultiprogramSim::builder(mixes::fp())
+///     .scheme(Scheme::Interleaved)
+///     .contexts(2)
+///     .quota(2_000) // tiny run for the doctest
+///     .warmup(500)
+///     .build();
 /// let result = sim.run();
 /// assert!(result.cycles > 0);
 /// assert!(result.breakdown.total() > 0);
@@ -33,29 +36,105 @@ use crate::InterferenceTable;
 #[derive(Debug, Clone)]
 pub struct MultiprogramSim {
     /// The workload to run.
-    pub workload: Workload,
+    workload: Workload,
     /// Context scheduling scheme.
-    pub scheme: Scheme,
+    scheme: Scheme,
     /// Hardware contexts.
-    pub contexts: usize,
+    contexts: usize,
     /// Instructions each application must retire (measured work).
-    pub quota: u64,
+    quota: u64,
     /// Cycles executed before statistics are reset (cache warmup).
-    pub warmup_cycles: u64,
+    warmup_cycles: u64,
     /// Seed for the synthetic streams and OS displacement.
-    pub seed: u64,
+    seed: u64,
     /// Operating-system model.
-    pub os: OsModel,
+    os: OsModel,
     /// Memory-system configuration.
-    pub mem: MemConfig,
+    mem: MemConfig,
     /// Branch target buffer entries (2048 in the paper; 0 disables it).
-    pub btb_entries: usize,
+    btb_entries: usize,
     /// Store-miss handling policy.
-    pub store_policy: StorePolicy,
+    store_policy: StorePolicy,
+}
+
+/// Builder for [`MultiprogramSim`]; obtained from
+/// [`MultiprogramSim::builder`].
+///
+/// Defaults (before any setter) are a single-context processor at the
+/// scaled CI configuration: scheme [`Scheme::Single`], one context,
+/// 40 000-instruction quotas, 30 000 warmup cycles, [`OsModel::scaled`],
+/// the workstation memory system, a 2048-entry BTB, and switch-on-miss
+/// stores.
+#[derive(Debug, Clone)]
+pub struct MultiprogramSimBuilder {
+    sim: MultiprogramSim,
+}
+
+impl MultiprogramSimBuilder {
+    /// Context scheduling scheme (default [`Scheme::Single`]).
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.sim.scheme = scheme;
+        self
+    }
+
+    /// Hardware contexts (default 1).
+    pub fn contexts(mut self, contexts: usize) -> Self {
+        self.sim.contexts = contexts;
+        self
+    }
+
+    /// Instructions each application must retire (default 40 000).
+    pub fn quota(mut self, quota: u64) -> Self {
+        self.sim.quota = quota;
+        self
+    }
+
+    /// Warmup cycles before statistics reset (default 30 000).
+    pub fn warmup(mut self, cycles: u64) -> Self {
+        self.sim.warmup_cycles = cycles;
+        self
+    }
+
+    /// Seed for the synthetic streams and OS displacement.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+
+    /// Operating-system model (default [`OsModel::scaled`]).
+    pub fn os(mut self, os: OsModel) -> Self {
+        self.sim.os = os;
+        self
+    }
+
+    /// Memory-system configuration (default
+    /// [`MemConfig::workstation`]).
+    pub fn mem(mut self, mem: MemConfig) -> Self {
+        self.sim.mem = mem;
+        self
+    }
+
+    /// Branch target buffer entries; 0 disables the BTB (default 2048).
+    pub fn btb_entries(mut self, entries: usize) -> Self {
+        self.sim.btb_entries = entries;
+        self
+    }
+
+    /// Store-miss handling policy (default
+    /// [`StorePolicy::SwitchOnMiss`]).
+    pub fn store_policy(mut self, policy: StorePolicy) -> Self {
+        self.sim.store_policy = policy;
+        self
+    }
+
+    /// Finalizes the simulation.
+    pub fn build(self) -> MultiprogramSim {
+        self.sim
+    }
 }
 
 /// Results of one multiprogrammed run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MultiprogramResult {
     /// Measured cycles (after warmup) until every quota completed.
     pub cycles: u64,
@@ -77,21 +156,75 @@ impl MultiprogramResult {
 }
 
 impl MultiprogramSim {
+    /// Starts building a simulation of `workload` with scaled defaults
+    /// (see [`MultiprogramSimBuilder`]).
+    pub fn builder(workload: Workload) -> MultiprogramSimBuilder {
+        MultiprogramSimBuilder {
+            sim: MultiprogramSim {
+                workload,
+                scheme: Scheme::Single,
+                contexts: 1,
+                quota: 40_000,
+                warmup_cycles: 30_000,
+                seed: 0x19940501,
+                os: OsModel::scaled(),
+                mem: MemConfig::workstation(),
+                btb_entries: 2048,
+                store_policy: StorePolicy::SwitchOnMiss,
+            },
+        }
+    }
+
     /// A simulation with the scaled default OS model, memory system, and
     /// quotas.
+    #[deprecated(since = "0.2.0", note = "use `MultiprogramSim::builder(workload)` instead")]
     pub fn new(workload: Workload, scheme: Scheme, contexts: usize) -> MultiprogramSim {
-        MultiprogramSim {
-            workload,
-            scheme,
-            contexts,
-            quota: 40_000,
-            warmup_cycles: 30_000,
-            seed: 0x19940501,
-            os: OsModel::scaled(),
-            mem: MemConfig::workstation(),
-            btb_entries: 2048,
-            store_policy: StorePolicy::SwitchOnMiss,
-        }
+        MultiprogramSim::builder(workload).scheme(scheme).contexts(contexts).build()
+    }
+
+    /// The workload being run.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Context scheduling scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Hardware contexts.
+    pub fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    /// Instructions each application must retire.
+    pub fn quota(&self) -> u64 {
+        self.quota
+    }
+
+    /// Warmup cycles before statistics reset.
+    pub fn warmup_cycles(&self) -> u64 {
+        self.warmup_cycles
+    }
+
+    /// Seed for the synthetic streams and OS displacement.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The operating-system model.
+    pub fn os(&self) -> &OsModel {
+        &self.os
+    }
+
+    /// Branch target buffer entries.
+    pub fn btb_entries(&self) -> usize {
+        self.btb_entries
+    }
+
+    /// Store-miss handling policy.
+    pub fn store_policy(&self) -> StorePolicy {
+        self.store_policy
     }
 
     /// Runs the simulation to completion.
@@ -146,11 +279,7 @@ impl MultiprogramSim {
         let start = cpu.now();
         let mut slice = 0u64;
         let mut rr_next_app = resident_count % n_apps.max(1);
-        let safety = self
-            .quota
-            .saturating_mul(n_apps as u64)
-            .saturating_mul(200)
-            .max(10_000_000);
+        let safety = self.quota.saturating_mul(n_apps as u64).saturating_mul(200).max(10_000_000);
 
         loop {
             // Run one slice (checking completion periodically).
@@ -187,8 +316,7 @@ impl MultiprogramSim {
                 if !(rotating || app_done) {
                     continue;
                 }
-                let Some(next) = self.pick_next_app(&parked, &completed, &mut rr_next_app)
-                else {
+                let Some(next) = self.pick_next_app(&parked, &completed, &mut rr_next_app) else {
                     continue;
                 };
                 completed[app] += cpu.retired(ctx);
@@ -269,11 +397,39 @@ mod tests {
     use interleave_stats::Category;
 
     fn quick(scheme: Scheme, contexts: usize) -> MultiprogramResult {
-        let mut sim = MultiprogramSim::new(mixes::fp(), scheme, contexts);
-        sim.quota = 3_000;
-        sim.warmup_cycles = 2_000;
-        sim.os.slice_cycles = 8_000;
-        sim.run()
+        MultiprogramSim::builder(mixes::fp())
+            .scheme(scheme)
+            .contexts(contexts)
+            .quota(3_000)
+            .warmup(2_000)
+            .os(OsModel { slice_cycles: 8_000, ..OsModel::scaled() })
+            .build()
+            .run()
+    }
+
+    #[test]
+    fn builder_defaults_match_old_constructor() {
+        #[allow(deprecated)]
+        let old = MultiprogramSim::new(mixes::fp(), Scheme::Interleaved, 2);
+        let new =
+            MultiprogramSim::builder(mixes::fp()).scheme(Scheme::Interleaved).contexts(2).build();
+        assert_eq!(old.scheme, new.scheme);
+        assert_eq!(old.contexts, new.contexts);
+        assert_eq!(old.quota, new.quota);
+        assert_eq!(old.warmup_cycles, new.warmup_cycles);
+        assert_eq!(old.seed, new.seed);
+        assert_eq!(old.os, new.os);
+        assert_eq!(old.btb_entries, new.btb_entries);
+        assert_eq!(old.store_policy, new.store_policy);
+        assert_eq!(old.workload.name, new.workload.name);
+        // And the runs they produce are bit-identical at a tiny scale.
+        let shrink =
+            |sim: MultiprogramSim| MultiprogramSim { quota: 1_000, warmup_cycles: 500, ..sim };
+        let a = shrink(old).run();
+        let b = shrink(new).run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.breakdown, b.breakdown);
     }
 
     #[test]
@@ -307,11 +463,13 @@ mod tests {
     fn rotation_runs_more_apps_than_contexts() {
         // Four applications on two contexts: the scheduler must rotate all
         // of them through, and every quota must complete.
-        let mut sim = MultiprogramSim::new(mixes::r1(), Scheme::Blocked, 2);
-        sim.quota = 2_500;
-        sim.warmup_cycles = 1_000;
-        sim.os.slice_cycles = 5_000;
-        sim.os.affinity_slices = 2;
+        let sim = MultiprogramSim::builder(mixes::r1())
+            .scheme(Scheme::Blocked)
+            .contexts(2)
+            .quota(2_500)
+            .warmup(1_000)
+            .os(OsModel { slice_cycles: 5_000, affinity_slices: 2, ..OsModel::scaled() })
+            .build();
         let r = sim.run();
         assert!(r.instructions >= 4 * 2_500);
     }
@@ -320,24 +478,17 @@ mod tests {
     fn os_interference_costs_cycles() {
         // The same workload with much heavier scheduler interference must
         // run slower.
-        let base = {
-            let mut sim = MultiprogramSim::new(mixes::fp(), Scheme::Single, 1);
-            sim.quota = 4_000;
-            sim.warmup_cycles = 2_000;
-            sim.os.slice_cycles = 4_000;
-            sim.run().cycles
+        let quick = |interference: InterferenceTable, seed: u64| {
+            MultiprogramSim::builder(mixes::fp())
+                .quota(4_000)
+                .warmup(2_000)
+                .os(OsModel { slice_cycles: 4_000, interference, ..OsModel::scaled() })
+                .seed(seed)
+                .build()
         };
-        let noisy = {
-            let mut sim = MultiprogramSim::new(mixes::fp(), Scheme::Single, 1);
-            sim.quota = 4_000;
-            sim.warmup_cycles = 2_000;
-            sim.os.slice_cycles = 4_000;
-            sim.os.interference = InterferenceTable::torrellas_like();
-            // Scale interference up by replacing the table with a
-            // saturating variant via displacement of most of the cache.
-            sim.seed ^= 1; // decorrelate streams slightly
-            sim.run().cycles
-        };
+        let base = quick(InterferenceTable::torrellas_like(), 0x19940501).run().cycles;
+        // Decorrelate the streams slightly for the comparison run.
+        let noisy = quick(InterferenceTable::torrellas_like(), 0x19940501 ^ 1).run().cycles;
         // Same-magnitude runs; the point is both complete and produce
         // comparable, nonzero costs (detailed displacement behaviour is
         // unit-tested in `interleave-mem`).

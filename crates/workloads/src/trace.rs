@@ -167,12 +167,7 @@ pub struct TraceSource {
 impl TraceSource {
     /// Creates a source replaying `records` with code placed at `pc_base`.
     pub fn new(records: Vec<TraceRecord>, pc_base: u64) -> TraceSource {
-        TraceSource {
-            records: records.into_iter(),
-            pc: pc_base,
-            rr: 0,
-            last_dst: Reg::int(8),
-        }
+        TraceSource { records: records.into_iter(), pc: pc_base, rr: 0, last_dst: Reg::int(8) }
     }
 
     /// Parses `text` and builds the source.

@@ -38,7 +38,12 @@ fn main() {
         (Scheme::Blocked, 8),
         (Scheme::Interleaved, 8),
     ] {
-        let result = MpSim::new(app.clone(), scheme, nodes, contexts).run();
+        let result = MpSim::builder(app.clone())
+            .scheme(scheme)
+            .nodes(nodes)
+            .contexts(contexts)
+            .build()
+            .run();
         let b = *base.get_or_insert(result.cycles);
         t.row([
             format!("{scheme:?} x{contexts}"),

@@ -32,13 +32,22 @@ fn run(scheme: Scheme, contexts: usize) -> (u64, f64, f64) {
 
 fn main() {
     println!("Quickstart: two applications, {} instructions each\n", WORK);
-    println!("{:<22} {:>10} {:>8} {:>8} {:>9}", "configuration", "cycles", "busy", "switch", "speedup");
+    println!(
+        "{:<22} {:>10} {:>8} {:>8} {:>9}",
+        "configuration", "cycles", "busy", "switch", "speedup"
+    );
     let (base, busy, switch) = run(Scheme::Single, 1);
     println!(
         "{:<22} {:>10} {:>7.1}% {:>7.1}% {:>8.2}x",
-        "single-context", base, busy * 100.0, switch * 100.0, 1.0
+        "single-context",
+        base,
+        busy * 100.0,
+        switch * 100.0,
+        1.0
     );
-    for (label, scheme) in [("blocked, 2 ctx", Scheme::Blocked), ("interleaved, 2 ctx", Scheme::Interleaved)] {
+    for (label, scheme) in
+        [("blocked, 2 ctx", Scheme::Blocked), ("interleaved, 2 ctx", Scheme::Interleaved)]
+    {
         let (cycles, busy, switch) = run(scheme, 2);
         println!(
             "{:<22} {:>10} {:>7.1}% {:>7.1}% {:>8.2}x",

@@ -21,7 +21,8 @@ fn main() {
     let apps: Vec<&str> = workload.apps.iter().map(|a| a.name).collect();
     println!("Workload {} = {}\n", workload.name, apps.join(" + "));
 
-    let mut t = Table::new("multiprogrammed throughput (OS time slices, affinity, cache interference)");
+    let mut t =
+        Table::new("multiprogrammed throughput (OS time slices, affinity, cache interference)");
     t.headers(["configuration", "IPC", "vs single", "busy", "data-mem", "switch"]);
     let mut base = None;
     for (scheme, contexts) in [
@@ -31,7 +32,11 @@ fn main() {
         (Scheme::Blocked, 4),
         (Scheme::Interleaved, 4),
     ] {
-        let result = MultiprogramSim::new(workload.clone(), scheme, contexts).run();
+        let result = MultiprogramSim::builder(workload.clone())
+            .scheme(scheme)
+            .contexts(contexts)
+            .build()
+            .run();
         let ipc = result.throughput();
         let b = *base.get_or_insert(ipc);
         t.row([

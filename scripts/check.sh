@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, the whole test suite, and
+# formatting. Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo fmt --check
+echo "check.sh: all green"

@@ -1,8 +1,9 @@
 //! Argument parsing and report rendering for the `interleave-sim` binary.
 //!
 //! Hand-rolled (no external dependencies): subcommands `uni`, `mp`,
-//! `trace`, and `list`, each with `--flag value` options.
+//! `sweep`, `trace`, and `list`, each with `--flag value` options.
 
+use crate::bench::{ExperimentSpec, Runner, Scale};
 use crate::core::Scheme;
 use crate::mp::{splash_suite, MpSim, SplashProfile};
 use crate::stats::{Category, Table};
@@ -39,6 +40,20 @@ pub enum Command {
         work: u64,
         /// Stream seed.
         seed: u64,
+    },
+    /// Run a whole experiment grid on the parallel sweep runner.
+    Sweep {
+        /// Grid to run: `table7` (workstation) or `table10`
+        /// (multiprocessor).
+        artifact: String,
+        /// Worker threads (`None` = `INTERLEAVE_JOBS` / machine).
+        jobs: Option<usize>,
+        /// Problem scale (`None` = `INTERLEAVE_FULL`).
+        scale: Option<Scale>,
+        /// Directory for the `BENCH_<artifact>.json` artifact.
+        json: Option<String>,
+        /// Explicit stream seed (`None` = the sims' defaults).
+        seed: Option<u64>,
     },
     /// Replay a trace file on a single-context processor.
     Trace {
@@ -106,8 +121,18 @@ impl<'a> Flags<'a> {
     fn num(&self, name: &str, default: u64) -> Result<u64, CliError> {
         match self.get(name) {
             None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| CliError(format!("--{name} expects a number, got `{v}`")))
+            }
+        }
+    }
+
+    fn opt_num(&self, name: &str) -> Result<Option<u64>, CliError> {
+        match self.get(name) {
+            None => Ok(None),
             Some(v) => v
                 .parse()
+                .map(Some)
                 .map_err(|_| CliError(format!("--{name} expects a number, got `{v}`"))),
         }
     }
@@ -116,6 +141,15 @@ impl<'a> Flags<'a> {
         match self.get("scheme") {
             None => Ok(default),
             Some(v) => parse_scheme(v),
+        }
+    }
+
+    fn scale(&self) -> Result<Option<Scale>, CliError> {
+        match self.get("scale") {
+            None => Ok(None),
+            Some(v) => Scale::parse(v)
+                .map(Some)
+                .ok_or_else(|| CliError(format!("--scale expects `ci` or `full`, got `{v}`"))),
         }
     }
 }
@@ -129,6 +163,8 @@ USAGE:
                        [--quota N] [--seed N]
   interleave-sim mp    [--app NAME] [--scheme S] [--nodes N] [--contexts N]
                        [--work N] [--seed N]
+  interleave-sim sweep --artifact table7|table10 [--jobs N] [--scale ci|full]
+                       [--json DIR] [--seed N]
   interleave-sim trace --file PATH [--scheme S] [--contexts N]
   interleave-sim list
   interleave-sim help
@@ -161,6 +197,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             contexts: flags.num("contexts", 4)? as usize,
             work: flags.num("work", 400_000)?,
             seed: flags.num("seed", 0x19941004)?,
+        }),
+        "sweep" => Ok(Command::Sweep {
+            artifact: flags
+                .get("artifact")
+                .ok_or_else(|| CliError("sweep requires --artifact table7|table10".into()))?
+                .to_string(),
+            jobs: flags.opt_num("jobs")?.map(|n| n as usize),
+            scale: flags.scale()?,
+            json: flags.get("json").map(str::to_string),
+            seed: flags.opt_num("seed")?,
         }),
         "trace" => Ok(Command::Trace {
             path: flags
@@ -233,10 +279,13 @@ pub fn run(command: Command) -> Result<(), CliError> {
         }
         Command::Uni { workload, scheme, contexts, quota, seed } => {
             let workload = find_workload(&workload)?;
-            let mut sim = MultiprogramSim::new(workload.clone(), scheme, contexts);
-            sim.quota = quota;
-            sim.seed = seed;
-            let result = sim.run();
+            let result = MultiprogramSim::builder(workload.clone())
+                .scheme(scheme)
+                .contexts(contexts)
+                .quota(quota)
+                .seed(seed)
+                .build()
+                .run();
             println!(
                 "{} | {scheme:?} x{contexts} | {} cycles | IPC {:.3}\n",
                 workload.name,
@@ -254,10 +303,14 @@ pub fn run(command: Command) -> Result<(), CliError> {
         }
         Command::Mp { app, scheme, nodes, contexts, work, seed } => {
             let app = find_app(&app)?;
-            let mut sim = MpSim::new(app.clone(), scheme, nodes, contexts);
-            sim.total_work = work;
-            sim.seed = seed;
-            let result = sim.run();
+            let result = MpSim::builder(app.clone())
+                .scheme(scheme)
+                .nodes(nodes)
+                .contexts(contexts)
+                .work(work)
+                .seed(seed)
+                .build()
+                .run();
             println!(
                 "{} | {scheme:?} | {nodes} nodes x {contexts} contexts = {} threads | {} cycles\n",
                 app.name, result.threads, result.cycles
@@ -268,6 +321,52 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 "protocol: {} local, {} remote, {} remote-cache, {} upgrades, {} invalidations",
                 d.local, d.remote, d.remote_cache, d.upgrades, d.invalidations
             );
+        }
+        Command::Sweep { artifact, jobs, scale, json, seed } => {
+            let scale = scale.unwrap_or_else(Scale::from_env);
+            let mut spec = match artifact.as_str() {
+                "table7" => {
+                    let mut spec = ExperimentSpec::new("table7", scale).contexts([2, 4]);
+                    for w in mixes::all() {
+                        spec = spec.uni(w);
+                    }
+                    spec
+                }
+                "table10" => {
+                    let mut spec = ExperimentSpec::new("table10", scale).contexts([2, 4, 8]);
+                    for app in splash_suite() {
+                        spec = spec.mp(app);
+                    }
+                    spec
+                }
+                other => {
+                    return Err(CliError(format!(
+                        "unknown artifact `{other}` (expected table7 or table10)"
+                    )))
+                }
+            };
+            if let Some(seed) = seed {
+                spec = spec.seeds([seed]);
+            }
+            let runner = jobs.map(Runner::new).unwrap_or_else(Runner::from_env);
+            let sweep = runner.run(&spec);
+            println!("{}", sweep.to_table());
+            println!(
+                "{} cells, {} jobs, {:.2?} wall, {} scale",
+                sweep.cells.len(),
+                sweep.jobs,
+                sweep.wall,
+                sweep.scale.name()
+            );
+            match json {
+                Some(dir) => {
+                    let path = sweep
+                        .write_json(std::path::Path::new(&dir))
+                        .map_err(|e| CliError(format!("cannot write JSON into `{dir}`: {e}")))?;
+                    println!("wrote {}", path.display());
+                }
+                None => sweep.maybe_emit_json(),
+            }
         }
         Command::Trace { path, scheme, contexts } => {
             let text = std::fs::read_to_string(&path)
@@ -316,7 +415,8 @@ mod tests {
 
     #[test]
     fn parses_uni_flags() {
-        let cmd = parse(&argv("uni --workload DC --scheme blocked --contexts 2 --quota 999")).unwrap();
+        let cmd =
+            parse(&argv("uni --workload DC --scheme blocked --contexts 2 --quota 999")).unwrap();
         match cmd {
             Command::Uni { workload, scheme, contexts, quota, .. } => {
                 assert_eq!(workload, "DC");
@@ -348,6 +448,48 @@ mod tests {
         assert!(parse(&argv("uni contexts 4")).is_err());
         assert!(parse(&argv("trace")).is_err());
         assert!(parse(&argv("uni --quota abc")).is_err());
+        assert!(parse(&argv("sweep")).is_err());
+        assert!(parse(&argv("sweep --artifact table7 --scale huge")).is_err());
+        assert!(parse(&argv("sweep --artifact table7 --jobs x")).is_err());
+    }
+
+    #[test]
+    fn parses_sweep() {
+        let cmd = parse(&argv("sweep --artifact table7 --jobs 4 --scale ci --json out --seed 9"))
+            .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sweep {
+                artifact: "table7".into(),
+                jobs: Some(4),
+                scale: Some(Scale::Ci),
+                json: Some("out".into()),
+                seed: Some(9),
+            }
+        );
+        match parse(&argv("sweep --artifact table10")).unwrap() {
+            Command::Sweep { artifact, jobs, scale, json, seed } => {
+                assert_eq!(artifact, "table10");
+                assert_eq!(jobs, None);
+                assert_eq!(scale, None);
+                assert_eq!(json, None);
+                assert_eq!(seed, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_artifact() {
+        let err = run(Command::Sweep {
+            artifact: "table99".into(),
+            jobs: Some(1),
+            scale: Some(Scale::Ci),
+            json: None,
+            seed: None,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("unknown artifact"));
     }
 
     #[test]

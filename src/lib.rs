@@ -23,7 +23,10 @@
 //!   multiprogramming driver;
 //! * [`mp`] — the DASH-like directory-coherent multiprocessor and
 //!   SPLASH-like parallel application models;
-//! * [`stats`] — cycle attribution and report rendering.
+//! * [`stats`] — cycle attribution and report rendering;
+//! * [`bench`] — the unified experiment API: [`bench::ExperimentSpec`]
+//!   grids executed by the parallel [`bench::Runner`] (also behind the
+//!   `interleave-sim sweep` subcommand).
 //!
 //! # Quickstart
 //!
@@ -52,6 +55,7 @@
 
 pub mod cli;
 
+pub use interleave_bench as bench;
 pub use interleave_core as core;
 pub use interleave_isa as isa;
 pub use interleave_mem as mem;

@@ -5,7 +5,7 @@ use interleave::core::{ProcConfig, Processor, Scheme};
 use interleave::mem::{MemConfig, UniMemSystem};
 use interleave::mp::{splash_suite, MpSim};
 use interleave::stats::Category;
-use interleave::workloads::{mixes, spec, MultiprogramSim, SyntheticApp};
+use interleave::workloads::{mixes, spec, MultiprogramSim, OsModel, SyntheticApp};
 
 #[test]
 fn facade_quickstart_runs() {
@@ -24,12 +24,17 @@ fn facade_quickstart_runs() {
 #[test]
 fn every_scheme_completes_every_workload() {
     for workload in mixes::all() {
-        for (scheme, contexts) in [(Scheme::Single, 1), (Scheme::Blocked, 2), (Scheme::Interleaved, 2)] {
-            let mut sim = MultiprogramSim::new(workload.clone(), scheme, contexts);
-            sim.quota = 1_500;
-            sim.warmup_cycles = 1_000;
-            sim.os.slice_cycles = 6_000;
-            let r = sim.run();
+        for (scheme, contexts) in
+            [(Scheme::Single, 1), (Scheme::Blocked, 2), (Scheme::Interleaved, 2)]
+        {
+            let r = MultiprogramSim::builder(workload.clone())
+                .scheme(scheme)
+                .contexts(contexts)
+                .quota(1_500)
+                .warmup(1_000)
+                .os(OsModel { slice_cycles: 6_000, ..OsModel::scaled() })
+                .build()
+                .run();
             assert!(
                 r.instructions >= 4 * 1_500,
                 "{} under {scheme:?}x{contexts} retired too little",
@@ -43,22 +48,31 @@ fn every_scheme_completes_every_workload() {
 #[test]
 fn every_splash_app_completes_on_the_multiprocessor() {
     for app in splash_suite() {
-        let mut sim = MpSim::new(app.clone(), Scheme::Interleaved, 4, 2);
-        sim.total_work = 16_000;
-        sim.warmup_cycles = 1_000;
-        let r = sim.run();
-        assert!(r.cycles > 0, "{}", app.name);
-        assert!(r.breakdown.get(Category::Busy) > 0, "{}", app.name);
+        let name = app.name;
+        let r = MpSim::builder(app)
+            .scheme(Scheme::Interleaved)
+            .nodes(4)
+            .contexts(2)
+            .work(16_000)
+            .warmup(1_000)
+            .build()
+            .run();
+        assert!(r.cycles > 0, "{name}");
+        assert!(r.breakdown.get(Category::Busy) > 0, "{name}");
     }
 }
 
 #[test]
 fn interleaved_workstation_gains_over_single_at_four_contexts() {
     let run = |scheme, contexts| {
-        let mut sim = MultiprogramSim::new(mixes::sp(), scheme, contexts);
-        sim.quota = 8_000;
-        sim.warmup_cycles = 5_000;
-        sim.run().throughput()
+        MultiprogramSim::builder(mixes::sp())
+            .scheme(scheme)
+            .contexts(contexts)
+            .quota(8_000)
+            .warmup(5_000)
+            .build()
+            .run()
+            .throughput()
     };
     let single = run(Scheme::Single, 1);
     let interleaved = run(Scheme::Interleaved, 4);
@@ -72,10 +86,15 @@ fn interleaved_workstation_gains_over_single_at_four_contexts() {
 fn multiprocessor_contexts_speed_up_memory_bound_apps() {
     let app = splash_suite().remove(0); // MP3D
     let run = |scheme, contexts| {
-        let mut sim = MpSim::new(app.clone(), scheme, 4, contexts);
-        sim.total_work = 60_000;
-        sim.warmup_cycles = 2_000;
-        sim.run().cycles
+        MpSim::builder(app.clone())
+            .scheme(scheme)
+            .nodes(4)
+            .contexts(contexts)
+            .work(60_000)
+            .warmup(2_000)
+            .build()
+            .run()
+            .cycles
     };
     let single = run(Scheme::Single, 1);
     let interleaved = run(Scheme::Interleaved, 4);
@@ -88,19 +107,27 @@ fn multiprocessor_contexts_speed_up_memory_bound_apps() {
 #[test]
 fn runs_are_deterministic() {
     let run = || {
-        let mut sim = MultiprogramSim::new(mixes::r0(), Scheme::Interleaved, 2);
-        sim.quota = 2_000;
-        sim.warmup_cycles = 1_000;
-        let r = sim.run();
+        let r = MultiprogramSim::builder(mixes::r0())
+            .scheme(Scheme::Interleaved)
+            .contexts(2)
+            .quota(2_000)
+            .warmup(1_000)
+            .build()
+            .run();
         (r.cycles, r.instructions)
     };
     assert_eq!(run(), run());
 
     let mp_run = || {
-        let mut sim = MpSim::new(splash_suite()[4].clone(), Scheme::Blocked, 2, 2);
-        sim.total_work = 12_000;
-        sim.warmup_cycles = 1_000;
-        sim.run().cycles
+        MpSim::builder(splash_suite()[4].clone())
+            .scheme(Scheme::Blocked)
+            .nodes(2)
+            .contexts(2)
+            .work(12_000)
+            .warmup(1_000)
+            .build()
+            .run()
+            .cycles
     };
     assert_eq!(mp_run(), mp_run());
 }

@@ -117,7 +117,13 @@ fn claim_backoff_tolerates_divides() {
                 None,
             ));
             prog.push(Instr::backoff(pc + 4, 57));
-            prog.push(Instr::arith(pc + 8, interleave::isa::Op::FpAdd, Some(Reg::fp(3)), Some(Reg::fp(1)), None));
+            prog.push(Instr::arith(
+                pc + 8,
+                interleave::isa::Op::FpAdd,
+                Some(Reg::fp(3)),
+                Some(Reg::fp(1)),
+                None,
+            ));
         }
         VecSource::new(prog)
     };

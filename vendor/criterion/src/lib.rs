@@ -1,0 +1,152 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! The build environment has no crates.io access; this vendored crate
+//! implements the subset of the criterion API the workspace's
+//! `perf_criterion` harness uses. It measures with plain
+//! [`std::time::Instant`] and prints `name: median ± spread` per
+//! benchmark — no statistics engine, no HTML reports — which is enough
+//! for the repo's cycles-simulated-per-second trajectory numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver configuration and registry.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+        // Warm up and calibrate the per-sample iteration count.
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_millis(1);
+        while warm_start.elapsed() < self.warm_up_time {
+            b.iters = 1;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            per_iter = b.elapsed.max(Duration::from_nanos(1));
+        }
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = (budget / per_iter.as_secs_f64()).clamp(1.0, 1e6) as u64;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples.push(b.elapsed / iters as u32);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let spread = samples[samples.len() - 1].saturating_sub(samples[0]);
+        println!(
+            "{name}: {:.3?} per iter (±{:.3?} over {} samples x {} iters)",
+            median, spread, self.sample_size, iters
+        );
+        self
+    }
+}
+
+/// Passed to the benchmark closure; times the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Prevents the compiler from optimizing a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        c.bench_function("spin", |b| b.iter(|| runs = runs.wrapping_add(1)));
+        assert!(runs > 0);
+    }
+}
