@@ -54,7 +54,7 @@ fn run(scheme: Scheme) -> (u64, String) {
         .iter()
         .map(|r| match r {
             IssueRecord::Issued { ctx, .. } => (b'A' + *ctx as u8) as char,
-            IssueRecord::Stalled(_) => '-',
+            IssueRecord::Stalled { .. } => '-',
             IssueRecord::Bubble(Some(_)) => '.',
             IssueRecord::Bubble(None) => ' ',
         })

@@ -33,7 +33,7 @@ fn main() {
                 .expect("sweep covers every workload cell");
             row.push(format!("{:.1}", r.run_lengths.mean()));
             if scheme == Scheme::Interleaved {
-                detail = format!("{}..{}", r.run_lengths.min, r.run_lengths.max);
+                detail = format!("{}..{}", r.run_lengths.min(), r.run_lengths.max());
             }
         }
         row.push(detail);

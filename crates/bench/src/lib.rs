@@ -77,9 +77,9 @@ fn unpack_uni(
             unreachable!("uni spec produced a multiprocessor cell")
         };
         if cell.scheme == Scheme::Single && cell.contexts == 1 {
-            baseline = Some(r);
+            baseline = Some(*r);
         } else {
-            rows.push((cell.scheme, cell.contexts, r));
+            rows.push((cell.scheme, cell.contexts, *r));
         }
     }
     (baseline.expect("spec includes the baseline cell"), rows)
@@ -125,9 +125,9 @@ pub fn mp_grid(app: &SplashProfile) -> (MpResult, Vec<(Scheme, usize, MpResult)>
             unreachable!("mp spec produced a uniprocessor cell")
         };
         if cell.scheme == Scheme::Single && cell.contexts == 1 {
-            baseline = Some(r);
+            baseline = Some(*r);
         } else {
-            rows.push((cell.scheme, cell.contexts, r));
+            rows.push((cell.scheme, cell.contexts, *r));
         }
     }
     (baseline.expect("spec includes the baseline cell"), rows)

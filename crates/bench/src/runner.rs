@@ -15,11 +15,12 @@
 //! `determinism` integration test).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use interleave_core::{Scheme, StorePolicy};
 use interleave_mp::{LatencyModel, MpResult, MpSim, SplashProfile};
+use interleave_obs::Registry;
 use interleave_stats::{Breakdown, Category, Table};
 use interleave_workloads::mixes::Workload;
 use interleave_workloads::{MultiprogramResult, MultiprogramSim, OsModel};
@@ -154,10 +155,11 @@ pub struct Cell {
 /// The result of one cell.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CellResult {
-    /// Uniprocessor multiprogramming result.
-    Uni(MultiprogramResult),
+    /// Uniprocessor multiprogramming result (boxed: results are large
+    /// and move through worker queues and sweep vectors).
+    Uni(Box<MultiprogramResult>),
     /// Multiprocessor result.
-    Mp(MpResult),
+    Mp(Box<MpResult>),
 }
 
 impl CellResult {
@@ -195,6 +197,14 @@ impl CellResult {
         match self {
             CellResult::Mp(r) => Some(r),
             CellResult::Uni(_) => None,
+        }
+    }
+
+    /// The cell's instrumentation registry (counters and histograms).
+    pub fn metrics(&self) -> &Registry {
+        match self {
+            CellResult::Uni(r) => &r.metrics,
+            CellResult::Mp(r) => &r.metrics,
         }
     }
 }
@@ -406,7 +416,7 @@ impl ExperimentSpec {
                 if let Some(policy) = ov.store_policy {
                     b = b.store_policy(policy);
                 }
-                CellResult::Uni(b.build().run())
+                CellResult::Uni(Box::new(b.build().run()))
             }
             Target::Mp(app) => {
                 let mut b = MpSim::builder(app.clone())
@@ -418,10 +428,10 @@ impl ExperimentSpec {
                 if let Some(seed) = cell.seed {
                     b = b.seed(seed);
                 }
-                if let Some(latency) = ov.latency.clone() {
+                if let Some(latency) = ov.latency {
                     b = b.latency(latency);
                 }
-                CellResult::Mp(b.build().run())
+                CellResult::Mp(Box::new(b.build().run()))
             }
         }
     }
@@ -436,12 +446,60 @@ impl ExperimentSpec {
 #[derive(Debug, Clone, Copy)]
 pub struct Runner {
     jobs: usize,
+    progress: bool,
+}
+
+/// Rate-limited completion heartbeat printed to stderr by
+/// [`Runner::run`] when progress reporting is enabled.
+///
+/// Workers call [`ProgressMeter::tick`] once per finished cell; at most
+/// about one line per second is emitted (the final cell always reports),
+/// so long sweeps stay observable without flooding the terminal.
+#[derive(Debug)]
+struct ProgressMeter {
+    total: usize,
+    started: Instant,
+    done: AtomicUsize,
+    last_print: Mutex<Instant>,
+}
+
+impl ProgressMeter {
+    fn new(total: usize) -> ProgressMeter {
+        let now = Instant::now();
+        ProgressMeter {
+            total,
+            started: now,
+            done: AtomicUsize::new(0),
+            last_print: Mutex::new(now),
+        }
+    }
+
+    /// Records one completed cell and prints the heartbeat if at least a
+    /// second has passed since the previous line (or the sweep is done).
+    fn tick(&self, name: &str) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let now = Instant::now();
+        {
+            let mut last = self.last_print.lock().expect("progress lock");
+            if done < self.total && now.duration_since(*last) < Duration::from_secs(1) {
+                return;
+            }
+            *last = now;
+        }
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let rate = done as f64 / elapsed;
+        let eta = (self.total - done) as f64 / rate;
+        eprintln!(
+            "sweep {name}: {done}/{total} cells, {rate:.2} cells/s, ETA {eta:.0}s",
+            total = self.total
+        );
+    }
 }
 
 impl Runner {
     /// A runner using `jobs` worker threads (clamped to at least 1).
     pub fn new(jobs: usize) -> Runner {
-        Runner { jobs: jobs.max(1) }
+        Runner { jobs: jobs.max(1), progress: false }
     }
 
     /// A single-threaded runner.
@@ -450,13 +508,22 @@ impl Runner {
     }
 
     /// A runner using `INTERLEAVE_JOBS` if set, else the machine's
-    /// available parallelism.
+    /// available parallelism. Progress reporting is enabled when
+    /// `INTERLEAVE_PROGRESS=1`.
     pub fn from_env() -> Runner {
         let jobs = std::env::var("INTERLEAVE_JOBS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
             .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
         Runner::new(jobs)
+            .progress(matches!(std::env::var("INTERLEAVE_PROGRESS"), Ok(v) if v == "1"))
+    }
+
+    /// Enables or disables the per-second completion heartbeat on stderr
+    /// (default off).
+    pub fn progress(mut self, on: bool) -> Runner {
+        self.progress = on;
+        self
     }
 
     /// The worker-thread count.
@@ -468,8 +535,19 @@ impl Runner {
     pub fn run(&self, spec: &ExperimentSpec) -> SweepResult {
         let cells = spec.cells();
         let started = Instant::now();
+        let meter = self.progress.then(|| ProgressMeter::new(cells.len()));
+        let meter = meter.as_ref();
         let results: Vec<CellResult> = if self.jobs == 1 || cells.len() <= 1 {
-            cells.iter().map(|c| spec.run_cell(c)).collect()
+            cells
+                .iter()
+                .map(|c| {
+                    let result = spec.run_cell(c);
+                    if let Some(m) = meter {
+                        m.tick(spec.name());
+                    }
+                    result
+                })
+                .collect()
         } else {
             let slots: Vec<OnceLock<CellResult>> =
                 (0..cells.len()).map(|_| OnceLock::new()).collect();
@@ -483,6 +561,9 @@ impl Runner {
                         }
                         let result = spec.run_cell(&cells[i]);
                         slots[i].set(result).expect("cell index claimed twice");
+                        if let Some(m) = meter {
+                            m.tick(spec.name());
+                        }
                     });
                 }
             });
@@ -611,6 +692,35 @@ impl SweepResult {
         out
     }
 
+    /// Serializes every cell's metric registry as a JSON document.
+    ///
+    /// Unlike [`SweepResult::to_json`], the document carries no
+    /// timestamp, wall time, or job count, and every registry is
+    /// name-sorted — so serial and parallel sweeps of the same spec
+    /// produce byte-identical artifacts (asserted by the
+    /// `metrics_json_identical_serial_vs_parallel` test).
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"artifact\": {},\n", json_str(&self.name)));
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale.name()));
+        out.push_str("  \"cells\": [\n");
+        for (i, (cell, result)) in self.cells.iter().enumerate() {
+            let seed = cell.seed.map(|s| s.to_string()).unwrap_or_else(|| "null".into());
+            let comma = if i + 1 < self.cells.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"target\": {}, \"scheme\": \"{}\", \"contexts\": {}, \"seed\": {seed}, \
+                 \"metrics\": {}}}{comma}\n",
+                json_str(cell.target.name()),
+                cell.scheme.name(),
+                cell.contexts,
+                result.metrics().to_json(4),
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// Writes `BENCH_<name>.json` into `dir`.
     pub fn write_json(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
@@ -619,15 +729,29 @@ impl SweepResult {
         Ok(path)
     }
 
-    /// When `INTERLEAVE_JSON=<dir>` is set, writes the JSON artifact
-    /// there (logging to stderr); otherwise does nothing.
+    /// Writes `METRICS_<name>.json` into `dir`.
+    pub fn write_metrics_json(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("METRICS_{}.json", self.name));
+        std::fs::write(&path, self.metrics_json())?;
+        Ok(path)
+    }
+
+    /// When `INTERLEAVE_JSON=<dir>` is set, writes the `BENCH_*.json`
+    /// and `METRICS_*.json` artifacts there (logging to stderr);
+    /// otherwise does nothing.
     pub fn maybe_emit_json(&self) {
         let Ok(dir) = std::env::var("INTERLEAVE_JSON") else {
             return;
         };
-        match self.write_json(std::path::Path::new(&dir)) {
+        let dir = std::path::Path::new(&dir);
+        match self.write_json(dir) {
             Ok(path) => eprintln!("wrote {}", path.display()),
             Err(e) => eprintln!("warning: could not write BENCH_{}.json: {e}", self.name),
+        }
+        match self.write_metrics_json(dir) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write METRICS_{}.json: {e}", self.name),
         }
     }
 }
@@ -714,6 +838,36 @@ mod tests {
         // Balanced braces — cheap structural sanity check without a
         // JSON parser in the dependency set.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn metrics_json_identical_serial_vs_parallel() {
+        let spec = tiny_spec();
+        let serial = Runner::serial().run(&spec).metrics_json();
+        let parallel = Runner::new(4).run(&spec).metrics_json();
+        assert_eq!(serial, parallel, "metrics artifact must not depend on the schedule");
+        let doc = interleave_obs::json::parse(&serial).expect("metrics json parses");
+        let cells = doc.get("cells").and_then(|c| c.as_arr()).expect("cells array");
+        assert_eq!(cells.len(), 6);
+        let first = cells[0].get("metrics").expect("metrics object");
+        assert!(first.get("cycles.busy").and_then(|v| v.as_u64()).is_some());
+        assert!(first.get("core.run_length").and_then(|h| h.get("count")).is_some());
+    }
+
+    #[test]
+    fn cell_metrics_reconcile_with_breakdown() {
+        let sweep = Runner::serial().run(&tiny_spec());
+        for (cell, result) in &sweep.cells {
+            let busy = result.metrics().counter_value("cycles.busy");
+            assert_eq!(
+                busy,
+                Some(result.breakdown().get(Category::Busy)),
+                "cycles.busy mismatch for {} {:?} x{}",
+                cell.target.name(),
+                cell.scheme,
+                cell.contexts
+            );
+        }
     }
 
     #[test]

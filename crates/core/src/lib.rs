@@ -60,4 +60,4 @@ pub use config::{ProcConfig, Scheme, StorePolicy};
 pub use context::{CtxView, WaitReason};
 pub use fetch::{FetchUnit, InstrSource, VecSource};
 pub use ports::{DataOutcome, InstOutcome, PerfectMemory, SyncOutcome, SystemPort};
-pub use processor::{IssueRecord, Processor, RunLengthStats};
+pub use processor::{IssueRecord, Processor, SwitchStats};

@@ -1,4 +1,6 @@
 use interleave_isa::{Access, Instr, Op};
+use interleave_obs::chrome::ChromeTrace;
+use interleave_obs::{Counter, Histogram, Registry};
 use interleave_pipeline::{
     Btb, BubbleCause, FrontEnd, FrontSlot, InFlight, IssueWindow, Scoreboard, Slot,
     FP_ISSUE_TO_RETIRE, INT_ISSUE_TO_RETIRE,
@@ -11,64 +13,74 @@ use crate::{
     SyncOutcome, SystemPort, WaitReason,
 };
 
-/// Run-length statistics: instructions a context issues between successive
-/// unavailability events (paper Section 5.1 — run lengths govern how a
-/// strict round-robin shares the machine among applications).
-///
-/// Issue slots later squashed by the unavailability event are counted in
-/// the run they issued in *and* again when re-executed, so means run a
-/// cycle or two above the pure useful-instruction spacing.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RunLengthStats {
-    /// Completed runs observed.
-    pub runs: u64,
-    /// Total instructions across completed runs.
-    pub instructions: u64,
-    /// Shortest completed run.
-    pub min: u64,
-    /// Longest completed run.
-    pub max: u64,
-}
-
-impl RunLengthStats {
-    /// Mean run length (0.0 when no runs completed).
-    pub fn mean(&self) -> f64 {
-        if self.runs == 0 {
-            0.0
-        } else {
-            self.instructions as f64 / self.runs as f64
-        }
-    }
-
-    fn record(&mut self, length: u64) {
-        if self.runs == 0 {
-            self.min = length;
-            self.max = length;
-        } else {
-            self.min = self.min.min(length);
-            self.max = self.max.max(length);
-        }
-        self.runs += 1;
-        self.instructions += length;
-    }
+/// Context-switch event counters, by the cause that made the context
+/// unavailable (paper Section 5: data misses, failed synchronization,
+/// and explicit backoff/switch instructions).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Switches triggered by a detected data-cache miss.
+    pub data: Counter,
+    /// Switches triggered by a failed synchronization attempt.
+    pub sync: Counter,
+    /// Switches triggered by an explicit backoff / switch-hint
+    /// instruction.
+    pub backoff: Counter,
 }
 
 /// What happened in the issue slot of one cycle (optional trace for the
-/// Figure 2/3 illustrations).
+/// Figure 2/3 illustrations and the Chrome-trace export).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IssueRecord {
-    /// Context `ctx` issued an instruction of class `op`.
+    /// Context `ctx` issued an instruction of class `op`; the cycle was
+    /// charged to `category` (busy for useful work, switch for
+    /// latency-tolerance ops and issue slots later squashed).
     Issued {
         /// Issuing context.
         ctx: usize,
         /// Operation class.
         op: Op,
+        /// Category the issue slot is charged to. Normally
+        /// [`Category::Busy`]; [`Category::Switch`] for
+        /// backoff/switch-hint ops, and re-attributed to switch in place
+        /// when the slot is squashed (keeping the trace in agreement
+        /// with the [`Breakdown`]'s busy→switch transfer).
+        category: Category,
     },
-    /// The RF occupant stalled; cycle charged to `category`.
-    Stalled(Category),
+    /// The RF occupant of context `ctx` stalled; cycle charged to
+    /// `category`.
+    Stalled {
+        /// Stalling context.
+        ctx: usize,
+        /// Category charged.
+        category: Category,
+    },
     /// A bubble reached the issue point; cycle charged to `category`
     /// (`None` for drained cycles, which are not charged).
     Bubble(Option<Category>),
+}
+
+/// Stable snake-case metric-name suffix for a breakdown category
+/// (`Category::label` uses display punctuation unsuitable for metric
+/// names).
+fn metric_name(category: Category) -> &'static str {
+    match category {
+        Category::Busy => "busy",
+        Category::InstrShort => "instr_short",
+        Category::InstrLong => "instr_long",
+        Category::InstMem => "inst_mem",
+        Category::DataMem => "data_mem",
+        Category::Sync => "sync",
+        Category::Switch => "switch",
+    }
+}
+
+/// Coarse Chrome-trace category (`cat` field) for viewer filtering.
+fn span_class(category: Category) -> &'static str {
+    match category {
+        Category::Busy => "issue",
+        Category::Switch => "switch",
+        _ => "stall",
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -116,9 +128,13 @@ pub struct Processor<P: SystemPort> {
     breakdown: Breakdown,
     drained_cycles: u64,
     trace: Option<Vec<IssueRecord>>,
-    run_lengths: RunLengthStats,
+    /// Cycle at which the current trace buffer started (for mapping an
+    /// in-flight instruction's issue cycle back to its trace record).
+    trace_start: u64,
+    run_lengths: Histogram,
     /// Instructions issued per context since it last became unavailable.
     current_run: Vec<u64>,
+    switches: SwitchStats,
 }
 
 impl<P: SystemPort> Processor<P> {
@@ -145,8 +161,10 @@ impl<P: SystemPort> Processor<P> {
             breakdown: Breakdown::new(),
             drained_cycles: 0,
             trace: None,
-            run_lengths: RunLengthStats::default(),
+            trace_start: 0,
+            run_lengths: Histogram::new(),
             current_run: vec![0; cfg.contexts],
+            switches: SwitchStats::default(),
             cfg,
             port,
         }
@@ -185,6 +203,7 @@ impl<P: SystemPort> Processor<P> {
     /// Enables or disables the per-cycle issue trace.
     pub fn set_trace(&mut self, enabled: bool) {
         self.trace = if enabled { Some(Vec::new()) } else { None };
+        self.trace_start = self.now;
     }
 
     /// The issue trace collected so far (empty when tracing is disabled).
@@ -213,10 +232,22 @@ impl<P: SystemPort> Processor<P> {
         self.drained_cycles
     }
 
-    /// Run-length statistics (instructions issued between a context's
-    /// successive unavailability events).
-    pub fn run_lengths(&self) -> RunLengthStats {
-        self.run_lengths
+    /// Run-length histogram: instructions a context issues between
+    /// successive unavailability events (paper Section 5.1 — run lengths
+    /// govern how a strict round-robin shares the machine among
+    /// applications).
+    ///
+    /// Issue slots later squashed by the unavailability event are
+    /// counted in the run they issued in *and* again when re-executed,
+    /// so means run a cycle or two above the pure useful-instruction
+    /// spacing.
+    pub fn run_lengths(&self) -> &Histogram {
+        &self.run_lengths
+    }
+
+    /// Context-switch event counters by cause.
+    pub fn switch_stats(&self) -> &SwitchStats {
+        &self.switches
     }
 
     /// Instructions retired by context `ctx`.
@@ -237,6 +268,78 @@ impl<P: SystemPort> Processor<P> {
         if let Some(trace) = self.trace.as_mut() {
             trace.clear();
         }
+        self.trace_start = self.now;
+    }
+
+    /// Registers the processor's metrics: the run-length histogram and
+    /// switch counters under `core.*`, the cycle breakdown under
+    /// `cycles.*`, retired instructions, and the pipeline structures'
+    /// counters (`pipeline.*`).
+    pub fn collect_metrics(&self, reg: &mut Registry) {
+        reg.histogram("core.run_length", &self.run_lengths);
+        reg.counter("core.switches.data", self.switches.data.get());
+        reg.counter("core.switches.sync", self.switches.sync.get());
+        reg.counter("core.switches.backoff", self.switches.backoff.get());
+        for category in Category::ALL {
+            reg.counter(&format!("cycles.{}", metric_name(category)), self.breakdown.get(category));
+        }
+        reg.counter("cycles.drained", self.drained_cycles);
+        reg.counter("instructions.retired", self.ctx.iter().map(|c| c.retired).sum());
+        self.btb.collect_metrics(reg);
+        self.window.collect_metrics(reg);
+        self.front.collect_metrics(reg);
+    }
+
+    /// Exports the collected issue trace as a Chrome trace-event
+    /// document: one track per hardware context carrying its issue and
+    /// stall spans (issue slots later squashed appear as `switch`
+    /// spans), plus a `machine` track for bubbles that reached the issue
+    /// point unattributed to any context. One trace microsecond equals
+    /// one simulated cycle, and drained (uncharged) cycles leave gaps,
+    /// so per-category span totals reconcile exactly with
+    /// [`Processor::breakdown`] over the traced interval.
+    ///
+    /// Returns an empty trace when tracing is disabled.
+    pub fn chrome_trace(&self) -> ChromeTrace {
+        let mut t = ChromeTrace::new();
+        if self.trace().is_empty() {
+            return t;
+        }
+        t.process_name(0, "interleave-sim");
+        for c in 0..self.cfg.contexts {
+            t.thread_name(0, c as u64, &format!("ctx{c}"));
+        }
+        let machine = self.cfg.contexts as u64;
+        t.thread_name(0, machine, "machine");
+
+        // Merge consecutive identical (track, category) cycles into one
+        // span; drained cycles close any open span and emit nothing.
+        let mut open: Option<(u64, Category, u64, u64)> = None; // tid, cat, start, len
+        for (i, rec) in self.trace().iter().enumerate() {
+            let cur = match *rec {
+                IssueRecord::Issued { ctx, category, .. } => Some((ctx as u64, category)),
+                IssueRecord::Stalled { ctx, category } => Some((ctx as u64, category)),
+                IssueRecord::Bubble(Some(category)) => Some((machine, category)),
+                IssueRecord::Bubble(None) => None,
+            };
+            match (open, cur) {
+                (Some((tid, cat, start, len)), Some((tid2, cat2)))
+                    if tid == tid2 && cat == cat2 =>
+                {
+                    open = Some((tid, cat, start, len + 1));
+                }
+                (prev, cur) => {
+                    if let Some((tid, cat, start, len)) = prev {
+                        t.span(0, tid, start, len, cat.label(), span_class(cat));
+                    }
+                    open = cur.map(|(tid, cat)| (tid, cat, i as u64, 1));
+                }
+            }
+        }
+        if let Some((tid, cat, start, len)) = open {
+            t.span(0, tid, start, len, cat.label(), span_class(cat));
+        }
+        t
     }
 
     /// Snapshot of a context's scheduling state.
@@ -401,6 +504,7 @@ impl<P: SystemPort> Processor<P> {
         if self.ctx[ctx].epoch != epoch {
             return; // squashed in the meantime; the re-executed access re-reports
         }
+        self.switches.data.inc();
         self.end_run(ctx);
         // The fill is delivered to this context by the MSHR; its
         // re-executed access completes without re-probing the cache.
@@ -519,7 +623,7 @@ impl<P: SystemPort> Processor<P> {
                 }
             };
             self.breakdown.record(category, 1);
-            return IssueRecord::Stalled(category);
+            return IssueRecord::Stalled { ctx: slot.ctx, category };
         }
 
         // Synchronization check happens at issue (the port decides).
@@ -576,7 +680,7 @@ impl<P: SystemPort> Processor<P> {
         }
 
         self.advance_front(now);
-        IssueRecord::Issued { ctx: slot.ctx, op: slot.instr.op }
+        IssueRecord::Issued { ctx: slot.ctx, op: slot.instr.op, category: Category::Busy }
     }
 
     fn issue_mem(&mut self, now: u64, slot: &Slot, addr: u64, kind: Access) {
@@ -633,10 +737,11 @@ impl<P: SystemPort> Processor<P> {
         match self.cfg.scheme {
             Scheme::Single => {
                 // Spin at RF: retry the port every cycle until granted.
-                IssueRecord::Stalled(Category::Sync)
+                IssueRecord::Stalled { ctx: slot.ctx, category: Category::Sync }
             }
             Scheme::Blocked | Scheme::Interleaved | Scheme::FineGrained => {
                 let ctx = slot.ctx;
+                self.switches.sync.inc();
                 self.end_run(ctx);
                 // The sync instruction has not issued; squash it (it sits
                 // in RF) and everything younger, then sleep until woken.
@@ -660,7 +765,7 @@ impl<P: SystemPort> Processor<P> {
     /// for the encoded duration.
     fn handle_backoff(&mut self, now: u64, slot: Slot) -> IssueRecord {
         self.issue_tolerance_op(now, &slot);
-        IssueRecord::Issued { ctx: slot.ctx, op: Op::Backoff }
+        IssueRecord::Issued { ctx: slot.ctx, op: Op::Backoff, category: Category::Switch }
     }
 
     /// Blocked explicit switch: cost 3 (this slot + the two suppressed
@@ -670,7 +775,7 @@ impl<P: SystemPort> Processor<P> {
         let ctx = slot.ctx;
         self.issue_tolerance_op(now, &slot);
         self.pick_next_current(ctx);
-        IssueRecord::Issued { ctx, op: Op::SwitchHint }
+        IssueRecord::Issued { ctx, op: Op::SwitchHint, category: Category::Switch }
     }
 
     /// Ends a context's current run (it is becoming unavailable).
@@ -686,6 +791,7 @@ impl<P: SystemPort> Processor<P> {
     /// still squash and re-execute it), and the context sleeps.
     fn issue_tolerance_op(&mut self, now: u64, slot: &Slot) {
         let ctx = slot.ctx;
+        self.switches.backoff.inc();
         self.end_run(ctx);
         let ex = now + 1;
         self.breakdown.record(Category::Switch, 1);
@@ -730,7 +836,27 @@ impl<P: SystemPort> Processor<P> {
             // busy charge may have been cleared by a statistics reset
             // while the instruction was in flight.
             if !matches!(inflight.instr.op, Op::Backoff | Op::SwitchHint) {
-                self.breakdown.transfer_upto(Category::Busy, Category::Switch, 1);
+                let moved = self.breakdown.transfer_upto(Category::Busy, Category::Switch, 1);
+                if moved == 1 {
+                    self.reattribute_trace(inflight.issued_at);
+                }
+            }
+        }
+    }
+
+    /// Re-marks the trace record of the issue slot at `issued_at` as
+    /// switch overhead, keeping the trace cycle-for-cycle consistent
+    /// with the breakdown's busy→switch transfer. The record was pushed
+    /// the cycle before the instruction entered EX.
+    fn reattribute_trace(&mut self, issued_at: u64) {
+        let start = self.trace_start;
+        if let Some(trace) = self.trace.as_mut() {
+            if issued_at > start {
+                if let Some(IssueRecord::Issued { category, .. }) =
+                    trace.get_mut((issued_at - 1 - start) as usize)
+                {
+                    *category = Category::Switch;
+                }
             }
         }
     }
@@ -794,7 +920,7 @@ impl<P: SystemPort> Processor<P> {
 
         let mut mispredicted = false;
         if let Some(branch) = instr.branch {
-            if !self.btb.predicts_correctly(instr.pc, branch.taken, branch.target) {
+            if !self.btb.check(instr.pc, branch.taken, branch.target) {
                 // The prediction is bound at fetch: the shared BTB may be
                 // retrained by other contexts before this branch issues.
                 self.ctx[ctx].wrong_path = true;
@@ -923,6 +1049,16 @@ impl<P: SystemPort> Processor<P> {
     }
 }
 
+impl<P: SystemPort + std::fmt::Debug> std::fmt::Debug for Processor<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Processor")
+            .field("scheme", &self.cfg.scheme)
+            .field("contexts", &self.cfg.contexts)
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -930,10 +1066,51 @@ mod tests {
     use interleave_isa::Reg;
 
     #[test]
-    fn run_length_stats_start_empty() {
-        let stats = RunLengthStats::default();
-        assert_eq!(stats.mean(), 0.0);
-        assert_eq!(stats.runs, 0);
+    fn run_length_histogram_starts_empty() {
+        let cpu = Processor::new(ProcConfig::new(Scheme::Single, 1), PerfectMemory);
+        assert_eq!(cpu.run_lengths().mean(), 0.0);
+        assert_eq!(cpu.run_lengths().count(), 0);
+    }
+
+    #[test]
+    fn collect_metrics_reports_cycles_and_structures() {
+        let mut cpu = Processor::new(ProcConfig::new(Scheme::Single, 1), PerfectMemory);
+        cpu.attach(0, Box::new(VecSource::new((0..10).map(Instr::nop))));
+        cpu.run_cycles(20);
+        let mut reg = Registry::new();
+        cpu.collect_metrics(&mut reg);
+        assert_eq!(reg.counter_value("cycles.busy"), Some(cpu.breakdown().get(Category::Busy)));
+        assert_eq!(reg.counter_value("instructions.retired"), Some(cpu.retired(0)));
+        assert!(reg.get("core.run_length").is_some());
+        assert!(reg.get("pipeline.btb.lookups").is_some());
+        assert!(reg.get("pipeline.front.bubbles.switch").is_some());
+    }
+
+    #[test]
+    fn chrome_trace_reconciles_with_breakdown() {
+        let mut cpu = Processor::new(ProcConfig::new(Scheme::Single, 1), PerfectMemory);
+        cpu.set_trace(true);
+        cpu.attach(0, Box::new(VecSource::new((0..25).map(Instr::nop))));
+        cpu.run_cycles(60);
+        let json = cpu.chrome_trace().to_json();
+        let summary = interleave_obs::chrome::validate(&json).expect("valid trace");
+        for category in Category::ALL {
+            let spans = summary.dur_by_name.get(category.label()).copied().unwrap_or(0);
+            assert_eq!(
+                spans,
+                cpu.breakdown().get(category),
+                "span total for {} disagrees with breakdown",
+                category.label()
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_trace_exports_empty() {
+        let mut cpu = Processor::new(ProcConfig::new(Scheme::Single, 1), PerfectMemory);
+        cpu.attach(0, Box::new(VecSource::new((0..5).map(Instr::nop))));
+        cpu.run_cycles(10);
+        assert!(cpu.chrome_trace().is_empty());
     }
 
     #[test]
@@ -975,15 +1152,5 @@ mod tests {
         assert!(cpu.ctx_view(0).attached);
         assert!(cpu.ctx_view(0).ready);
         assert!(!cpu.ctx_view(1).attached);
-    }
-}
-
-impl<P: SystemPort + std::fmt::Debug> std::fmt::Debug for Processor<P> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Processor")
-            .field("scheme", &self.cfg.scheme)
-            .field("contexts", &self.cfg.contexts)
-            .field("now", &self.now)
-            .finish()
     }
 }

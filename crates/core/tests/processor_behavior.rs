@@ -497,9 +497,9 @@ fn run_lengths_reflect_miss_spacing() {
     cpu.attach(1, Box::new(VecSource::new((0..40).map(|i| alu(0x1000 + i * 4)))));
     run_to_completion(&mut cpu);
     let rl = cpu.run_lengths();
-    assert_eq!(rl.runs, 3, "three unavailability events");
+    assert_eq!(rl.count(), 3, "three unavailability events");
     // Slightly above 5: issues squashed at the miss are re-counted when
-    // they re-execute (documented in RunLengthStats).
+    // they re-execute (documented on Processor::run_lengths).
     assert!(rl.mean() >= 4.0 && rl.mean() <= 8.0, "mean run ~5-7, got {}", rl.mean());
 }
 

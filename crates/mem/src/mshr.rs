@@ -13,6 +13,10 @@ pub struct MshrFile {
     capacity: usize,
     /// line address -> cycle at which the fill completes.
     outstanding: BTreeMap<u64, u64>,
+    /// Total fills ever allocated.
+    allocations: u64,
+    /// Most entries simultaneously outstanding (occupancy high-water).
+    high_water: usize,
 }
 
 impl MshrFile {
@@ -23,7 +27,7 @@ impl MshrFile {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> MshrFile {
         assert!(capacity > 0, "need at least one MSHR");
-        MshrFile { capacity, outstanding: BTreeMap::new() }
+        MshrFile { capacity, outstanding: BTreeMap::new(), allocations: 0, high_water: 0 }
     }
 
     /// Removes entries whose fills completed at or before `now`.
@@ -47,6 +51,26 @@ impl MshrFile {
         assert!(self.outstanding.len() < self.capacity, "MSHR file is full");
         let prev = self.outstanding.insert(line_addr, ready_at);
         assert!(prev.is_none(), "line {line_addr:#x} already outstanding");
+        self.allocations += 1;
+        self.high_water = self.high_water.max(self.outstanding.len());
+    }
+
+    /// Total fills ever allocated.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Most entries simultaneously outstanding since the last
+    /// [`MshrFile::reset_stats`].
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Clears the allocation counters; the high-water restarts at the
+    /// current occupancy. Outstanding fills are untouched.
+    pub fn reset_stats(&mut self) {
+        self.allocations = 0;
+        self.high_water = self.outstanding.len();
     }
 
     /// Number of outstanding fills.
@@ -108,6 +132,22 @@ mod tests {
         let mut m = MshrFile::new(1);
         m.allocate(0x40, 50);
         m.allocate(0x80, 60);
+    }
+
+    #[test]
+    fn high_water_and_allocations() {
+        let mut m = MshrFile::new(4);
+        m.allocate(0x40, 50);
+        m.allocate(0x80, 60);
+        m.expire(55);
+        m.allocate(0xc0, 70);
+        // Peak was 2 outstanding even though only 2 remain now.
+        assert_eq!(m.high_water(), 2);
+        assert_eq!(m.allocations(), 3);
+        m.reset_stats();
+        assert_eq!(m.allocations(), 0);
+        // High-water restarts at current occupancy, not zero.
+        assert_eq!(m.high_water(), 2);
     }
 
     #[test]

@@ -1,4 +1,5 @@
 use interleave_isa::Access;
+use interleave_obs::Registry;
 
 use crate::{DirectCache, DirectTlb, MemConfig, MemStats, MshrFile, Resource};
 
@@ -116,6 +117,24 @@ impl UniMemSystem {
     /// Resets statistics (used after warmup).
     pub fn reset_stats(&mut self) {
         self.stats = MemStats::default();
+        self.mshr.reset_stats();
+    }
+
+    /// Registers hierarchy counters under `mem.*`: per-level hits and
+    /// misses, TLB misses, writebacks, and MSHR allocation/occupancy
+    /// statistics.
+    pub fn collect_metrics(&self, reg: &mut Registry) {
+        reg.counter("mem.l1d.hits", self.stats.l1d_hits);
+        reg.counter("mem.l1d.misses", self.stats.l1d_misses);
+        reg.counter("mem.l1i.hits", self.stats.l1i_hits);
+        reg.counter("mem.l1i.misses", self.stats.l1i_misses);
+        reg.counter("mem.l2.hits", self.stats.l2_hits);
+        reg.counter("mem.l2.misses", self.stats.l2_misses);
+        reg.counter("mem.dtlb.misses", self.stats.dtlb_misses);
+        reg.counter("mem.itlb.misses", self.stats.itlb_misses);
+        reg.counter("mem.writebacks", self.stats.writebacks);
+        reg.counter("mem.mshr.allocations", self.mshr.allocations());
+        reg.counter("mem.mshr.high_water", self.mshr.high_water() as u64);
     }
 
     /// Performs a data access whose primary lookup starts at `lookup_start`.

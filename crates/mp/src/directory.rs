@@ -16,6 +16,38 @@ pub enum MissClass {
     Upgrade,
 }
 
+impl MissClass {
+    /// The four miss (non-hit) classes, in [`MissClass::index`] order.
+    pub const MISSES: [MissClass; 4] =
+        [MissClass::LocalMem, MissClass::RemoteMem, MissClass::RemoteCache, MissClass::Upgrade];
+
+    /// Dense index of a miss class (latency-histogram slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`MissClass::Hit`], which has no latency to sample.
+    pub fn index(self) -> usize {
+        match self {
+            MissClass::Hit => panic!("hits have no sampled latency"),
+            MissClass::LocalMem => 0,
+            MissClass::RemoteMem => 1,
+            MissClass::RemoteCache => 2,
+            MissClass::Upgrade => 3,
+        }
+    }
+
+    /// Metric-name segment for this miss class.
+    pub fn label(self) -> &'static str {
+        match self {
+            MissClass::Hit => "hit",
+            MissClass::LocalMem => "local",
+            MissClass::RemoteMem => "remote",
+            MissClass::RemoteCache => "remote_cache",
+            MissClass::Upgrade => "upgrade",
+        }
+    }
+}
+
 /// Coherence state of one line in the directory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum LineState {

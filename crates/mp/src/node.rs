@@ -4,6 +4,7 @@ use std::rc::Rc;
 use interleave_core::{DataOutcome, InstOutcome, SyncOutcome, SystemPort};
 use interleave_isa::{Access, SyncRef};
 use interleave_mem::{CacheParams, DirectCache, Resource};
+use interleave_obs::{Histogram, Registry};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -30,6 +31,9 @@ pub struct MpShared {
     mlp_outstanding: Vec<u64>,
     /// (sum of concurrent misses at miss time, samples).
     mlp_accum: (u64, u64),
+    /// Sampled unloaded latency per miss class, indexed by
+    /// [`MissClass::index`] (local, remote, remote-cache, upgrade).
+    latencies: [Histogram; 4],
 }
 
 impl MpShared {
@@ -51,6 +55,7 @@ impl MpShared {
             sync: SyncController::new(threads),
             mlp_outstanding: Vec::new(),
             mlp_accum: (0, 0),
+            latencies: Default::default(),
         }
     }
 
@@ -59,9 +64,43 @@ impl MpShared {
         &self.directory
     }
 
-    /// Resets protocol statistics (after warmup).
+    /// Resets protocol statistics (after warmup). Latency histograms are
+    /// cleared too, so they describe the measured region only.
     pub fn reset_stats(&mut self) {
         self.directory.reset_stats();
+        for h in &mut self.latencies {
+            h.reset();
+        }
+    }
+
+    /// Sampled unloaded-latency distribution for one miss class.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`MissClass::Hit`].
+    pub fn latency_histogram(&self, class: MissClass) -> &Histogram {
+        &self.latencies[class.index()]
+    }
+
+    /// Registers machine-level metrics: directory protocol counters
+    /// (`mp.dir.*`), per-class unloaded-latency histograms
+    /// (`mp.latency.*`), and synchronization episodes (`mp.sync.*`).
+    pub fn collect_metrics(&self, reg: &mut Registry) {
+        let d = self.directory.stats();
+        reg.counter("mp.dir.local", d.local);
+        reg.counter("mp.dir.remote", d.remote);
+        reg.counter("mp.dir.remote_cache", d.remote_cache);
+        reg.counter("mp.dir.upgrades", d.upgrades);
+        reg.counter("mp.dir.invalidations", d.invalidations);
+        reg.counter("mp.dir.writebacks", d.writebacks);
+        for class in MissClass::MISSES {
+            let h = &self.latencies[class.index()];
+            if !h.is_empty() {
+                reg.histogram(&format!("mp.latency.{}", class.label()), h);
+            }
+        }
+        reg.counter("mp.sync.waits", self.sync.waits());
+        reg.counter("mp.sync.grants", self.sync.grants());
     }
 
     /// Performs node `node`'s data access and returns when it completes.
@@ -127,6 +166,7 @@ impl MpShared {
                 self.latency.sample(range, &mut self.rng)
             }
         };
+        self.latencies[tx.class.index()].record(base);
         let fill_occ = self.caches[node].params().fill_occupancy;
         let arrival = lookup + base;
         let start = self.ports[node].acquire(arrival, fill_occ);

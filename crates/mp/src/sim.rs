@@ -2,6 +2,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use interleave_core::{ProcConfig, Processor, Scheme, WaitReason};
+use interleave_obs::Registry;
 use interleave_stats::Breakdown;
 
 use crate::{DirectoryStats, LatencyModel, MpShared, NodePort, SplashProfile, SplashThread};
@@ -127,6 +128,12 @@ pub struct MpResult {
     pub avg_mlp: f64,
     /// Per-node execution-time breakdowns (load-balance inspection).
     pub per_node: Vec<Breakdown>,
+    /// Instrumentation registry: per-node processor metrics summed over
+    /// all nodes (counters add, histograms merge) plus machine-level
+    /// `mp.dir.*`, `mp.latency.*`, and `mp.sync.*` metrics. Event
+    /// counters accumulate from cycle zero; `cycles.*` and `mp.dir.*`
+    /// mirror the warmup-reset statistics.
+    pub metrics: Registry,
 }
 
 impl MpSim {
@@ -276,7 +283,12 @@ impl MpSim {
         let per_node: Vec<Breakdown> = cpus.iter().map(|c| c.breakdown().clone()).collect();
         let directory = *shared.borrow().directory().stats();
         let avg_mlp = shared.borrow().avg_mlp();
-        MpResult { cycles: now - start, breakdown, directory, threads, avg_mlp, per_node }
+        let mut metrics = Registry::new();
+        for cpu in &cpus {
+            cpu.collect_metrics(&mut metrics);
+        }
+        shared.borrow().collect_metrics(&mut metrics);
+        MpResult { cycles: now - start, breakdown, directory, threads, avg_mlp, per_node, metrics }
     }
 }
 
@@ -368,6 +380,19 @@ mod tests {
             max < min * 3,
             "data-parallel work should be roughly balanced across nodes: {busies:?}"
         );
+    }
+
+    #[test]
+    fn metrics_cover_directory_latency_and_cycles() {
+        let r = quick(apps::mp3d(), Scheme::Interleaved, 4, 2);
+        assert_eq!(r.metrics.counter_value("mp.dir.remote"), Some(r.directory.remote));
+        assert_eq!(r.metrics.counter_value("mp.dir.local"), Some(r.directory.local));
+        let lat = r.metrics.histogram_value("mp.latency.remote").expect("remote latencies");
+        assert!(lat.count() > 0);
+        assert!(lat.min() >= 1, "unloaded latency is at least one cycle");
+        // cycles.* counters are the sum over all node processors, like the
+        // aggregate breakdown.
+        assert_eq!(r.metrics.counter_value("cycles.busy"), Some(r.breakdown.get(Category::Busy)));
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Deterministic metric registry.
+
+use std::fmt::Write as _;
+
+use crate::histogram::Histogram;
+use crate::json;
+
+/// One collected metric value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Metric {
+    /// A monotonic event count.
+    Counter(u64),
+    /// A bucketed value distribution (boxed: the fixed bucket array
+    /// would otherwise dominate every entry's footprint).
+    Histogram(Box<Histogram>),
+}
+
+/// A name-sorted snapshot of metrics collected from simulator
+/// components after a run.
+///
+/// Components expose a `collect_metrics(&self, reg: &mut Registry)`
+/// method that registers their counters and histograms under
+/// dot-separated names (`mem.l1d.misses`, `core.run_length`, ...).
+/// Entries are kept sorted by name and re-registering a name folds the
+/// new value into the old (counters add, histograms merge), so the
+/// snapshot is independent of collection order — which is what makes
+/// sweep metric artifacts byte-identical between serial and parallel
+/// runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Registry {
+    entries: Vec<(String, Metric)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register (or fold into) a counter named `name`.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        match self.entries.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => match &mut self.entries[i].1 {
+                Metric::Counter(v) => *v += value,
+                Metric::Histogram(_) => {
+                    panic!("metric {name:?} already registered as a histogram")
+                }
+            },
+            Err(i) => self.entries.insert(i, (name.to_string(), Metric::Counter(value))),
+        }
+    }
+
+    /// Register (or merge into) a histogram named `name`.
+    pub fn histogram(&mut self, name: &str, value: &Histogram) {
+        match self.entries.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => match &mut self.entries[i].1 {
+                Metric::Histogram(h) => h.merge(value),
+                Metric::Counter(_) => {
+                    panic!("metric {name:?} already registered as a counter")
+                }
+            },
+            Err(i) => self
+                .entries
+                .insert(i, (name.to_string(), Metric::Histogram(Box::new(value.clone())))),
+        }
+    }
+
+    /// Fold every entry of `other` into this registry.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, metric) in &other.entries {
+            match metric {
+                Metric::Counter(v) => self.counter(name, *v),
+                Metric::Histogram(h) => self.histogram(name, h),
+            }
+        }
+    }
+
+    /// Look up a metric by exact name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Counter value by name, if `name` is a registered counter.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            Metric::Counter(v) => Some(*v),
+            Metric::Histogram(_) => None,
+        }
+    }
+
+    /// Histogram by name, if `name` is a registered histogram.
+    pub fn histogram_value(&self, name: &str) -> Option<&Histogram> {
+        match self.get(name)? {
+            Metric::Histogram(h) => Some(h.as_ref()),
+            Metric::Counter(_) => None,
+        }
+    }
+
+    /// Entries in ascending name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.entries.iter().map(|(n, m)| (n.as_str(), m))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialize as a JSON object, one key per metric, sorted by name.
+    ///
+    /// Counters serialize as bare numbers; histograms as
+    /// `{"count","sum","min","max","mean","buckets":[{"lo","hi","n"}]}`.
+    /// `indent` is the number of leading spaces applied to each line so
+    /// the object can be embedded in larger hand-rolled documents.
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let mut out = String::new();
+        out.push_str("{\n");
+        for (i, (name, metric)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            match metric {
+                Metric::Counter(v) => {
+                    let _ = writeln!(out, "{pad}  {}: {v}{comma}", json::escape(name));
+                }
+                Metric::Histogram(h) => {
+                    let buckets: Vec<String> = h
+                        .nonzero_buckets()
+                        .map(|(lo, hi, n)| format!("{{\"lo\": {lo}, \"hi\": {hi}, \"n\": {n}}}"))
+                        .collect();
+                    let _ = writeln!(
+                        out,
+                        "{pad}  {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                         \"mean\": {:.4}, \"buckets\": [{}]}}{comma}",
+                        json::escape(name),
+                        h.count(),
+                        h.sum(),
+                        h.min(),
+                        h.max(),
+                        h.mean(),
+                        buckets.join(", ")
+                    );
+                }
+            }
+        }
+        let _ = write!(out, "{pad}}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_sorted_and_folded() {
+        let mut r = Registry::new();
+        r.counter("b.second", 2);
+        r.counter("a.first", 1);
+        r.counter("b.second", 3);
+        let names: Vec<_> = r.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["a.first", "b.second"]);
+        assert_eq!(r.counter_value("b.second"), Some(5));
+        assert_eq!(r.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn histograms_merge_on_reregister() {
+        let mut r = Registry::new();
+        let mut h = Histogram::new();
+        h.record(4);
+        r.histogram("h", &h);
+        r.histogram("h", &h);
+        assert_eq!(r.histogram_value("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut h = Histogram::new();
+        h.record(7);
+        let mut a = Registry::new();
+        a.counter("x", 1);
+        a.histogram("h", &h);
+        let mut b = Registry::new();
+        b.counter("x", 2);
+        b.counter("y", 3);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter_value("x"), Some(3));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_parses() {
+        let mut r = Registry::new();
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(300);
+        r.histogram("core.run_length", &h);
+        r.counter("mem.l1d.misses", 17);
+        let j = r.to_json(0);
+        assert_eq!(j, r.clone().to_json(0));
+        let v = json::parse(&j).expect("registry json parses");
+        assert_eq!(v.get("mem.l1d.misses").and_then(|m| m.as_u64()), Some(17));
+        let hist = v.get("core.run_length").expect("histogram present");
+        assert_eq!(hist.get("count").and_then(|c| c.as_u64()), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        let mut r = Registry::new();
+        r.counter("x", 1);
+        r.histogram("x", &Histogram::new());
+    }
+}

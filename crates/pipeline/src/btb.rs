@@ -1,3 +1,5 @@
+use interleave_obs::{Counter, Registry};
+
 /// A direct-mapped branch target buffer (paper Section 4.1: 2048 entries).
 ///
 /// Prediction policy: a branch whose PC hits in the BTB is predicted taken
@@ -21,6 +23,19 @@ pub struct Btb {
     /// (tag, target) per entry; disabled BTB has no entries.
     entries: Vec<Option<(u64, u64)>>,
     index_mask: u64,
+    stats: BtbStats,
+}
+
+/// Prediction outcome counters for a [`Btb`], accumulated by
+/// [`Btb::check`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BtbStats {
+    /// Checked predictions (one per fetched branch).
+    pub lookups: Counter,
+    /// Predictions that matched the resolved outcome.
+    pub hits: Counter,
+    /// Predictions that did not (wrong direction or wrong target).
+    pub mispredicts: Counter,
 }
 
 impl Btb {
@@ -35,7 +50,11 @@ impl Btb {
             entries == 0 || entries.is_power_of_two(),
             "BTB entries must be zero or a power of two"
         );
-        Btb { entries: vec![None; entries], index_mask: entries.saturating_sub(1) as u64 }
+        Btb {
+            entries: vec![None; entries],
+            index_mask: entries.saturating_sub(1) as u64,
+            stats: BtbStats::default(),
+        }
     }
 
     /// Whether the predictor is disabled (zero entries).
@@ -80,6 +99,38 @@ impl Btb {
             Some(predicted) => taken && predicted == target,
             None => !taken,
         }
+    }
+
+    /// Like [`Btb::predicts_correctly`], but also counts the lookup and
+    /// its outcome in [`Btb::stats`]. The fetch stage uses this entry
+    /// point; the pure predicate remains for tests and offline queries.
+    pub fn check(&mut self, pc: u64, taken: bool, target: u64) -> bool {
+        let correct = self.predicts_correctly(pc, taken, target);
+        self.stats.lookups.inc();
+        if correct {
+            self.stats.hits.inc();
+        } else {
+            self.stats.mispredicts.inc();
+        }
+        correct
+    }
+
+    /// Accumulated prediction counters.
+    pub fn stats(&self) -> &BtbStats {
+        &self.stats
+    }
+
+    /// Clears the prediction counters (entries are kept — warmup resets
+    /// discard statistics, not learned state).
+    pub fn reset_stats(&mut self) {
+        self.stats = BtbStats::default();
+    }
+
+    /// Registers prediction counters under `pipeline.btb.*`.
+    pub fn collect_metrics(&self, reg: &mut Registry) {
+        reg.counter("pipeline.btb.lookups", self.stats.lookups.get());
+        reg.counter("pipeline.btb.hits", self.stats.hits.get());
+        reg.counter("pipeline.btb.mispredicts", self.stats.mispredicts.get());
     }
 
     /// Updates the BTB with a resolved branch outcome.
@@ -161,5 +212,26 @@ mod tests {
     #[should_panic]
     fn non_power_of_two_rejected() {
         let _ = Btb::new(3);
+    }
+
+    #[test]
+    fn check_counts_outcomes() {
+        let mut btb = Btb::new(16);
+        btb.update(0x40, true, 0x100);
+        assert!(btb.check(0x40, true, 0x100)); // hit
+        assert!(!btb.check(0x40, true, 0x200)); // wrong target
+        assert!(!btb.check(0x80, true, 0x300)); // cold taken branch
+        assert_eq!(btb.stats().lookups.get(), 3);
+        assert_eq!(btb.stats().hits.get(), 1);
+        assert_eq!(btb.stats().mispredicts.get(), 2);
+
+        let mut reg = Registry::new();
+        btb.collect_metrics(&mut reg);
+        assert_eq!(reg.counter_value("pipeline.btb.mispredicts"), Some(2));
+
+        btb.reset_stats();
+        assert_eq!(btb.stats().lookups.get(), 0);
+        // Learned entries survive a stats reset.
+        assert_eq!(btb.predict(0x40), Some(0x100));
     }
 }

@@ -1,4 +1,5 @@
 use interleave_isa::Instr;
+use interleave_obs::Registry;
 
 use crate::FRONT_DEPTH;
 
@@ -27,6 +28,45 @@ pub enum BubbleCause {
     /// Nothing left to fetch (streams exhausted); not charged to any
     /// category.
     Drained,
+}
+
+impl BubbleCause {
+    /// Every cause, in a fixed order matching [`BubbleCause::slot`].
+    pub const ALL: [BubbleCause; 7] = [
+        BubbleCause::Switch,
+        BubbleCause::Mispredict,
+        BubbleCause::InstMem,
+        BubbleCause::DataWait,
+        BubbleCause::SyncWait,
+        BubbleCause::BackoffWait,
+        BubbleCause::Drained,
+    ];
+
+    /// Stable metric-name suffix for this cause.
+    pub fn label(self) -> &'static str {
+        match self {
+            BubbleCause::Switch => "switch",
+            BubbleCause::Mispredict => "mispredict",
+            BubbleCause::InstMem => "inst_mem",
+            BubbleCause::DataWait => "data_wait",
+            BubbleCause::SyncWait => "sync_wait",
+            BubbleCause::BackoffWait => "backoff_wait",
+            BubbleCause::Drained => "drained",
+        }
+    }
+
+    /// Index into per-cause count arrays.
+    fn slot(self) -> usize {
+        match self {
+            BubbleCause::Switch => 0,
+            BubbleCause::Mispredict => 1,
+            BubbleCause::InstMem => 2,
+            BubbleCause::DataWait => 3,
+            BubbleCause::SyncWait => 4,
+            BubbleCause::BackoffWait => 5,
+            BubbleCause::Drained => 6,
+        }
+    }
 }
 
 /// A fetched instruction travelling down the front end.
@@ -78,12 +118,15 @@ impl FrontSlot {
 pub struct FrontEnd {
     /// `stages[0]` is IF1 (youngest), `stages[FRONT_DEPTH - 1]` is RF.
     stages: [FrontSlot; FRONT_DEPTH],
+    /// Per-cause bubble cycles entering IF1 (via [`FrontEnd::shift`]) or
+    /// created in place by a squash, indexed by [`BubbleCause::slot`].
+    bubbles: [u64; 7],
 }
 
 impl FrontEnd {
     /// Creates an empty front end (drained bubbles).
     pub fn new() -> FrontEnd {
-        FrontEnd { stages: [FrontSlot::Bubble(BubbleCause::Drained); FRONT_DEPTH] }
+        FrontEnd { stages: [FrontSlot::Bubble(BubbleCause::Drained); FRONT_DEPTH], bubbles: [0; 7] }
     }
 
     /// The slot currently at the issue point (RF).
@@ -95,6 +138,9 @@ impl FrontEnd {
     /// returning what left RF. Call only when the RF occupant issued or
     /// was a bubble.
     pub fn shift(&mut self, incoming: FrontSlot) -> FrontSlot {
+        if let FrontSlot::Bubble(cause) = incoming {
+            self.bubbles[cause.slot()] += 1;
+        }
         let outgoing = self.stages[FRONT_DEPTH - 1];
         for i in (1..FRONT_DEPTH).rev() {
             self.stages[i] = self.stages[i - 1];
@@ -129,6 +175,7 @@ impl FrontEnd {
                 if pred(s) {
                     squashed.push(*s);
                     *stage = FrontSlot::Bubble(cause);
+                    self.bubbles[cause.slot()] += 1;
                 }
             }
         }
@@ -148,6 +195,27 @@ impl FrontEnd {
     /// Iterates over the stages from IF1 (youngest) to RF (oldest).
     pub fn iter(&self) -> impl Iterator<Item = &FrontSlot> {
         self.stages.iter()
+    }
+
+    /// Bubble cycles accumulated for `cause` (entered at IF1 or created
+    /// in place by a squash).
+    pub fn bubble_count(&self, cause: BubbleCause) -> u64 {
+        self.bubbles[cause.slot()]
+    }
+
+    /// Clears the bubble counters (pipe contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.bubbles = [0; 7];
+    }
+
+    /// Registers bubble counters under `pipeline.front.bubbles.*`.
+    pub fn collect_metrics(&self, reg: &mut Registry) {
+        for cause in BubbleCause::ALL {
+            reg.counter(
+                &format!("pipeline.front.bubbles.{}", cause.label()),
+                self.bubbles[cause.slot()],
+            );
+        }
     }
 }
 
@@ -260,5 +328,26 @@ mod tests {
         let fe = FrontEnd::new();
         assert_eq!(fe.occupancy(), 0);
         assert!(matches!(fe.rf(), FrontSlot::Bubble(BubbleCause::Drained)));
+    }
+
+    #[test]
+    fn bubble_counters_track_entry_and_squash() {
+        let mut fe = FrontEnd::new();
+        fe.shift(FrontSlot::Bubble(BubbleCause::InstMem));
+        fe.shift(FrontSlot::Bubble(BubbleCause::InstMem));
+        fe.shift(slot(0, 0));
+        fe.shift(slot(0, 1));
+        fe.squash_ctx(0); // two instrs become switch bubbles
+        assert_eq!(fe.bubble_count(BubbleCause::InstMem), 2);
+        assert_eq!(fe.bubble_count(BubbleCause::Switch), 2);
+        assert_eq!(fe.bubble_count(BubbleCause::Drained), 0);
+
+        let mut reg = interleave_obs::Registry::new();
+        fe.collect_metrics(&mut reg);
+        assert_eq!(reg.counter_value("pipeline.front.bubbles.inst_mem"), Some(2));
+        assert_eq!(reg.counter_value("pipeline.front.bubbles.switch"), Some(2));
+
+        fe.reset_stats();
+        assert_eq!(fe.bubble_count(BubbleCause::Switch), 0);
     }
 }

@@ -33,10 +33,10 @@ pub mod pcunit;
 mod scoreboard;
 mod window;
 
-pub use btb::Btb;
+pub use btb::{Btb, BtbStats};
 pub use front::{BubbleCause, FrontEnd, FrontSlot, Slot};
 pub use scoreboard::Scoreboard;
-pub use window::{InFlight, IssueWindow};
+pub use window::{InFlight, IssueWindow, WindowStats};
 
 /// Depth of the integer pipeline (IF1 IF2 RF EX DF1 DF2 WB).
 pub const INT_DEPTH: usize = 7;

@@ -1,6 +1,7 @@
 use std::collections::VecDeque;
 
 use interleave_isa::Instr;
+use interleave_obs::{Counter, Registry};
 
 /// An instruction between issue (entering EX) and retirement (end of WB).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +39,16 @@ pub struct InFlight {
 #[derive(Debug, Clone, Default)]
 pub struct IssueWindow {
     items: VecDeque<InFlight>,
+    stats: WindowStats,
+}
+
+/// Squash counters for an [`IssueWindow`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Squash operations that removed at least one instruction.
+    pub squash_events: Counter,
+    /// Total in-flight instructions removed by squashes.
+    pub squashed_instrs: Counter,
 }
 
 impl IssueWindow {
@@ -94,13 +105,39 @@ impl IssueWindow {
         let (squashed, kept): (Vec<_>, Vec<_>) =
             self.items.drain(..).partition(|i| i.ctx == ctx && i.fetch_index >= from);
         self.items = kept.into();
+        self.note_squash(squashed.len());
         squashed
     }
 
     /// Removes and returns every in-flight instruction (the blocked
     /// scheme's full flush).
     pub fn squash_all(&mut self) -> Vec<InFlight> {
-        self.items.drain(..).collect()
+        let squashed: Vec<InFlight> = self.items.drain(..).collect();
+        self.note_squash(squashed.len());
+        squashed
+    }
+
+    fn note_squash(&mut self, removed: usize) {
+        if removed > 0 {
+            self.stats.squash_events.inc();
+            self.stats.squashed_instrs.add(removed as u64);
+        }
+    }
+
+    /// Accumulated squash counters.
+    pub fn stats(&self) -> &WindowStats {
+        &self.stats
+    }
+
+    /// Clears the squash counters (in-flight contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = WindowStats::default();
+    }
+
+    /// Registers squash counters under `pipeline.window.*`.
+    pub fn collect_metrics(&self, reg: &mut Registry) {
+        reg.counter("pipeline.window.squash_events", self.stats.squash_events.get());
+        reg.counter("pipeline.window.squashed_instrs", self.stats.squashed_instrs.get());
     }
 
     /// Number of in-flight instructions belonging to `ctx`.
@@ -188,6 +225,24 @@ mod tests {
         w.issue(inflight(1, 0, 2, 5));
         assert_eq!(w.squash_all().len(), 2);
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn squash_stats_count_events_and_instrs() {
+        let mut w = IssueWindow::new();
+        w.issue(inflight(0, 0, 1, 4));
+        w.issue(inflight(0, 1, 2, 5));
+        w.squash_ctx(0);
+        w.squash_ctx(0); // empty squash: no event counted
+        assert_eq!(w.stats().squash_events.get(), 1);
+        assert_eq!(w.stats().squashed_instrs.get(), 2);
+
+        let mut reg = Registry::new();
+        w.collect_metrics(&mut reg);
+        assert_eq!(reg.counter_value("pipeline.window.squashed_instrs"), Some(2));
+
+        w.reset_stats();
+        assert_eq!(w.stats().squash_events.get(), 0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
-use interleave_core::{FetchUnit, ProcConfig, Processor, RunLengthStats, Scheme, StorePolicy};
+use interleave_core::{FetchUnit, ProcConfig, Processor, Scheme, StorePolicy};
 use interleave_mem::{MemConfig, MemStats, UniMemSystem};
+use interleave_obs::{Histogram, Registry};
 use interleave_stats::Breakdown;
 
 use crate::mixes::Workload;
@@ -144,8 +145,13 @@ pub struct MultiprogramResult {
     pub mem_stats: MemStats,
     /// Instructions retired in the measured period (>= total quota).
     pub instructions: u64,
-    /// Run-length statistics over the measured period.
-    pub run_lengths: RunLengthStats,
+    /// Run-length histogram over the measured period.
+    pub run_lengths: Histogram,
+    /// Full instrumentation snapshot (processor, pipeline, and memory
+    /// metrics) collected at the end of the run. Event counters
+    /// accumulate from cycle zero; the `cycles.*` entries mirror the
+    /// warmup-reset [`MultiprogramResult::breakdown`].
+    pub metrics: Registry,
 }
 
 impl MultiprogramResult {
@@ -333,12 +339,16 @@ impl MultiprogramSim {
         let cycles = cpu.now() - start;
         let live: u64 = (0..resident_count).map(|c| cpu.retired(c)).sum();
         let instructions = completed.iter().sum::<u64>() + live;
+        let mut metrics = Registry::new();
+        cpu.collect_metrics(&mut metrics);
+        cpu.port().collect_metrics(&mut metrics);
         MultiprogramResult {
             cycles,
             breakdown: cpu.breakdown().clone(),
             mem_stats: *cpu.port().stats(),
             instructions,
-            run_lengths: cpu.run_lengths(),
+            run_lengths: cpu.run_lengths().clone(),
+            metrics,
         }
     }
 

@@ -76,7 +76,7 @@ fn main() {
             .iter()
             .map(|r| match r {
                 IssueRecord::Issued { ctx, .. } => (b'A' + *ctx as u8) as char,
-                IssueRecord::Stalled(_) => '-',
+                IssueRecord::Stalled { .. } => '-',
                 IssueRecord::Bubble(Some(_)) => '.',
                 IssueRecord::Bubble(None) => ' ',
             })

@@ -1,10 +1,20 @@
 #!/usr/bin/env bash
-# Full verification gate: release build, the whole test suite, and
-# formatting. Run from anywhere inside the repository.
+# Full verification gate: release build, lint wall, the whole test
+# suite, formatting, and an instrumentation smoke run (trace export +
+# schema validation). Run from anywhere inside the repository.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+cargo clippy --workspace -- -D warnings
 cargo test -q
 cargo fmt --check
+
+# Smoke: export a Chrome trace from the release binary and feed it back
+# through the schema validator (tests/trace_schema.rs).
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+./target/release/interleave-sim trace --max-cycles 5000 --out "$tmpdir/trace.json"
+INTERLEAVE_TRACE_FILE="$tmpdir/trace.json" cargo test -q --test trace_schema
+
 echo "check.sh: all green"

@@ -1,14 +1,16 @@
 //! Argument parsing and report rendering for the `interleave-sim` binary.
 //!
 //! Hand-rolled (no external dependencies): subcommands `uni`, `mp`,
-//! `sweep`, `trace`, and `list`, each with `--flag value` options.
+//! `sweep`, `trace`, `metrics`, and `list`, each with `--flag value`
+//! options (plus the bare `--progress` switch on `sweep`).
 
 use crate::bench::{ExperimentSpec, Runner, Scale};
 use crate::core::Scheme;
 use crate::mp::{splash_suite, MpSim, SplashProfile};
+use crate::obs::Metric;
 use crate::stats::{Category, Table};
 use crate::workloads::mixes::{self, Workload};
-use crate::workloads::MultiprogramSim;
+use crate::workloads::{MultiprogramSim, SyntheticApp};
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,19 +52,46 @@ pub enum Command {
         jobs: Option<usize>,
         /// Problem scale (`None` = `INTERLEAVE_FULL`).
         scale: Option<Scale>,
-        /// Directory for the `BENCH_<artifact>.json` artifact.
+        /// Directory for the `BENCH_<artifact>.json` and
+        /// `METRICS_<artifact>.json` artifacts.
         json: Option<String>,
         /// Explicit stream seed (`None` = the sims' defaults).
         seed: Option<u64>,
+        /// Print a per-second completion heartbeat to stderr.
+        progress: bool,
     },
-    /// Replay a trace file on a single-context processor.
+    /// Run with per-cycle tracing and export a Chrome trace-event JSON.
     Trace {
-        /// Path to the trace file.
-        path: String,
+        /// Trace file to replay on context 0 (`None` = drive the
+        /// synthetic `workload` on every context).
+        file: Option<String>,
+        /// Table 5 workload used when no file is given.
+        workload: String,
         /// Scheduling scheme.
         scheme: Scheme,
-        /// Hardware contexts (the trace runs on context 0).
+        /// Hardware contexts.
         contexts: usize,
+        /// Cycle budget for the traced run.
+        max_cycles: u64,
+        /// Stream seed for the synthetic workload.
+        seed: u64,
+        /// Where to write the Chrome trace JSON (`None` = report only).
+        out: Option<String>,
+    },
+    /// Run a multiprogramming simulation and print its metric registry.
+    Metrics {
+        /// Table 5 workload.
+        workload: String,
+        /// Scheduling scheme.
+        scheme: Scheme,
+        /// Hardware contexts.
+        contexts: usize,
+        /// Instructions per application.
+        quota: u64,
+        /// Stream seed.
+        seed: u64,
+        /// Where to write the registry JSON (`None` = table only).
+        json: Option<String>,
     },
     /// List available workloads and applications.
     List,
@@ -99,13 +128,19 @@ struct Flags<'a> {
 }
 
 impl<'a> Flags<'a> {
-    fn parse(args: &'a [String]) -> Result<Flags<'a>, CliError> {
+    /// Parses `--flag value` pairs; names listed in `switches` take no
+    /// value and read back as `"1"`.
+    fn parse(args: &'a [String], switches: &[&str]) -> Result<Flags<'a>, CliError> {
         let mut pairs = Vec::new();
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let Some(name) = flag.strip_prefix("--") else {
                 return Err(CliError(format!("expected a --flag, got `{flag}`")));
             };
+            if switches.contains(&name) {
+                pairs.push((name, "1"));
+                continue;
+            }
             let Some(value) = it.next() else {
                 return Err(CliError(format!("--{name} needs a value")));
             };
@@ -116,6 +151,10 @@ impl<'a> Flags<'a> {
 
     fn get(&self, name: &str) -> Option<&str> {
         self.pairs.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.get(name).is_some()
     }
 
     fn num(&self, name: &str, default: u64) -> Result<u64, CliError> {
@@ -164,8 +203,11 @@ USAGE:
   interleave-sim mp    [--app NAME] [--scheme S] [--nodes N] [--contexts N]
                        [--work N] [--seed N]
   interleave-sim sweep --artifact table7|table10 [--jobs N] [--scale ci|full]
-                       [--json DIR] [--seed N]
-  interleave-sim trace --file PATH [--scheme S] [--contexts N]
+                       [--json DIR] [--seed N] [--progress]
+  interleave-sim trace [--file PATH] [--workload W] [--scheme S] [--contexts N]
+                       [--max-cycles N] [--seed N] [--out PATH]
+  interleave-sim metrics [--workload W] [--scheme S] [--contexts N] [--quota N]
+                       [--seed N] [--json PATH]
   interleave-sim list
   interleave-sim help
 
@@ -181,7 +223,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let Some(sub) = args.first() else {
         return Ok(Command::Help);
     };
-    let flags = Flags::parse(&args[1..])?;
+    let flags = Flags::parse(&args[1..], &["progress"])?;
     match sub.as_str() {
         "uni" => Ok(Command::Uni {
             workload: flags.get("workload").unwrap_or("FP").to_string(),
@@ -207,14 +249,24 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             scale: flags.scale()?,
             json: flags.get("json").map(str::to_string),
             seed: flags.opt_num("seed")?,
+            progress: flags.switch("progress"),
         }),
         "trace" => Ok(Command::Trace {
-            path: flags
-                .get("file")
-                .ok_or_else(|| CliError("trace requires --file PATH".into()))?
-                .to_string(),
-            scheme: flags.scheme(Scheme::Single)?,
-            contexts: flags.num("contexts", 1)? as usize,
+            file: flags.get("file").map(str::to_string),
+            workload: flags.get("workload").unwrap_or("FP").to_string(),
+            scheme: flags.scheme(Scheme::Interleaved)?,
+            contexts: flags.num("contexts", 2)? as usize,
+            max_cycles: flags.num("max-cycles", 20_000)?,
+            seed: flags.num("seed", 0x19940501)?,
+            out: flags.get("out").map(str::to_string),
+        }),
+        "metrics" => Ok(Command::Metrics {
+            workload: flags.get("workload").unwrap_or("FP").to_string(),
+            scheme: flags.scheme(Scheme::Interleaved)?,
+            contexts: flags.num("contexts", 4)? as usize,
+            quota: flags.num("quota", 40_000)?,
+            seed: flags.num("seed", 0x19940501)?,
+            json: flags.get("json").map(str::to_string),
         }),
         "list" => Ok(Command::List),
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -322,7 +374,7 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 d.local, d.remote, d.remote_cache, d.upgrades, d.invalidations
             );
         }
-        Command::Sweep { artifact, jobs, scale, json, seed } => {
+        Command::Sweep { artifact, jobs, scale, json, seed, progress } => {
             let scale = scale.unwrap_or_else(Scale::from_env);
             let mut spec = match artifact.as_str() {
                 "table7" => {
@@ -348,7 +400,10 @@ pub fn run(command: Command) -> Result<(), CliError> {
             if let Some(seed) = seed {
                 spec = spec.seeds([seed]);
             }
-            let runner = jobs.map(Runner::new).unwrap_or_else(Runner::from_env);
+            let mut runner = jobs.map(Runner::new).unwrap_or_else(Runner::from_env);
+            if progress {
+                runner = runner.progress(true);
+            }
             let sweep = runner.run(&spec);
             println!("{}", sweep.to_table());
             println!(
@@ -360,31 +415,109 @@ pub fn run(command: Command) -> Result<(), CliError> {
             );
             match json {
                 Some(dir) => {
-                    let path = sweep
-                        .write_json(std::path::Path::new(&dir))
-                        .map_err(|e| CliError(format!("cannot write JSON into `{dir}`: {e}")))?;
-                    println!("wrote {}", path.display());
+                    let dir = std::path::Path::new(&dir);
+                    for written in [sweep.write_json(dir), sweep.write_metrics_json(dir)] {
+                        let path = written.map_err(|e| {
+                            CliError(format!("cannot write JSON into `{}`: {e}", dir.display()))
+                        })?;
+                        println!("wrote {}", path.display());
+                    }
                 }
                 None => sweep.maybe_emit_json(),
             }
         }
-        Command::Trace { path, scheme, contexts } => {
-            let text = std::fs::read_to_string(&path)
-                .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
-            let source = crate::workloads::trace::TraceSource::from_text(&text, 0x1000)
-                .map_err(|e| CliError(e.to_string()))?;
+        Command::Trace { file, workload, scheme, contexts, max_cycles, seed, out } => {
             let mut cpu = crate::core::Processor::new(
                 crate::core::ProcConfig::new(scheme, contexts),
                 crate::mem::UniMemSystem::new(crate::mem::MemConfig::workstation()),
             );
-            cpu.attach(0, Box::new(source));
-            let cycles = cpu.run_until_done(u64::MAX / 2);
+            let label = match &file {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+                    let source = crate::workloads::trace::TraceSource::from_text(&text, 0x1000)
+                        .map_err(|e| CliError(e.to_string()))?;
+                    cpu.attach(0, Box::new(source));
+                    path.clone()
+                }
+                None => {
+                    let workload = find_workload(&workload)?;
+                    for ctx in 0..contexts {
+                        let profile = workload.apps[ctx % workload.apps.len()];
+                        cpu.attach(ctx, Box::new(SyntheticApp::new(profile, ctx, seed)));
+                    }
+                    format!("{} (synthetic)", workload.name)
+                }
+            };
+            cpu.set_trace(true);
+            let cycles = cpu.run_until_done(max_cycles);
+            let retired: u64 = (0..contexts).map(|c| cpu.retired(c)).sum();
             println!(
-                "{path} | {scheme:?} | {} instructions in {cycles} cycles (IPC {:.3})\n",
-                cpu.retired(0),
-                cpu.retired(0) as f64 / cycles.max(1) as f64
+                "{label} | {scheme:?} x{contexts} | {retired} instructions in {cycles} cycles \
+                 (IPC {:.3})\n",
+                retired as f64 / cycles.max(1) as f64
             );
             println!("{}", breakdown_report("execution-time breakdown", cpu.breakdown()));
+            let doc = cpu.chrome_trace().to_json();
+            let summary = crate::obs::chrome::validate(&doc)
+                .map_err(|e| CliError(format!("generated trace failed validation: {e}")))?;
+            println!(
+                "trace: {} events, {} spans on {} tracks",
+                summary.events,
+                summary.spans,
+                summary.spans_by_track.len()
+            );
+            if let Some(out) = out {
+                std::fs::write(&out, &doc)
+                    .map_err(|e| CliError(format!("cannot write `{out}`: {e}")))?;
+                println!("wrote {out}");
+            }
+        }
+        Command::Metrics { workload, scheme, contexts, quota, seed, json } => {
+            let workload = find_workload(&workload)?;
+            let result = MultiprogramSim::builder(workload.clone())
+                .scheme(scheme)
+                .contexts(contexts)
+                .quota(quota)
+                .seed(seed)
+                .build()
+                .run();
+            println!(
+                "{} | {scheme:?} x{contexts} | {} cycles | IPC {:.3}\n",
+                workload.name,
+                result.cycles,
+                result.throughput()
+            );
+            let mut t = Table::new("metric registry");
+            t.headers(["name", "value", "count", "mean", "min..max"]);
+            for (name, metric) in result.metrics.iter() {
+                match metric {
+                    Metric::Counter(v) => {
+                        t.row([
+                            name.to_string(),
+                            v.to_string(),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                        ]);
+                    }
+                    Metric::Histogram(h) => {
+                        t.row([
+                            name.to_string(),
+                            "-".into(),
+                            h.count().to_string(),
+                            format!("{:.1}", h.mean()),
+                            format!("{}..{}", h.min(), h.max()),
+                        ]);
+                    }
+                }
+            }
+            println!("{t}");
+            if let Some(path) = json {
+                std::fs::write(&path, result.metrics.to_json(0))
+                    .map_err(|e| CliError(format!("cannot write `{path}`: {e}")))?;
+                println!("wrote {path}");
+            }
         }
     }
     Ok(())
@@ -432,9 +565,31 @@ mod tests {
     fn parses_mp_and_trace() {
         assert!(matches!(parse(&argv("mp --app MP3D --nodes 4")).unwrap(), Command::Mp { .. }));
         match parse(&argv("trace --file t.txt --scheme hep")).unwrap() {
-            Command::Trace { path, scheme, .. } => {
-                assert_eq!(path, "t.txt");
+            Command::Trace { file, scheme, .. } => {
+                assert_eq!(file.as_deref(), Some("t.txt"));
                 assert_eq!(scheme, Scheme::FineGrained);
+            }
+            other => panic!("{other:?}"),
+        }
+        // No --file: synthetic-workload mode with defaults.
+        match parse(&argv("trace --max-cycles 5000 --out t.json")).unwrap() {
+            Command::Trace { file, workload, max_cycles, out, .. } => {
+                assert_eq!(file, None);
+                assert_eq!(workload, "FP");
+                assert_eq!(max_cycles, 5000);
+                assert_eq!(out.as_deref(), Some("t.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_metrics() {
+        match parse(&argv("metrics --workload DC --quota 500 --json m.json")).unwrap() {
+            Command::Metrics { workload, quota, json, .. } => {
+                assert_eq!(workload, "DC");
+                assert_eq!(quota, 500);
+                assert_eq!(json.as_deref(), Some("m.json"));
             }
             other => panic!("{other:?}"),
         }
@@ -446,7 +601,7 @@ mod tests {
         assert!(parse(&argv("uni --scheme warp")).is_err());
         assert!(parse(&argv("uni --contexts")).is_err());
         assert!(parse(&argv("uni contexts 4")).is_err());
-        assert!(parse(&argv("trace")).is_err());
+        assert!(parse(&argv("trace --file")).is_err());
         assert!(parse(&argv("uni --quota abc")).is_err());
         assert!(parse(&argv("sweep")).is_err());
         assert!(parse(&argv("sweep --artifact table7 --scale huge")).is_err());
@@ -455,8 +610,10 @@ mod tests {
 
     #[test]
     fn parses_sweep() {
-        let cmd = parse(&argv("sweep --artifact table7 --jobs 4 --scale ci --json out --seed 9"))
-            .unwrap();
+        let cmd = parse(&argv(
+            "sweep --artifact table7 --jobs 4 --scale ci --json out --seed 9 --progress",
+        ))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Sweep {
@@ -465,15 +622,17 @@ mod tests {
                 scale: Some(Scale::Ci),
                 json: Some("out".into()),
                 seed: Some(9),
+                progress: true,
             }
         );
         match parse(&argv("sweep --artifact table10")).unwrap() {
-            Command::Sweep { artifact, jobs, scale, json, seed } => {
+            Command::Sweep { artifact, jobs, scale, json, seed, progress } => {
                 assert_eq!(artifact, "table10");
                 assert_eq!(jobs, None);
                 assert_eq!(scale, None);
                 assert_eq!(json, None);
                 assert_eq!(seed, None);
+                assert!(!progress);
             }
             other => panic!("{other:?}"),
         }
@@ -487,6 +646,7 @@ mod tests {
             scale: Some(Scale::Ci),
             json: None,
             seed: None,
+            progress: false,
         })
         .unwrap_err();
         assert!(err.0.contains("unknown artifact"));

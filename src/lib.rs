@@ -24,6 +24,9 @@
 //! * [`mp`] — the DASH-like directory-coherent multiprocessor and
 //!   SPLASH-like parallel application models;
 //! * [`stats`] — cycle attribution and report rendering;
+//! * [`obs`] — the instrumentation layer: metric [`obs::Registry`]
+//!   (counters + histograms) and Chrome trace-event export
+//!   ([`obs::chrome`], viewable in Perfetto);
 //! * [`bench`] — the unified experiment API: [`bench::ExperimentSpec`]
 //!   grids executed by the parallel [`bench::Runner`] (also behind the
 //!   `interleave-sim sweep` subcommand).
@@ -60,6 +63,7 @@ pub use interleave_core as core;
 pub use interleave_isa as isa;
 pub use interleave_mem as mem;
 pub use interleave_mp as mp;
+pub use interleave_obs as obs;
 pub use interleave_pipeline as pipeline;
 pub use interleave_stats as stats;
 pub use interleave_workloads as workloads;

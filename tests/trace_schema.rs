@@ -1,0 +1,100 @@
+//! Schema and determinism tests for the instrumentation artifacts: the
+//! Chrome trace-event export and the sweep metric registry.
+//!
+//! The exporter's contract is structural (every event carries `ph`,
+//! `ts`, `pid`, `tid`; spans add `name`/`dur`), deterministic (a fixed
+//! seed yields a byte-identical document), and *reconciled*: the summed
+//! span durations per category equal the processor's own cycle
+//! `Breakdown`, so a Perfetto view of a run never disagrees with the
+//! paper's Figure 6-style accounting.
+
+use interleave::bench::{ExperimentSpec, Runner, Scale};
+use interleave::core::{ProcConfig, Processor, Scheme};
+use interleave::mem::{MemConfig, UniMemSystem};
+use interleave::obs::chrome::{validate, TraceSummary};
+use interleave::stats::Category;
+use interleave::workloads::{mixes, SyntheticApp};
+
+/// A small traced interleaved run over the FP workload.
+fn traced_run(seed: u64) -> (Processor<UniMemSystem>, u64) {
+    let contexts = 2;
+    let mut cpu = Processor::new(
+        ProcConfig::new(Scheme::Interleaved, contexts),
+        UniMemSystem::new(MemConfig::workstation()),
+    );
+    let workload = mixes::fp();
+    for ctx in 0..contexts {
+        let profile = workload.apps[ctx % workload.apps.len()];
+        cpu.attach(ctx, Box::new(SyntheticApp::new(profile, ctx, seed)));
+    }
+    cpu.set_trace(true);
+    let cycles = cpu.run_until_done(5_000);
+    (cpu, cycles)
+}
+
+fn summary_of(doc: &str) -> TraceSummary {
+    validate(doc).expect("exported trace passes structural validation")
+}
+
+#[test]
+fn exported_trace_is_schema_valid() {
+    let (cpu, cycles) = traced_run(42);
+    let doc = cpu.chrome_trace().to_json();
+    let summary = summary_of(&doc);
+    assert!(summary.spans > 0, "a {cycles}-cycle run must produce spans");
+    // Per-context tracks plus the machine (bubble) track are named.
+    assert_eq!(summary.events - summary.spans, 1 + 2 + 1, "process + 2 ctx + machine metadata");
+    assert!(summary.spans_by_track.keys().all(|&(pid, _)| pid == 0));
+}
+
+#[test]
+fn export_is_deterministic_at_fixed_seed() {
+    let (a, ca) = traced_run(7);
+    let (b, cb) = traced_run(7);
+    assert_eq!(ca, cb);
+    assert_eq!(a.chrome_trace().to_json(), b.chrome_trace().to_json());
+    let (c, _) = traced_run(8);
+    assert_ne!(a.chrome_trace().to_json(), c.chrome_trace().to_json());
+}
+
+#[test]
+fn span_durations_reconcile_with_breakdown() {
+    let (cpu, _) = traced_run(42);
+    let summary = summary_of(&cpu.chrome_trace().to_json());
+    for cat in Category::ALL {
+        let spans = summary.dur_by_name.get(cat.label()).copied().unwrap_or(0);
+        assert_eq!(
+            spans,
+            cpu.breakdown().get(cat),
+            "span total for {:?} must equal the breakdown",
+            cat
+        );
+    }
+}
+
+#[test]
+fn sweep_metrics_artifact_is_schedule_independent() {
+    let spec = ExperimentSpec::new("schema", Scale::Ci)
+        .uni(mixes::fp())
+        .contexts([2])
+        .quota(2_000)
+        .warmup(500);
+    let serial = Runner::serial().run(&spec).metrics_json();
+    let parallel = Runner::new(4).run(&spec).metrics_json();
+    assert_eq!(serial, parallel, "METRICS json must be byte-identical across job counts");
+    interleave::obs::json::parse(&serial).expect("metrics artifact parses");
+}
+
+/// Validates an externally produced trace file when the harness points
+/// at one (`INTERLEAVE_TRACE_FILE`, set by `scripts/check.sh` after the
+/// `interleave-sim trace` smoke run); skipped otherwise.
+#[test]
+fn external_trace_file_is_schema_valid() {
+    let Ok(path) = std::env::var("INTERLEAVE_TRACE_FILE") else {
+        return;
+    };
+    let doc = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read INTERLEAVE_TRACE_FILE={path}: {e}"));
+    let summary = summary_of(&doc);
+    assert!(summary.spans > 0, "{path} contains no spans");
+}
