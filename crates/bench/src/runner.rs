@@ -223,6 +223,7 @@ struct Overrides {
     nodes: Option<usize>,
     work: Option<u64>,
     latency: Option<LatencyModel>,
+    idle_skip: Option<bool>,
 }
 
 /// Declarative description of an experiment grid.
@@ -360,6 +361,14 @@ impl ExperimentSpec {
         self
     }
 
+    /// Overrides idle-cycle skipping (default on). Purely a
+    /// host-throughput knob: simulated results are bit-identical either
+    /// way (asserted by the `sweep_determinism` integration test).
+    pub fn idle_skip(mut self, enabled: bool) -> Self {
+        self.overrides.idle_skip = Some(enabled);
+        self
+    }
+
     /// The spec's name.
     pub fn name(&self) -> &str {
         &self.name
@@ -416,6 +425,9 @@ impl ExperimentSpec {
                 if let Some(policy) = ov.store_policy {
                     b = b.store_policy(policy);
                 }
+                if let Some(skip) = ov.idle_skip {
+                    b = b.idle_skip(skip);
+                }
                 CellResult::Uni(Box::new(b.build().run()))
             }
             Target::Mp(app) => {
@@ -430,6 +442,9 @@ impl ExperimentSpec {
                 }
                 if let Some(latency) = ov.latency {
                     b = b.latency(latency);
+                }
+                if let Some(skip) = ov.idle_skip {
+                    b = b.idle_skip(skip);
                 }
                 CellResult::Mp(Box::new(b.build().run()))
             }
@@ -537,19 +552,19 @@ impl Runner {
         let started = Instant::now();
         let meter = self.progress.then(|| ProgressMeter::new(cells.len()));
         let meter = meter.as_ref();
-        let results: Vec<CellResult> = if self.jobs == 1 || cells.len() <= 1 {
-            cells
-                .iter()
-                .map(|c| {
-                    let result = spec.run_cell(c);
-                    if let Some(m) = meter {
-                        m.tick(spec.name());
-                    }
-                    result
-                })
-                .collect()
+        let timed_cell = |c: &Cell| {
+            let cell_start = Instant::now();
+            let result = spec.run_cell(c);
+            let wall = cell_start.elapsed();
+            if let Some(m) = meter {
+                m.tick(spec.name());
+            }
+            (result, wall)
+        };
+        let results: Vec<(CellResult, Duration)> = if self.jobs == 1 || cells.len() <= 1 {
+            cells.iter().map(timed_cell).collect()
         } else {
-            let slots: Vec<OnceLock<CellResult>> =
+            let slots: Vec<OnceLock<(CellResult, Duration)>> =
                 (0..cells.len()).map(|_| OnceLock::new()).collect();
             let next = AtomicUsize::new(0);
             std::thread::scope(|s| {
@@ -559,11 +574,8 @@ impl Runner {
                         if i >= cells.len() {
                             break;
                         }
-                        let result = spec.run_cell(&cells[i]);
-                        slots[i].set(result).expect("cell index claimed twice");
-                        if let Some(m) = meter {
-                            m.tick(spec.name());
-                        }
+                        let timed = timed_cell(&cells[i]);
+                        slots[i].set(timed).expect("cell index claimed twice");
                     });
                 }
             });
@@ -572,11 +584,13 @@ impl Runner {
                 .map(|slot| slot.into_inner().expect("worker pool covered every cell"))
                 .collect()
         };
+        let (results, cell_walls): (Vec<CellResult>, Vec<Duration>) = results.into_iter().unzip();
         SweepResult {
             name: spec.name.clone(),
             scale: spec.scale,
             jobs: self.jobs,
             wall: started.elapsed(),
+            cell_walls,
             cells: cells.into_iter().zip(results).collect(),
         }
     }
@@ -593,6 +607,10 @@ pub struct SweepResult {
     pub jobs: usize,
     /// Wall-clock duration of the sweep.
     pub wall: Duration,
+    /// Per-cell wall-clock durations, index-aligned with `cells`. Host
+    /// timing lives here (and in `BENCH_*.json`) only — never in the
+    /// deterministic `METRICS_*.json` artifact.
+    pub cell_walls: Vec<Duration>,
     /// Every cell with its result, in the spec's canonical order.
     pub cells: Vec<(Cell, CellResult)>,
 }
@@ -662,17 +680,27 @@ impl SweepResult {
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale.name()));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         out.push_str(&format!("  \"wall_ms\": {},\n", self.wall.as_millis()));
+        let total_sim_cycles: u64 = self.cells.iter().map(|(_, r)| r.cycles()).sum();
+        out.push_str(&format!("  \"total_sim_cycles\": {total_sim_cycles},\n"));
+        out.push_str(&format!(
+            "  \"sim_cycles_per_sec\": {:.1},\n",
+            cycles_per_sec(total_sim_cycles, self.wall)
+        ));
         out.push_str("  \"cells\": [\n");
         for (i, (cell, result)) in self.cells.iter().enumerate() {
             let seed = cell.seed.map(|s| s.to_string()).unwrap_or_else(|| "null".into());
+            let cell_wall = self.cell_walls.get(i).copied().unwrap_or_default();
             let common = format!(
                 "\"target\": {}, \"scheme\": \"{}\", \"contexts\": {}, \"seed\": {seed}, \
-                 \"cycles\": {}, \"utilization\": {:.6}",
+                 \"cycles\": {}, \"utilization\": {:.6}, \"wall_ms\": {}, \
+                 \"sim_cycles_per_sec\": {:.1}",
                 json_str(cell.target.name()),
                 cell.scheme.name(),
                 cell.contexts,
                 result.cycles(),
                 result.utilization(),
+                cell_wall.as_millis(),
+                cycles_per_sec(result.cycles(), cell_wall),
             );
             let extra = match result {
                 CellResult::Uni(r) => format!(
@@ -756,6 +784,17 @@ impl SweepResult {
     }
 }
 
+/// Simulated-cycles-per-host-second rate, or 0 when the wall time is too
+/// small to measure.
+fn cycles_per_sec(cycles: u64, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        cycles as f64 / secs
+    } else {
+        0.0
+    }
+}
+
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -834,10 +873,27 @@ mod tests {
         assert!(json.contains("\"artifact\": \"tiny\""));
         assert!(json.contains("\"kind\": \"uni\""));
         assert!(json.contains("\"kind\": \"mp\""));
+        assert!(json.contains("\"total_sim_cycles\""));
+        // Top-level rate plus one per cell.
+        assert_eq!(json.matches("\"sim_cycles_per_sec\"").count(), 7);
         assert_eq!(json.matches("\"cycles\"").count(), 6);
         // Balanced braces — cheap structural sanity check without a
         // JSON parser in the dependency set.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn idle_skip_override_is_bit_identical() {
+        let on = Runner::serial().run(&tiny_spec().idle_skip(true));
+        let off = Runner::serial().run(&tiny_spec().idle_skip(false));
+        assert!(on.results_match(&off), "idle skipping must not change simulated results");
+        assert_eq!(on.metrics_json(), off.metrics_json());
+    }
+
+    #[test]
+    fn cell_walls_align_with_cells() {
+        let sweep = Runner::new(3).run(&tiny_spec());
+        assert_eq!(sweep.cell_walls.len(), sweep.cells.len());
     }
 
     #[test]

@@ -68,6 +68,12 @@ pub struct ProcConfig {
     pub btb_entries: usize,
     /// Store-miss handling policy.
     pub store_policy: StorePolicy,
+    /// Fast-forward over cycles in which the processor can only idle
+    /// (empty pipe, every context waiting). Purely a host-throughput
+    /// optimisation: results are bit-identical with it on or off. Disable
+    /// to force cycle-by-cycle simulation, e.g. when debugging the hot
+    /// loop itself.
+    pub idle_skip: bool,
 }
 
 impl ProcConfig {
@@ -84,6 +90,7 @@ impl ProcConfig {
             timing: TimingModel::r4000_like(),
             btb_entries: 2048,
             store_policy: StorePolicy::SwitchOnMiss,
+            idle_skip: true,
         };
         cfg.validate();
         cfg

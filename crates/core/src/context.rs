@@ -1,3 +1,77 @@
+use std::fmt;
+
+/// Capacity of the per-context fill-binding ring — one entry per
+/// outstanding fill, capped at the MSHR count.
+const FILL_RING_CAP: usize = 8;
+
+/// Fixed-capacity FIFO of `(fetch_index, addr)` fill bindings.
+///
+/// Replaces a `Vec` with `remove(0)` eviction in the miss path: same
+/// first-in-first-out semantics (oldest binding evicted when an
+/// insertion finds the ring full, match removal preserves order), no
+/// heap traffic.
+#[derive(Clone, Copy)]
+pub(crate) struct FillRing {
+    slots: [(u64, u64); FILL_RING_CAP],
+    /// Index of the oldest entry.
+    head: usize,
+    len: usize,
+}
+
+impl FillRing {
+    pub fn new() -> FillRing {
+        FillRing { slots: [(0, 0); FILL_RING_CAP], head: 0, len: 0 }
+    }
+
+    fn at(&self, i: usize) -> (u64, u64) {
+        self.slots[(self.head + i) % FILL_RING_CAP]
+    }
+
+    /// Entries in insertion (oldest-first) order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        (0..self.len).map(|i| self.at(i))
+    }
+
+    pub fn contains(&self, entry: (u64, u64)) -> bool {
+        self.iter().any(|e| e == entry)
+    }
+
+    /// Appends `entry`, evicting the oldest binding if the ring is full
+    /// (the MSHR being reused).
+    pub fn push_evicting(&mut self, entry: (u64, u64)) {
+        if self.len == FILL_RING_CAP {
+            self.head = (self.head + 1) % FILL_RING_CAP;
+            self.len -= 1;
+        }
+        self.slots[(self.head + self.len) % FILL_RING_CAP] = entry;
+        self.len += 1;
+    }
+
+    /// Removes the first entry equal to `entry`, preserving the order of
+    /// the rest; returns whether a match was found.
+    pub fn take(&mut self, entry: (u64, u64)) -> bool {
+        let Some(pos) = (0..self.len).find(|&i| self.at(i) == entry) else {
+            return false;
+        };
+        for i in pos..self.len - 1 {
+            self.slots[(self.head + i) % FILL_RING_CAP] = self.at(i + 1);
+        }
+        self.len -= 1;
+        true
+    }
+
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+impl fmt::Debug for FillRing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
 /// Why a context is unavailable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WaitReason {
@@ -38,7 +112,7 @@ pub(crate) struct Context {
     /// re-probing the cache (guarantees forward progress under conflict
     /// eviction). One entry per outstanding fill, capped at the MSHR
     /// count.
-    pub bound_fills: Vec<(u64, u64)>,
+    pub bound_fills: FillRing,
     /// An instruction fetch bound to an outstanding I-fill: when fetch
     /// resumes at this cursor index, the instruction is delivered without
     /// re-probing the I-cache (forward progress under I-TLB/I-cache
@@ -48,6 +122,10 @@ pub(crate) struct Context {
     pub retired: u64,
     /// Whether a stream is attached.
     pub attached: bool,
+    /// Latched when the context's fetch unit completes (stream exhausted,
+    /// everything retired); maintained incrementally so the run loops can
+    /// test completion in O(1) instead of scanning every unit per cycle.
+    pub done: bool,
 }
 
 impl Context {
@@ -57,10 +135,11 @@ impl Context {
             wrong_path: false,
             epoch: 0,
             pending_backoff: false,
-            bound_fills: Vec::new(),
+            bound_fills: FillRing::new(),
             bound_ifetch: None,
             retired: 0,
             attached: false,
+            done: false,
         }
     }
 
@@ -124,6 +203,33 @@ mod tests {
         assert!(!v.ready);
         assert_eq!(v.waiting_on, Some(WaitReason::Data));
         assert_eq!(v.resumes_at, Some(42));
+    }
+
+    #[test]
+    fn fill_ring_is_fifo_with_eviction() {
+        let mut r = FillRing::new();
+        for i in 0..FILL_RING_CAP as u64 {
+            r.push_evicting((i, i * 8));
+        }
+        assert!(r.contains((0, 0)));
+        // Full: the next insertion evicts the oldest binding.
+        r.push_evicting((99, 99));
+        assert!(!r.contains((0, 0)));
+        assert!(r.contains((99, 99)));
+        assert_eq!(r.iter().next(), Some((1, 8)));
+    }
+
+    #[test]
+    fn fill_ring_take_removes_match_preserving_order() {
+        let mut r = FillRing::new();
+        r.push_evicting((1, 1));
+        r.push_evicting((2, 2));
+        r.push_evicting((3, 3));
+        assert!(r.take((2, 2)));
+        assert!(!r.take((2, 2)));
+        assert_eq!(r.iter().collect::<Vec<_>>(), [(1, 1), (3, 3)]);
+        r.clear();
+        assert_eq!(r.iter().count(), 0);
     }
 
     #[test]

@@ -56,6 +56,13 @@ impl InstrSource for VecSource {
 /// index. Because integer and FP instructions retire up to two cycles
 /// apart, retirement may arrive out of index order; the buffer only
 /// releases a contiguous retired prefix.
+///
+/// The unit eagerly normalizes after every mutation (cursor clamped past
+/// the retired prefix, buffer filled through the cursor), so the hot
+/// read-side queries — [`FetchUnit::peek`], [`FetchUnit::cursor`],
+/// [`FetchUnit::is_done`] — take `&self`. Sources are self-contained
+/// deterministic generators, so pulling one instruction early never
+/// changes the stream.
 pub struct FetchUnit {
     source: Box<dyn InstrSource>,
     /// buffer[i] holds the instruction at index `base + i`.
@@ -84,47 +91,47 @@ impl fmt::Debug for FetchUnit {
 impl FetchUnit {
     /// Wraps an instruction source.
     pub fn new(source: Box<dyn InstrSource>) -> FetchUnit {
-        FetchUnit {
+        let mut unit = FetchUnit {
             source,
             buffer: VecDeque::new(),
             base: 0,
             cursor: 0,
             retired: BTreeSet::new(),
             exhausted: false,
-        }
+        };
+        unit.normalize();
+        unit
     }
 
-    /// The instruction at the fetch cursor, pulling from the source as
-    /// needed. `None` once the stream is exhausted.
-    pub fn peek(&mut self) -> Option<Instr> {
-        // Skip over instructions that already retired (a rollback target
-        // can precede out-of-order-retired younger instructions; those
-        // must not execute twice). Absorbing a retired prefix can move
-        // `base` past a rolled-back cursor — everything below `base` has
-        // retired, so the cursor catches up.
+    /// Restores the cursor/buffer invariant after a mutation: the cursor
+    /// sits at or past `base`, skips over instructions that already
+    /// retired (a rollback target can precede out-of-order-retired
+    /// younger instructions; those must not execute twice — and
+    /// absorbing a retired prefix can move `base` past a rolled-back
+    /// cursor), and the buffer covers the cursor unless the source is
+    /// exhausted.
+    fn normalize(&mut self) {
         self.cursor = self.cursor.max(self.base);
         while self.retired.contains(&self.cursor) {
             self.cursor += 1;
         }
-        while self.base + self.buffer.len() as u64 <= self.cursor {
-            if self.exhausted {
-                return None;
-            }
+        while !self.exhausted && self.base + self.buffer.len() as u64 <= self.cursor {
             match self.source.next_instr() {
                 Some(instr) => self.buffer.push_back(instr),
-                None => {
-                    self.exhausted = true;
-                    return None;
-                }
+                None => self.exhausted = true,
             }
         }
-        let offset = (self.cursor - self.base) as usize;
-        Some(self.buffer[offset])
+    }
+
+    /// The instruction at the fetch cursor. `None` once the stream is
+    /// exhausted.
+    pub fn peek(&self) -> Option<Instr> {
+        self.buffer.get((self.cursor - self.base) as usize).copied()
     }
 
     /// Index of the instruction the cursor points at.
     pub fn cursor(&self) -> u64 {
-        self.cursor.max(self.base)
+        self.cursor
     }
 
     /// Consumes the instruction at the cursor.
@@ -136,6 +143,7 @@ impl FetchUnit {
     pub fn advance(&mut self) {
         assert!(self.peek().is_some(), "advance past end of stream");
         self.cursor += 1;
+        self.normalize();
     }
 
     /// Rolls the cursor back to `index` so squashed instructions are
@@ -149,6 +157,7 @@ impl FetchUnit {
         assert!(index >= self.base, "cannot roll back before retired prefix");
         assert!(index <= self.cursor, "cannot roll forward");
         self.cursor = index;
+        self.normalize();
     }
 
     /// Rolls the cursor back to the oldest unretired instruction, so that
@@ -156,6 +165,7 @@ impl FetchUnit {
     /// squashes the whole context).
     pub fn rollback_to_base(&mut self) {
         self.cursor = self.base;
+        self.normalize();
     }
 
     /// Marks the instruction at `index` retired, releasing buffer space
@@ -174,17 +184,18 @@ impl FetchUnit {
             self.buffer.pop_front();
             self.base += 1;
         }
+        self.normalize();
     }
 
     /// Whether every fetched instruction has retired and the stream is
     /// exhausted.
-    pub fn is_done(&mut self) -> bool {
+    pub fn is_done(&self) -> bool {
         self.peek().is_none() && self.base == self.cursor
     }
 
     /// Number of fetched-but-unretired instructions.
     pub fn outstanding(&self) -> u64 {
-        (self.cursor.max(self.base) - self.base).saturating_sub(self.retired.len() as u64)
+        (self.cursor - self.base).saturating_sub(self.retired.len() as u64)
     }
 }
 

@@ -52,6 +52,7 @@
 
 mod config;
 mod context;
+mod events;
 mod fetch;
 mod ports;
 mod processor;
@@ -60,4 +61,4 @@ pub use config::{ProcConfig, Scheme, StorePolicy};
 pub use context::{CtxView, WaitReason};
 pub use fetch::{FetchUnit, InstrSource, VecSource};
 pub use ports::{DataOutcome, InstOutcome, PerfectMemory, SyncOutcome, SystemPort};
-pub use processor::{IssueRecord, Processor, SwitchStats};
+pub use processor::{IdleBound, IssueRecord, Processor, SwitchStats};

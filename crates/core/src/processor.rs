@@ -8,6 +8,7 @@ use interleave_pipeline::{
 use interleave_stats::{Breakdown, Category};
 
 use crate::context::{Context, CtxState};
+use crate::events::{Event, EventQueue};
 use crate::{
     CtxView, DataOutcome, FetchUnit, InstOutcome, InstrSource, ProcConfig, Scheme, StorePolicy,
     SyncOutcome, SystemPort, WaitReason,
@@ -83,18 +84,32 @@ fn span_class(category: Category) -> &'static str {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    MissDetect { due: u64, ctx: usize, epoch: u64, fetch_index: u64, ready_at: u64, addr: u64 },
-    BranchResolve { due: u64, ctx: usize, epoch: u64, pc: u64, taken: bool, target: u64 },
+/// Breakdown category a bubble reaching the issue point is charged to
+/// (`None` for drained cycles, which are uncharged).
+fn bubble_category(cause: BubbleCause) -> Option<Category> {
+    match cause {
+        BubbleCause::Switch => Some(Category::Switch),
+        BubbleCause::Mispredict => Some(Category::InstrShort),
+        BubbleCause::InstMem => Some(Category::InstMem),
+        BubbleCause::DataWait => Some(Category::DataMem),
+        BubbleCause::SyncWait => Some(Category::Sync),
+        BubbleCause::BackoffWait => Some(Category::InstrLong),
+        BubbleCause::Drained => None,
+    }
 }
 
-impl Event {
-    fn due(&self) -> u64 {
-        match *self {
-            Event::MissDetect { due, .. } | Event::BranchResolve { due, .. } => due,
-        }
-    }
+/// How long the processor will stay idle, as reported by
+/// [`Processor::idle_bound`] when nothing is in the pipe and no context
+/// can fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdleBound {
+    /// Idle until the given cycle at the latest: the earliest pending
+    /// pipeline event or timed context wake.
+    Until(u64),
+    /// Idle until an external wake arrives (every blocker is an untimed
+    /// synchronization wait); wakes only happen between run calls, so the
+    /// caller may skip to its own horizon.
+    External,
 }
 
 /// A multiple-context processor attached to a memory system.
@@ -115,7 +130,7 @@ pub struct Processor<P: SystemPort> {
     btb: Btb,
     units: Vec<Option<FetchUnit>>,
     ctx: Vec<Context>,
-    events: Vec<Event>,
+    events: EventQueue,
     now: u64,
     /// Round-robin fetch pointer (interleaved scheme).
     rr: usize,
@@ -135,6 +150,15 @@ pub struct Processor<P: SystemPort> {
     /// Instructions issued per context since it last became unavailable.
     current_run: Vec<u64>,
     switches: SwitchStats,
+    /// Attached units whose `done` flag is latched (stream exhausted,
+    /// everything retired); completion is `done_units == attached_units`.
+    done_units: usize,
+    attached_units: usize,
+    /// Reusable buffers for the per-cycle retire and squash paths, so the
+    /// hot loop allocates nothing in steady state.
+    retired_scratch: Vec<InFlight>,
+    squash_scratch: Vec<InFlight>,
+    mins_scratch: Vec<(usize, u64)>,
 }
 
 impl<P: SystemPort> Processor<P> {
@@ -152,7 +176,7 @@ impl<P: SystemPort> Processor<P> {
             btb: Btb::new(cfg.btb_entries),
             units: (0..cfg.contexts).map(|_| None).collect(),
             ctx: (0..cfg.contexts).map(|_| Context::new()).collect(),
-            events: Vec::new(),
+            events: EventQueue::new(),
             now: 0,
             rr: 0,
             current: None,
@@ -165,6 +189,11 @@ impl<P: SystemPort> Processor<P> {
             run_lengths: Histogram::new(),
             current_run: vec![0; cfg.contexts],
             switches: SwitchStats::default(),
+            done_units: 0,
+            attached_units: 0,
+            retired_scratch: Vec::new(),
+            squash_scratch: Vec::new(),
+            mins_scratch: Vec::new(),
             cfg,
             port,
         }
@@ -177,9 +206,16 @@ impl<P: SystemPort> Processor<P> {
     /// Panics if `ctx` is out of range or already has a stream attached.
     pub fn attach(&mut self, ctx: usize, source: Box<dyn InstrSource>) {
         assert!(self.units[ctx].is_none(), "context {ctx} already attached");
-        self.units[ctx] = Some(FetchUnit::new(source));
+        let unit = FetchUnit::new(source);
+        let done = unit.is_done();
+        self.units[ctx] = Some(unit);
         self.ctx[ctx].attached = true;
         self.ctx[ctx].state = CtxState::Ready;
+        self.attached_units += 1;
+        self.ctx[ctx].done = done;
+        if done {
+            self.done_units += 1;
+        }
     }
 
     /// Replaces the fetch unit of `ctx` (the OS scheduler swapping resident
@@ -192,11 +228,19 @@ impl<P: SystemPort> Processor<P> {
     pub fn swap_unit(&mut self, ctx: usize, incoming: FetchUnit) -> FetchUnit {
         assert!(self.units[ctx].is_some(), "context {ctx} has no unit to swap");
         self.squash_context(ctx);
+        if self.ctx[ctx].done {
+            self.ctx[ctx].done = false;
+            self.done_units -= 1;
+        }
         let mut outgoing = self.units[ctx].replace(incoming).expect("checked above");
         // Re-fetch everything unretired when this unit runs again.
         outgoing.rollback_to_base();
         self.ctx[ctx].state = CtxState::Ready;
         self.ctx[ctx].retired = 0;
+        if self.units[ctx].as_ref().expect("just replaced").is_done() {
+            self.ctx[ctx].done = true;
+            self.done_units += 1;
+        }
         outgoing
     }
 
@@ -372,14 +416,23 @@ impl<P: SystemPort> Processor<P> {
     }
 
     /// Whether every attached stream is exhausted and the pipeline drained.
-    pub fn is_done(&mut self) -> bool {
-        let units_done = self.units.iter_mut().flatten().all(|u| u.is_done());
-        units_done && self.window.is_empty() && self.front.occupancy() == 0
+    ///
+    /// O(1): stream completion is latched per context at retire time, so
+    /// the run loops do not rescan every fetch unit each cycle.
+    pub fn is_done(&self) -> bool {
+        self.done_units == self.attached_units
+            && self.window.is_empty()
+            && self.front.occupancy() == 0
     }
 
     /// Runs `n` cycles.
     pub fn run_cycles(&mut self, n: u64) {
-        for _ in 0..n {
+        let end = self.now.saturating_add(n);
+        while self.now < end {
+            if let Some(target) = self.skip_target(end) {
+                self.skip_idle_to(target);
+                continue;
+            }
             self.tick();
         }
     }
@@ -388,7 +441,12 @@ impl<P: SystemPort> Processor<P> {
     /// the cycles executed.
     pub fn run_until_done(&mut self, max_cycles: u64) -> u64 {
         let start = self.now;
-        while !self.is_done() && self.now - start < max_cycles {
+        let end = start.saturating_add(max_cycles);
+        while !self.is_done() && self.now < end {
+            if let Some(target) = self.skip_target(end) {
+                self.skip_idle_to(target);
+                continue;
+            }
             self.tick();
         }
         self.now - start
@@ -397,18 +455,129 @@ impl<P: SystemPort> Processor<P> {
     /// Checks the no-lost-work invariant: a ready context whose stream is
     /// exhausted at the cursor must either be done or still have work in
     /// the pipe (debug aid).
-    pub fn check_lost_work(&mut self) -> Option<usize> {
+    pub fn check_lost_work(&self) -> Option<usize> {
         for c in 0..self.cfg.contexts {
             if !self.ctx[c].attached || !self.ctx[c].is_ready() {
                 continue;
             }
             let in_pipe = self.window.count_ctx(c) + self.front.count_ctx(c);
-            let unit = self.units[c].as_mut().unwrap();
+            let unit = self.unit(c);
             if unit.peek().is_none() && unit.outstanding() > 0 && in_pipe == 0 {
                 return Some(c);
             }
         }
         None
+    }
+
+    /// How long the processor will stay idle, or `None` if it can make
+    /// progress this cycle.
+    ///
+    /// Idle means: nothing in the issue window, nothing in the front end,
+    /// and no attached context able to fetch — every context is waiting
+    /// or has completed its stream, or instruction fetch itself is
+    /// stalled on a miss (which blocks every context until it clears).
+    /// Until the returned bound, a tick can only charge one bubble cycle,
+    /// so [`Processor::skip_idle_to`] may fast-forward there with
+    /// bit-identical results.
+    pub fn idle_bound(&self) -> Option<IdleBound> {
+        if !self.window.is_empty() || self.front.occupancy() != 0 {
+            return None;
+        }
+        // While an instruction fetch is stalled on the (blocking) i-cache,
+        // fetch emits inst-mem bubbles no matter what the contexts could
+        // do, so the processor idles until the stall clears at the latest.
+        let stalled = self.fetch_stall_until > self.now;
+        let mut bound = self.events.next_due();
+        if stalled {
+            bound = Some(bound.map_or(self.fetch_stall_until, |b| b.min(self.fetch_stall_until)));
+        }
+        for c in &self.ctx {
+            if !c.attached {
+                continue;
+            }
+            match c.state {
+                CtxState::Waiting { until: Some(t), .. } => {
+                    bound = Some(bound.map_or(t, |b| b.min(t)));
+                }
+                CtxState::Waiting { until: None, .. } => {}
+                CtxState::Ready => {
+                    // Absent a fetch stall, a ready context idles only
+                    // once its stream is done (wrong-path or
+                    // pending-backoff contexts still fetch or hold fetch
+                    // slots).
+                    if !stalled && (!c.done || c.wrong_path || c.pending_backoff) {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(match bound {
+            Some(t) => IdleBound::Until(t),
+            None => IdleBound::External,
+        })
+    }
+
+    /// Where to fast-forward to within a run bounded by `end`, if idle
+    /// skipping is enabled, possible, and worth more than a plain tick.
+    fn skip_target(&self, end: u64) -> Option<u64> {
+        if !self.cfg.idle_skip {
+            return None;
+        }
+        let target = match self.idle_bound()? {
+            IdleBound::Until(t) => t.min(end),
+            IdleBound::External => end,
+        };
+        (target > self.now + 1).then_some(target)
+    }
+
+    /// Fast-forwards an idle processor to `target`, charging the skipped
+    /// cycles exactly as ticking them one by one would: same breakdown
+    /// categories, same drained-cycle count, same front-end bubble
+    /// counters, same trace.
+    ///
+    /// The bulk path applies only while the trace is off and the front
+    /// end is uniformly filled with the bubble cause that would be
+    /// fetched anyway (so shifting is the identity); otherwise it falls
+    /// back to plain ticks, which the idle precondition makes cheap.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `target` does not cross the bound reported by
+    /// [`Processor::idle_bound`] — skipping past an event due cycle or a
+    /// context wake would change results.
+    pub fn skip_idle_to(&mut self, target: u64) {
+        if target <= self.now {
+            return;
+        }
+        debug_assert!(
+            match self.idle_bound() {
+                Some(IdleBound::Until(t)) => target <= t,
+                Some(IdleBound::External) => true,
+                None => false,
+            },
+            "skip_idle_to past the idle bound"
+        );
+        while self.now < target {
+            let now = self.now;
+            let stalled = self.fetch_stall_until > now;
+            let incoming = if stalled { BubbleCause::InstMem } else { self.no_context_cause() };
+            if self.trace.is_none() && self.front.uniform_bubble() == Some(incoming) {
+                // The fetch cause holds until `until`; charge those cycles
+                // in one step.
+                let until = if stalled { target.min(self.fetch_stall_until) } else { target };
+                let n = until - now;
+                match bubble_category(incoming) {
+                    Some(c) => self.breakdown.record(c, n),
+                    None => self.drained_cycles += n,
+                }
+                self.front.record_bubbles(incoming, n);
+                self.now = until;
+            } else {
+                // Mixed bubbles still in the pipe (or tracing): replay the
+                // exact per-cycle path.
+                self.tick();
+            }
+        }
     }
 
     /// Register ready cycle as tracked by the scoreboard (debug aid).
@@ -456,11 +625,20 @@ impl<P: SystemPort> Processor<P> {
             trace.push(record);
         }
 
-        let retired = self.window.retire_due(now);
-        for r in retired {
-            self.units[r.ctx].as_mut().expect("retiring context has a unit").retire(r.fetch_index);
+        let mut retired = std::mem::take(&mut self.retired_scratch);
+        self.window.retire_due_into(now, &mut retired);
+        for r in &retired {
+            let unit = self.units[r.ctx].as_mut().expect("retiring context has a unit");
+            unit.retire(r.fetch_index);
             self.ctx[r.ctx].retired += 1;
+            // Retirement is the only place a unit can become done (eager
+            // normalization discovers stream exhaustion here).
+            if !self.ctx[r.ctx].done && unit.is_done() {
+                self.ctx[r.ctx].done = true;
+                self.done_units += 1;
+            }
         }
+        self.retired_scratch = retired;
 
         self.now += 1;
     }
@@ -468,15 +646,11 @@ impl<P: SystemPort> Processor<P> {
     // ----- cycle phases -------------------------------------------------
 
     fn process_events(&mut self, now: u64) {
-        // Misses first: they bump epochs that invalidate branch resolves.
-        let due: Vec<Event> = {
-            let (due, rest): (Vec<_>, Vec<_>) = self.events.drain(..).partition(|e| e.due() <= now);
-            self.events = rest;
-            due
-        };
-        let (misses, branches): (Vec<_>, Vec<_>) =
-            due.into_iter().partition(|e| matches!(e, Event::MissDetect { .. }));
-        for e in misses.into_iter().chain(branches) {
+        // The queue pops due events misses-first (they bump epochs that
+        // invalidate same-cycle branch resolves), then scheduling order.
+        // Handlers never schedule same-cycle events, so draining as we
+        // pop matches draining up front.
+        while let Some(e) = self.events.pop_due(now) {
             match e {
                 Event::MissDetect { ctx, epoch, fetch_index, ready_at, addr, .. } => {
                     self.on_miss_detect(now, ctx, epoch, fetch_index, ready_at, addr);
@@ -509,16 +683,14 @@ impl<P: SystemPort> Processor<P> {
         // The fill is delivered to this context by the MSHR; its
         // re-executed access completes without re-probing the cache.
         let bounds = &mut self.ctx[ctx].bound_fills;
-        if !bounds.contains(&(fetch_index, addr)) {
-            if bounds.len() >= 8 {
-                bounds.remove(0);
-            }
-            bounds.push((fetch_index, addr));
+        if !bounds.contains((fetch_index, addr)) {
+            bounds.push_evicting((fetch_index, addr));
         }
         match self.cfg.scheme {
             Scheme::Single => unreachable!("single scheme schedules no miss events"),
             Scheme::Interleaved | Scheme::FineGrained => {
-                let squashed = self.window.squash_ctx(ctx);
+                let mut squashed = std::mem::take(&mut self.squash_scratch);
+                self.window.squash_ctx_into(ctx, &mut squashed);
                 let min_index = squashed
                     .iter()
                     .map(|i| i.fetch_index)
@@ -526,6 +698,7 @@ impl<P: SystemPort> Processor<P> {
                     .min()
                     .expect("nonempty");
                 self.transfer_squashed(&squashed);
+                self.squash_scratch = squashed;
                 self.front.squash_ctx(ctx);
                 self.scoreboard.clear_context(ctx, now);
                 // Front slots of this context are younger than everything
@@ -542,10 +715,12 @@ impl<P: SystemPort> Processor<P> {
                 // including fetched-but-unissued instructions of contexts
                 // with nothing in the window — those must be rolled back
                 // too, or their instructions would be lost.
-                let squashed = self.window.squash_all();
+                let mut squashed = std::mem::take(&mut self.squash_scratch);
+                self.window.squash_all_into(&mut squashed);
                 self.transfer_squashed(&squashed);
                 let front_squashed = self.front.squash_all();
-                let mut mins: Vec<(usize, u64)> = Vec::new();
+                let mut mins = std::mem::take(&mut self.mins_scratch);
+                mins.clear();
                 let indices = squashed.iter().map(|s| (s.ctx, s.fetch_index)).chain(
                     front_squashed.iter().filter(|s| !s.wrong_path).map(|s| (s.ctx, s.fetch_index)),
                 );
@@ -555,6 +730,7 @@ impl<P: SystemPort> Processor<P> {
                         None => mins.push((c, idx)),
                     }
                 }
+                self.squash_scratch = squashed;
                 match mins.iter_mut().find(|(c, _)| *c == ctx) {
                     Some((_, m)) => *m = (*m).min(fetch_index),
                     None => mins.push((ctx, fetch_index)),
@@ -566,6 +742,7 @@ impl<P: SystemPort> Processor<P> {
                     self.ctx[c].wrong_path = false;
                     self.ctx[c].pending_backoff = false;
                 }
+                self.mins_scratch = mins;
                 self.ctx[ctx].state =
                     CtxState::Waiting { reason: WaitReason::Data, until: Some(ready_at) };
                 self.pick_next_current(ctx);
@@ -693,9 +870,7 @@ impl<P: SystemPort> Processor<P> {
         }
         // A re-executed access whose fill was bound by the MSHR completes
         // without re-probing the cache.
-        let bounds = &mut self.ctx[slot.ctx].bound_fills;
-        if let Some(pos) = bounds.iter().position(|&b| b == (slot.fetch_index, addr)) {
-            bounds.remove(pos);
+        if self.ctx[slot.ctx].bound_fills.take((slot.fetch_index, addr)) {
             return;
         }
         let lookup = ex + 1; // DF1
@@ -812,15 +987,7 @@ impl<P: SystemPort> Processor<P> {
     }
 
     fn charge_bubble(&mut self, cause: BubbleCause) -> Option<Category> {
-        let category = match cause {
-            BubbleCause::Switch => Some(Category::Switch),
-            BubbleCause::Mispredict => Some(Category::InstrShort),
-            BubbleCause::InstMem => Some(Category::InstMem),
-            BubbleCause::DataWait => Some(Category::DataMem),
-            BubbleCause::SyncWait => Some(Category::Sync),
-            BubbleCause::BackoffWait => Some(Category::InstrLong),
-            BubbleCause::Drained => None,
-        };
+        let category = bubble_category(cause);
         match category {
             Some(c) => self.breakdown.record(c, 1),
             None => self.drained_cycles += 1,
@@ -890,7 +1057,7 @@ impl<P: SystemPort> Processor<P> {
         };
 
         if self.ctx[ctx].wrong_path {
-            let index = self.unit_mut(ctx).cursor();
+            let index = self.unit(ctx).cursor();
             return FrontSlot::Instr(Slot {
                 ctx,
                 fetch_index: index,
@@ -900,9 +1067,8 @@ impl<P: SystemPort> Processor<P> {
             });
         }
 
-        let instr =
-            self.unit_mut(ctx).peek().expect("select_context verified the stream is non-empty");
-        let cursor = self.unit_mut(ctx).cursor();
+        let instr = self.unit(ctx).peek().expect("select_context verified the stream is non-empty");
+        let cursor = self.unit(ctx).cursor();
         if self.ctx[ctx].bound_ifetch == Some(cursor) {
             // The outstanding I-fill delivers this fetch directly.
             self.ctx[ctx].bound_ifetch = None;
@@ -931,7 +1097,7 @@ impl<P: SystemPort> Processor<P> {
             self.ctx[ctx].pending_backoff = true;
         }
 
-        let fetch_index = self.unit_mut(ctx).cursor();
+        let fetch_index = self.unit(ctx).cursor();
         self.unit_mut(ctx).advance();
         FrontSlot::Instr(Slot { ctx, fetch_index, instr, wrong_path: false, mispredicted })
     }
@@ -971,7 +1137,7 @@ impl<P: SystemPort> Processor<P> {
         }
     }
 
-    fn fetchable(&mut self, ctx: usize) -> bool {
+    fn fetchable(&self, ctx: usize) -> bool {
         if !self.ctx[ctx].attached || !self.ctx[ctx].is_ready() || self.ctx[ctx].pending_backoff {
             return false;
         }
@@ -985,7 +1151,7 @@ impl<P: SystemPort> Processor<P> {
         if self.ctx[ctx].wrong_path {
             return true;
         }
-        self.units[ctx].as_mut().expect("attached").peek().is_some()
+        self.unit(ctx).peek().is_some()
     }
 
     /// After `exclude` becomes unavailable, pick the blocked scheme's next
@@ -1029,6 +1195,10 @@ impl<P: SystemPort> Processor<P> {
             }
             None => BubbleCause::Drained,
         }
+    }
+
+    fn unit(&self, ctx: usize) -> &FetchUnit {
+        self.units[ctx].as_ref().expect("context has a unit attached")
     }
 
     fn unit_mut(&mut self, ctx: usize) -> &mut FetchUnit {

@@ -1,7 +1,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use interleave_core::{ProcConfig, Processor, Scheme, WaitReason};
+use interleave_core::{IdleBound, ProcConfig, Processor, Scheme, WaitReason};
 use interleave_obs::Registry;
 use interleave_stats::Breakdown;
 
@@ -51,6 +51,8 @@ pub struct MpSim {
     latency: LatencyModel,
     /// Seed for streams and latency sampling.
     seed: u64,
+    /// Fast-forward lockstep cycles in which every node processor is idle.
+    idle_skip: bool,
 }
 
 /// Builder for [`MpSim`]; obtained from [`MpSim::builder`].
@@ -106,6 +108,14 @@ impl MpSimBuilder {
         self
     }
 
+    /// Fast-forward lockstep cycles in which every node processor is idle
+    /// (default true). Purely a host-throughput optimisation — results
+    /// are bit-identical with it on or off.
+    pub fn idle_skip(mut self, enabled: bool) -> Self {
+        self.sim.idle_skip = enabled;
+        self
+    }
+
     /// Finalizes the simulation.
     pub fn build(self) -> MpSim {
         self.sim
@@ -150,6 +160,7 @@ impl MpSim {
                 warmup_cycles: 20_000,
                 latency: LatencyModel::dash_like(),
                 seed: 0x19941004,
+                idle_skip: true,
             },
         }
     }
@@ -220,10 +231,9 @@ impl MpSim {
         )));
         let mut cpus: Vec<Processor<NodePort>> = (0..self.nodes)
             .map(|n| {
-                Processor::new(
-                    ProcConfig::new(self.scheme, self.contexts_per_node),
-                    NodePort::new(n, shared.clone()),
-                )
+                let mut cfg = ProcConfig::new(self.scheme, self.contexts_per_node);
+                cfg.idle_skip = self.idle_skip;
+                Processor::new(cfg, NodePort::new(n, shared.clone()))
             })
             .collect();
         for (node, cpu) in cpus.iter_mut().enumerate() {
@@ -252,10 +262,30 @@ impl MpSim {
             }
         };
 
+        // Every cycle in which all node processors are idle can be
+        // skipped in one jump: synchronization wakes are produced only by
+        // processors issuing sync operations during `step`, so an
+        // all-idle machine has no pending wakes to deliver cycle-by-cycle
+        // and the lockstep clock may advance straight to the earliest
+        // idle bound (clamped to the caller's boundary, preserving the
+        // warmup reset and quota-check cycles exactly).
+        let advance_to = |cpus: &mut Vec<Processor<NodePort>>, now: &mut u64, limit: u64| {
+            while *now < limit {
+                if self.idle_skip {
+                    if let Some(t) = all_idle_target(cpus, *now, limit) {
+                        for cpu in cpus.iter_mut() {
+                            cpu.skip_idle_to(t);
+                        }
+                        *now = t;
+                        continue;
+                    }
+                }
+                step(cpus, now);
+            }
+        };
+
         // Warmup.
-        while now < self.warmup_cycles {
-            step(&mut cpus, &mut now);
-        }
+        advance_to(&mut cpus, &mut now, self.warmup_cycles);
         for cpu in cpus.iter_mut() {
             cpu.reset_breakdown();
             for ctx in 0..self.contexts_per_node {
@@ -267,9 +297,8 @@ impl MpSim {
         let start = now;
         let safety = start + self.total_work.saturating_mul(400).max(20_000_000);
         loop {
-            for _ in 0..128 {
-                step(&mut cpus, &mut now);
-            }
+            let chunk_end = now + 128;
+            advance_to(&mut cpus, &mut now, chunk_end);
             let done = cpus
                 .iter()
                 .all(|cpu| (0..self.contexts_per_node).all(|ctx| cpu.retired(ctx) >= quota));
@@ -290,6 +319,22 @@ impl MpSim {
         shared.borrow().collect_metrics(&mut metrics);
         MpResult { cycles: now - start, breakdown, directory, threads, avg_mlp, per_node, metrics }
     }
+}
+
+/// Earliest cycle an all-idle machine may fast-forward to, capped at
+/// `limit`, or `None` when some processor can still make progress (or the
+/// jump is not worth more than one lockstep step). `External` bounds
+/// (untimed sync waits) contribute nothing: with every processor idle no
+/// wake can arrive before `limit`.
+fn all_idle_target(cpus: &[Processor<NodePort>], now: u64, limit: u64) -> Option<u64> {
+    let mut target = limit;
+    for cpu in cpus {
+        match cpu.idle_bound()? {
+            IdleBound::Until(t) => target = target.min(t),
+            IdleBound::External => {}
+        }
+    }
+    (target > now + 1).then_some(target)
 }
 
 #[cfg(test)]

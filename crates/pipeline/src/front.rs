@@ -106,6 +106,40 @@ impl FrontSlot {
     }
 }
 
+/// Slots removed from the front end by a squash — at most one per stage,
+/// held inline so the per-squash path allocates nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct SquashedSlots {
+    slots: [Option<Slot>; FRONT_DEPTH],
+    len: usize,
+}
+
+impl SquashedSlots {
+    fn new() -> SquashedSlots {
+        SquashedSlots { slots: [None; FRONT_DEPTH], len: 0 }
+    }
+
+    fn push(&mut self, slot: Slot) {
+        self.slots[self.len] = Some(slot);
+        self.len += 1;
+    }
+
+    /// Number of removed slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the squash removed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the removed slots in stage order (IF1 first).
+    pub fn iter(&self) -> impl Iterator<Item = &Slot> {
+        self.slots[..self.len].iter().map(|s| s.as_ref().expect("slot within len"))
+    }
+}
+
 /// The three pre-issue pipeline stages (IF1, IF2, RF) as a rigid shift
 /// register.
 ///
@@ -152,24 +186,24 @@ impl FrontEnd {
     /// Squashes all of `ctx`'s instructions (replacing them with
     /// switch-overhead bubbles) and returns the removed slots so the
     /// caller can roll the context's fetch cursor back.
-    pub fn squash_ctx(&mut self, ctx: usize) -> Vec<Slot> {
+    pub fn squash_ctx(&mut self, ctx: usize) -> SquashedSlots {
         self.squash_where(|s| s.ctx == ctx, BubbleCause::Switch)
     }
 
     /// Squashes `ctx`'s wrong-path fetches after a branch resolves,
     /// replacing them with mispredict bubbles.
-    pub fn squash_wrong_path(&mut self, ctx: usize) -> Vec<Slot> {
+    pub fn squash_wrong_path(&mut self, ctx: usize) -> SquashedSlots {
         self.squash_where(|s| s.ctx == ctx && s.wrong_path, BubbleCause::Mispredict)
     }
 
     /// Flushes every instruction (the blocked scheme's full-pipe flush on a
     /// cache miss) and returns the removed slots.
-    pub fn squash_all(&mut self) -> Vec<Slot> {
+    pub fn squash_all(&mut self) -> SquashedSlots {
         self.squash_where(|_| true, BubbleCause::Switch)
     }
 
-    fn squash_where(&mut self, pred: impl Fn(&Slot) -> bool, cause: BubbleCause) -> Vec<Slot> {
-        let mut squashed = Vec::new();
+    fn squash_where(&mut self, pred: impl Fn(&Slot) -> bool, cause: BubbleCause) -> SquashedSlots {
+        let mut squashed = SquashedSlots::new();
         for stage in &mut self.stages {
             if let FrontSlot::Instr(s) = stage {
                 if pred(s) {
@@ -195,6 +229,27 @@ impl FrontEnd {
     /// Iterates over the stages from IF1 (youngest) to RF (oldest).
     pub fn iter(&self) -> impl Iterator<Item = &FrontSlot> {
         self.stages.iter()
+    }
+
+    /// If every stage holds a bubble of the same cause, that cause.
+    ///
+    /// This is the precondition for the idle-skip bulk path: shifting in
+    /// another bubble of the same cause leaves the pipe contents unchanged,
+    /// so `n` such cycles can be charged with [`FrontEnd::record_bubbles`].
+    pub fn uniform_bubble(&self) -> Option<BubbleCause> {
+        match self.stages[0] {
+            FrontSlot::Bubble(c) if self.stages.iter().all(|s| *s == FrontSlot::Bubble(c)) => {
+                Some(c)
+            }
+            _ => None,
+        }
+    }
+
+    /// Charges `n` bubble cycles of `cause` without shifting the pipe —
+    /// the bulk equivalent of `n` [`FrontEnd::shift`] calls with that
+    /// bubble when the pipe is already uniformly filled with it.
+    pub fn record_bubbles(&mut self, cause: BubbleCause, n: u64) {
+        self.bubbles[cause.slot()] += n;
     }
 
     /// Bubble cycles accumulated for `cause` (entered at IF1 or created
@@ -328,6 +383,27 @@ mod tests {
         let fe = FrontEnd::new();
         assert_eq!(fe.occupancy(), 0);
         assert!(matches!(fe.rf(), FrontSlot::Bubble(BubbleCause::Drained)));
+    }
+
+    #[test]
+    fn uniform_bubble_detects_homogeneous_pipe() {
+        let mut fe = FrontEnd::new();
+        assert_eq!(fe.uniform_bubble(), Some(BubbleCause::Drained));
+        fe.shift(FrontSlot::Bubble(BubbleCause::DataWait));
+        assert_eq!(fe.uniform_bubble(), None); // mixed DataWait/Drained
+        fe.shift(FrontSlot::Bubble(BubbleCause::DataWait));
+        fe.shift(FrontSlot::Bubble(BubbleCause::DataWait));
+        assert_eq!(fe.uniform_bubble(), Some(BubbleCause::DataWait));
+        fe.shift(slot(0, 0));
+        assert_eq!(fe.uniform_bubble(), None);
+    }
+
+    #[test]
+    fn record_bubbles_charges_in_bulk() {
+        let mut fe = FrontEnd::new();
+        fe.record_bubbles(BubbleCause::SyncWait, 17);
+        assert_eq!(fe.bubble_count(BubbleCause::SyncWait), 17);
+        assert_eq!(fe.occupancy(), 0);
     }
 
     #[test]

@@ -34,7 +34,7 @@ mod scoreboard;
 mod window;
 
 pub use btb::{Btb, BtbStats};
-pub use front::{BubbleCause, FrontEnd, FrontSlot, Slot};
+pub use front::{BubbleCause, FrontEnd, FrontSlot, Slot, SquashedSlots};
 pub use scoreboard::Scoreboard;
 pub use window::{InFlight, IssueWindow, WindowStats};
 

@@ -1,5 +1,3 @@
-use std::collections::VecDeque;
-
 use interleave_isa::Instr;
 use interleave_obs::{Counter, Registry};
 
@@ -38,7 +36,7 @@ pub struct InFlight {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct IssueWindow {
-    items: VecDeque<InFlight>,
+    items: Vec<InFlight>,
     stats: WindowStats,
 }
 
@@ -65,55 +63,89 @@ impl IssueWindow {
     /// least one cycle in flight) or if issue order is violated.
     pub fn issue(&mut self, inflight: InFlight) {
         assert!(inflight.retires_at >= inflight.issued_at, "retire before issue");
-        if let Some(last) = self.items.back() {
+        if let Some(last) = self.items.last() {
             assert!(last.issued_at <= inflight.issued_at, "issue order violated");
         }
-        self.items.push_back(inflight);
+        self.items.push(inflight);
     }
 
-    /// Removes and returns the instructions retiring at or before `now`.
+    /// Moves the instructions retiring at or before `now` into `out`
+    /// (cleared first), in issue order — the allocation-free form of
+    /// [`IssueWindow::retire_due`] for the per-cycle hot path.
     ///
     /// Integer and FP instructions leave their pipes independently, so an
     /// integer instruction may retire past an older FP instruction of the
     /// same context (squashes never reach behind the faulting instruction,
     /// so completed work is never re-executed).
+    pub fn retire_due_into(&mut self, now: u64, out: &mut Vec<InFlight>) {
+        out.clear();
+        self.items.retain(|i| {
+            if i.retires_at <= now {
+                out.push(*i);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Removes and returns the instructions retiring at or before `now`.
     pub fn retire_due(&mut self, now: u64) -> Vec<InFlight> {
         let mut retired = Vec::new();
-        let mut i = 0;
-        while i < self.items.len() {
-            if self.items[i].retires_at <= now {
-                retired.push(self.items.remove(i).expect("index in range"));
-            } else {
-                i += 1;
-            }
-        }
+        self.retire_due_into(now, &mut retired);
         retired
     }
 
-    /// Removes and returns every in-flight instruction of `ctx`
-    /// (used when the whole context leaves the machine, e.g. an OS swap).
+    /// Moves every in-flight instruction of `ctx` into `out` (cleared
+    /// first) — used when the whole context leaves the machine, e.g. an
+    /// OS swap.
+    pub fn squash_ctx_into(&mut self, ctx: usize, out: &mut Vec<InFlight>) {
+        self.squash_ctx_from_into(ctx, 0, out);
+    }
+
+    /// Removes and returns every in-flight instruction of `ctx`.
     pub fn squash_ctx(&mut self, ctx: usize) -> Vec<InFlight> {
         self.squash_ctx_from(ctx, 0)
     }
 
+    /// Moves `ctx`'s in-flight instructions at or after stream position
+    /// `from` into `out` (cleared first) — the faulting instruction and
+    /// everything younger. Older instructions (e.g. FP operations still
+    /// draining) complete normally, exactly as in a machine that squashes
+    /// by CID at the detection point.
+    pub fn squash_ctx_from_into(&mut self, ctx: usize, from: u64, out: &mut Vec<InFlight>) {
+        out.clear();
+        self.items.retain(|i| {
+            if i.ctx == ctx && i.fetch_index >= from {
+                out.push(*i);
+                false
+            } else {
+                true
+            }
+        });
+        self.note_squash(out.len());
+    }
+
     /// Removes and returns `ctx`'s in-flight instructions at or after
-    /// stream position `from` — the faulting instruction and everything
-    /// younger. Older instructions (e.g. FP operations still draining)
-    /// complete normally, exactly as in a machine that squashes by CID at
-    /// the detection point.
+    /// stream position `from`.
     pub fn squash_ctx_from(&mut self, ctx: usize, from: u64) -> Vec<InFlight> {
-        let (squashed, kept): (Vec<_>, Vec<_>) =
-            self.items.drain(..).partition(|i| i.ctx == ctx && i.fetch_index >= from);
-        self.items = kept.into();
-        self.note_squash(squashed.len());
+        let mut squashed = Vec::new();
+        self.squash_ctx_from_into(ctx, from, &mut squashed);
         squashed
     }
 
-    /// Removes and returns every in-flight instruction (the blocked
-    /// scheme's full flush).
+    /// Moves every in-flight instruction into `out` (cleared first) —
+    /// the blocked scheme's full flush.
+    pub fn squash_all_into(&mut self, out: &mut Vec<InFlight>) {
+        out.clear();
+        out.append(&mut self.items);
+        self.note_squash(out.len());
+    }
+
+    /// Removes and returns every in-flight instruction.
     pub fn squash_all(&mut self) -> Vec<InFlight> {
-        let squashed: Vec<InFlight> = self.items.drain(..).collect();
-        self.note_squash(squashed.len());
+        let mut squashed = Vec::new();
+        self.squash_all_into(&mut squashed);
         squashed
     }
 
@@ -243,6 +275,21 @@ mod tests {
 
         w.reset_stats();
         assert_eq!(w.stats().squash_events.get(), 0);
+    }
+
+    #[test]
+    fn into_variants_clear_reused_buffers() {
+        let mut w = IssueWindow::new();
+        w.issue(inflight(0, 0, 1, 4));
+        w.issue(inflight(1, 1, 2, 9));
+        let mut buf = vec![inflight(9, 9, 9, 9)];
+        w.retire_due_into(4, &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].fetch_index, 0);
+        w.squash_all_into(&mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].ctx, 1);
+        assert!(w.is_empty());
     }
 
     #[test]

@@ -56,6 +56,8 @@ pub struct MultiprogramSim {
     btb_entries: usize,
     /// Store-miss handling policy.
     store_policy: StorePolicy,
+    /// Fast-forward cycles in which the processor can only idle.
+    idle_skip: bool,
 }
 
 /// Builder for [`MultiprogramSim`]; obtained from
@@ -128,6 +130,14 @@ impl MultiprogramSimBuilder {
         self
     }
 
+    /// Fast-forward cycles in which the processor can only idle (default
+    /// true). Purely a host-throughput optimisation — results are
+    /// bit-identical with it on or off.
+    pub fn idle_skip(mut self, enabled: bool) -> Self {
+        self.sim.idle_skip = enabled;
+        self
+    }
+
     /// Finalizes the simulation.
     pub fn build(self) -> MultiprogramSim {
         self.sim
@@ -177,6 +187,7 @@ impl MultiprogramSim {
                 mem: MemConfig::workstation(),
                 btb_entries: 2048,
                 store_policy: StorePolicy::SwitchOnMiss,
+                idle_skip: true,
             },
         }
     }
@@ -248,6 +259,7 @@ impl MultiprogramSim {
         let mut proc_cfg = ProcConfig::new(self.scheme, self.contexts);
         proc_cfg.btb_entries = self.btb_entries;
         proc_cfg.store_policy = self.store_policy;
+        proc_cfg.idle_skip = self.idle_skip;
         let mut cpu = Processor::new(proc_cfg, UniMemSystem::new(self.mem.clone()));
 
         // Parked fetch units, indexed by application; residents are inside

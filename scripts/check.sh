@@ -1,20 +1,42 @@
 #!/usr/bin/env bash
 # Full verification gate: release build, lint wall, the whole test
-# suite, formatting, and an instrumentation smoke run (trace export +
-# schema validation). Run from anywhere inside the repository.
+# suite, formatting, and release-binary smoke runs (trace export +
+# schema validation, sweep throughput). Run from anywhere inside the
+# repository. `--quick` skips the release-binary smoke runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+quick=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    *) echo "usage: scripts/check.sh [--quick]" >&2; exit 2 ;;
+  esac
+done
 
 cargo build --release
 cargo clippy --workspace -- -D warnings
 cargo test -q
 cargo fmt --check
 
-# Smoke: export a Chrome trace from the release binary and feed it back
-# through the schema validator (tests/trace_schema.rs).
+if [ "$quick" -eq 1 ]; then
+  echo "check.sh: all green (quick mode, release smokes skipped)"
+  exit 0
+fi
+
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
+
+# Smoke: export a Chrome trace from the release binary and feed it back
+# through the schema validator (tests/trace_schema.rs).
 ./target/release/interleave-sim trace --max-cycles 5000 --out "$tmpdir/trace.json"
 INTERLEAVE_TRACE_FILE="$tmpdir/trace.json" cargo test -q --test trace_schema
+
+# Smoke: run the seconds-long sweep grid and check the BENCH artifact
+# reports a positive host-throughput rate (the hot loop's cycles/sec
+# instrumentation stays wired up).
+./target/release/interleave-sim sweep --artifact smoke --json "$tmpdir" >/dev/null
+grep -o '"sim_cycles_per_sec": [0-9.]*' "$tmpdir/BENCH_smoke.json" | head -1 \
+  | awk '{ if ($2 + 0 <= 0) { print "check.sh: sweep reported no throughput" > "/dev/stderr"; exit 1 } }'
 
 echo "check.sh: all green"

@@ -45,8 +45,9 @@ pub enum Command {
     },
     /// Run a whole experiment grid on the parallel sweep runner.
     Sweep {
-        /// Grid to run: `table7` (workstation) or `table10`
-        /// (multiprocessor).
+        /// Grid to run: `table7` (workstation), `table10`
+        /// (multiprocessor), or `smoke` (seconds-long CI throughput
+        /// check).
         artifact: String,
         /// Worker threads (`None` = `INTERLEAVE_JOBS` / machine).
         jobs: Option<usize>,
@@ -202,7 +203,7 @@ USAGE:
                        [--quota N] [--seed N]
   interleave-sim mp    [--app NAME] [--scheme S] [--nodes N] [--contexts N]
                        [--work N] [--seed N]
-  interleave-sim sweep --artifact table7|table10 [--jobs N] [--scale ci|full]
+  interleave-sim sweep --artifact table7|table10|smoke [--jobs N] [--scale ci|full]
                        [--json DIR] [--seed N] [--progress]
   interleave-sim trace [--file PATH] [--workload W] [--scheme S] [--contexts N]
                        [--max-cycles N] [--seed N] [--out PATH]
@@ -243,7 +244,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "sweep" => Ok(Command::Sweep {
             artifact: flags
                 .get("artifact")
-                .ok_or_else(|| CliError("sweep requires --artifact table7|table10".into()))?
+                .ok_or_else(|| CliError("sweep requires --artifact table7|table10|smoke".into()))?
                 .to_string(),
             jobs: flags.opt_num("jobs")?.map(|n| n as usize),
             scale: flags.scale()?,
@@ -391,9 +392,17 @@ pub fn run(command: Command) -> Result<(), CliError> {
                     }
                     spec
                 }
+                // A seconds-long single-workload grid for CI throughput
+                // checks (`scripts/check.sh` reads the cycles/sec rates
+                // from its BENCH json).
+                "smoke" => ExperimentSpec::new("smoke", scale)
+                    .uni(mixes::fp())
+                    .contexts([2])
+                    .quota(2_000)
+                    .warmup(500),
                 other => {
                     return Err(CliError(format!(
-                        "unknown artifact `{other}` (expected table7 or table10)"
+                        "unknown artifact `{other}` (expected table7, table10, or smoke)"
                     )))
                 }
             };

@@ -1,12 +1,15 @@
 //! The parallel sweep runner must be a pure optimization: running the
 //! same `ExperimentSpec` serially or with any number of jobs yields
 //! bit-identical results (same cells, same order, equal simulation
-//! outputs).
+//! outputs). The same holds for idle-cycle skipping in the hot loop:
+//! fixed-seed golden tests pin the simulated numbers, and skipping on
+//! vs off must produce byte-identical metrics artifacts.
 
 use interleave::bench::{ExperimentSpec, Runner, Scale};
 use interleave::core::Scheme;
-use interleave::mp::splash_suite;
-use interleave::workloads::mixes;
+use interleave::mp::{splash_suite, MpSim};
+use interleave::stats::{Breakdown, Category};
+use interleave::workloads::{mixes, MultiprogramSim};
 
 fn small_grid() -> ExperimentSpec {
     let mut spec = ExperimentSpec::new("determinism", Scale::Ci)
@@ -40,6 +43,99 @@ fn repeated_parallel_sweeps_are_reproducible() {
     let first = Runner::new(4).run(&spec);
     let second = Runner::new(4).run(&spec);
     assert!(first.results_match(&second));
+}
+
+/// Asserts a breakdown matches golden per-category values in
+/// `Category::ALL` order.
+fn assert_breakdown(what: &str, got: &Breakdown, golden: [u64; 7]) {
+    for (c, want) in Category::ALL.into_iter().zip(golden) {
+        assert_eq!(got.get(c), want, "{what}: category {c:?} diverged from the golden value");
+    }
+}
+
+/// Fixed-seed golden values for a uniprocessor multiprogramming run,
+/// captured from the seed implementation's linear-scan hot loop. Any
+/// drift here means the event queue or idle skipping changed simulated
+/// behaviour. Runs both with and without idle skipping: the full results
+/// (every field, not just the breakdown) must be identical.
+#[test]
+fn uni_golden_values_with_and_without_idle_skip() {
+    let run = |idle_skip: bool| {
+        MultiprogramSim::builder(mixes::fp())
+            .scheme(Scheme::Interleaved)
+            .contexts(2)
+            .quota(2_000)
+            .warmup(500)
+            .idle_skip(idle_skip)
+            .build()
+            .run()
+    };
+    let on = run(true);
+    let off = run(false);
+    assert_eq!(on, off, "idle skipping changed a uniprocessor result");
+    assert_eq!(on.cycles, 79_968);
+    assert_eq!(on.instructions, 29_343);
+    assert_breakdown(
+        "uni fp/interleaved/2",
+        &on.breakdown,
+        [29_181, 13_726, 1_367, 8_951, 16_485, 0, 10_258],
+    );
+
+    let blocked = MultiprogramSim::builder(mixes::ic())
+        .scheme(Scheme::Blocked)
+        .contexts(4)
+        .quota(2_000)
+        .warmup(500)
+        .build()
+        .run();
+    assert_eq!(blocked.cycles, 29_440);
+    assert_eq!(blocked.instructions, 8_945);
+    assert_breakdown(
+        "uni ic/blocked/4",
+        &blocked.breakdown,
+        [8_916, 5_951, 42, 7_353, 1_117, 0, 6_061],
+    );
+}
+
+/// Same as above for the multiprocessor lockstep loop, whose idle
+/// skipping must also respect warmup and quota-check boundaries.
+#[test]
+fn mp_golden_values_with_and_without_idle_skip() {
+    let run = |idle_skip: bool| {
+        MpSim::builder(splash_suite()[0].clone())
+            .scheme(Scheme::Interleaved)
+            .nodes(4)
+            .contexts(2)
+            .work(12_000)
+            .warmup(500)
+            .idle_skip(idle_skip)
+            .build()
+            .run()
+    };
+    let on = run(true);
+    let off = run(false);
+    assert_eq!(on, off, "idle skipping changed a multiprocessor result");
+    assert_eq!(on.cycles, 28_416);
+    assert_breakdown(
+        "mp splash0/interleaved/4x2",
+        &on.breakdown,
+        [12_302, 6_229, 2_084, 0, 82_050, 0, 10_999],
+    );
+}
+
+/// Sweep-level check: a whole grid run with idle skipping disabled must
+/// reproduce the default grid cell for cell, down to the serialized
+/// metrics artifact bytes.
+#[test]
+fn idle_skip_produces_byte_identical_metrics_artifacts() {
+    let on = Runner::new(2).run(&small_grid().idle_skip(true));
+    let off = Runner::new(2).run(&small_grid().idle_skip(false));
+    assert!(on.results_match(&off), "idle skipping changed sweep results");
+    assert_eq!(
+        on.metrics_json(),
+        off.metrics_json(),
+        "METRICS artifact must be byte-identical with idle skipping on or off"
+    );
 }
 
 #[test]
