@@ -74,6 +74,14 @@ pub struct ProcConfig {
     /// to force cycle-by-cycle simulation, e.g. when debugging the hot
     /// loop itself.
     pub idle_skip: bool,
+    /// Run the structural invariant checkers every tick (scoreboard
+    /// hazards, cycle-accounting identity, memory-system structure; see
+    /// DESIGN.md "Validation"). Defaults to
+    /// [`interleave_obs::validate::default_enabled`]: on under the
+    /// `validate` cargo feature or `INTERLEAVE_VALIDATE=1`, off
+    /// otherwise. Note this is a field — [`ProcConfig::validate`] the
+    /// *method* checks the configuration itself.
+    pub validate: bool,
 }
 
 impl ProcConfig {
@@ -91,6 +99,7 @@ impl ProcConfig {
             btb_entries: 2048,
             store_policy: StorePolicy::SwitchOnMiss,
             idle_skip: true,
+            validate: interleave_obs::validate::default_enabled(),
         };
         cfg.validate();
         cfg

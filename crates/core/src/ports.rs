@@ -1,5 +1,6 @@
 use interleave_isa::{Access, SyncRef};
 use interleave_mem::{DataAccess, InstAccess, UniMemSystem};
+use interleave_obs::validate::Violation;
 
 /// Outcome of a data access as seen by the processor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +66,18 @@ pub trait SystemPort {
         let _ = (now, ctx, op);
         SyncOutcome::Proceed
     }
+
+    /// Checks the port's structural invariants at cycle `now`; called by
+    /// the processor's validation pass when `ProcConfig.validate` is on.
+    ///
+    /// Defaults to no checks. Ports whose per-tick checks would be too
+    /// expensive (the multiprocessor node port shares one directory
+    /// across all nodes) keep the default and are validated by their
+    /// simulation driver at coarser boundaries instead.
+    fn check_invariants(&self, now: u64) -> Result<(), Violation> {
+        let _ = now;
+        Ok(())
+    }
 }
 
 impl SystemPort for UniMemSystem {
@@ -84,6 +97,10 @@ impl SystemPort for UniMemSystem {
                 InstOutcome::Stall { ready_at }
             }
         }
+    }
+
+    fn check_invariants(&self, now: u64) -> Result<(), Violation> {
+        UniMemSystem::check_invariants(self, now)
     }
 }
 

@@ -1,5 +1,6 @@
 use interleave_isa::{Access, Instr, Op};
 use interleave_obs::chrome::ChromeTrace;
+use interleave_obs::validate::Violation;
 use interleave_obs::{Counter, Histogram, Registry};
 use interleave_pipeline::{
     Btb, BubbleCause, FrontEnd, FrontSlot, InFlight, IssueWindow, Scoreboard, Slot,
@@ -142,6 +143,9 @@ pub struct Processor<P: SystemPort> {
     rf_stall_class: Option<Category>,
     breakdown: Breakdown,
     drained_cycles: u64,
+    /// Cycle the breakdown last restarted at ([`Processor::reset_breakdown`]);
+    /// the validation pass checks `breakdown + drained == now - accounted_since`.
+    accounted_since: u64,
     trace: Option<Vec<IssueRecord>>,
     /// Cycle at which the current trace buffer started (for mapping an
     /// in-flight instruction's issue cycle back to its trace record).
@@ -184,6 +188,7 @@ impl<P: SystemPort> Processor<P> {
             rf_stall_class: None,
             breakdown: Breakdown::new(),
             drained_cycles: 0,
+            accounted_since: 0,
             trace: None,
             trace_start: 0,
             run_lengths: Histogram::new(),
@@ -309,6 +314,7 @@ impl<P: SystemPort> Processor<P> {
     pub fn reset_breakdown(&mut self) {
         self.breakdown = Breakdown::new();
         self.drained_cycles = 0;
+        self.accounted_since = self.now;
         if let Some(trace) = self.trace.as_mut() {
             trace.clear();
         }
@@ -469,6 +475,105 @@ impl<P: SystemPort> Processor<P> {
         None
     }
 
+    /// Checks the processor's structural invariants at the current cycle
+    /// (see DESIGN.md "Validation"): cycle accounting (breakdown
+    /// categories plus drained cycles sum exactly to the cycles elapsed
+    /// since the last [`Processor::reset_breakdown`]), per-context done
+    /// latches agreeing with fetch-unit exhaustion, no lost in-flight
+    /// work, no overdue events, plus the scoreboard's and the memory
+    /// port's own standing invariants.
+    ///
+    /// Runs automatically after every [`Processor::tick`] and
+    /// [`Processor::skip_idle_to`] when `ProcConfig.validate` is set
+    /// (panicking with the [`Violation`] report); callable directly from
+    /// tests and drivers either way. O(contexts) per call.
+    pub fn check_invariants(&self) -> Result<(), Violation> {
+        let now = self.now;
+        let accounted = self.breakdown.total() + self.drained_cycles;
+        let elapsed = now - self.accounted_since;
+        if accounted != elapsed {
+            return Err(Violation::new(
+                "core.breakdown",
+                "cycle categories do not sum to elapsed cycles",
+                now,
+                format!(
+                    "breakdown {} + drained {} != {elapsed} elapsed since cycle {}",
+                    self.breakdown.total(),
+                    self.drained_cycles,
+                    self.accounted_since
+                ),
+            ));
+        }
+        let mut latched = 0;
+        for c in 0..self.cfg.contexts {
+            if !self.ctx[c].attached {
+                continue;
+            }
+            if self.ctx[c].done {
+                latched += 1;
+                if !self.unit(c).is_done() {
+                    return Err(Violation::new(
+                        "core.done_latch",
+                        "done latch set but the fetch unit still has work",
+                        now,
+                        format!("outstanding {}", self.unit(c).outstanding()),
+                    )
+                    .with_context(c));
+                }
+            }
+        }
+        if latched != self.done_units {
+            return Err(Violation::new(
+                "core.done_latch",
+                "done-unit count disagrees with per-context latches",
+                now,
+                format!("count {} but {latched} latched", self.done_units),
+            ));
+        }
+        if let Some(c) = self.check_lost_work() {
+            return Err(Violation::new(
+                "core.fetch",
+                "ready context lost its in-flight work",
+                now,
+                "stream exhausted at cursor with outstanding work and an empty pipe".into(),
+            )
+            .with_context(c));
+        }
+        if let Some(due) = self.events.next_due() {
+            if due < now {
+                return Err(Violation::new(
+                    "core.events",
+                    "event left overdue in the queue",
+                    now,
+                    format!("next event due at cycle {due}"),
+                ));
+            }
+        }
+        self.scoreboard.check_invariants(now)?;
+        self.port.check_invariants(now)
+    }
+
+    /// Panics with the [`Violation`] report if a structural invariant is
+    /// broken (the enforcement arm of [`Processor::check_invariants`]).
+    #[cold]
+    fn validation_failed(v: Violation) -> ! {
+        panic!("{v}");
+    }
+
+    fn assert_valid(&self) {
+        if let Err(v) = self.check_invariants() {
+            Self::validation_failed(v);
+        }
+    }
+
+    /// Asserts that a squash removed exactly `ctx`'s scoreboard slots
+    /// (called right after `clear_context` when validation is on).
+    fn checked_cleared(&self, ctx: usize, now: u64) {
+        if let Err(v) = self.scoreboard.check_cleared(ctx, now) {
+            Self::validation_failed(v);
+        }
+    }
+
     /// How long the processor will stay idle, or `None` if it can make
     /// progress this cycle.
     ///
@@ -578,6 +683,9 @@ impl<P: SystemPort> Processor<P> {
                 self.tick();
             }
         }
+        if self.cfg.validate {
+            self.assert_valid();
+        }
     }
 
     /// Register ready cycle as tracked by the scoreboard (debug aid).
@@ -641,6 +749,9 @@ impl<P: SystemPort> Processor<P> {
         self.retired_scratch = retired;
 
         self.now += 1;
+        if self.cfg.validate {
+            self.assert_valid();
+        }
     }
 
     // ----- cycle phases -------------------------------------------------
@@ -701,6 +812,9 @@ impl<P: SystemPort> Processor<P> {
                 self.squash_scratch = squashed;
                 self.front.squash_ctx(ctx);
                 self.scoreboard.clear_context(ctx, now);
+                if self.cfg.validate {
+                    self.checked_cleared(ctx, now);
+                }
                 // Front slots of this context are younger than everything
                 // in the window, so the window minimum covers them.
                 self.unit_mut(ctx).rollback(min_index);
@@ -737,6 +851,9 @@ impl<P: SystemPort> Processor<P> {
                 }
                 for &(c, min_index) in &mins {
                     self.scoreboard.clear_context(c, now);
+                    if self.cfg.validate {
+                        self.checked_cleared(c, now);
+                    }
                     self.unit_mut(c).rollback(min_index);
                     self.ctx[c].epoch += 1;
                     self.ctx[c].wrong_path = false;
@@ -825,6 +942,12 @@ impl<P: SystemPort> Processor<P> {
 
         // Plain issue.
         self.current_run[slot.ctx] += 1;
+        if self.cfg.validate {
+            if let Err(v) = self.scoreboard.check_issue(slot.ctx, &slot.instr, &self.cfg.timing, ex)
+            {
+                Self::validation_failed(v);
+            }
+        }
         self.scoreboard.issue(slot.ctx, &slot.instr, &self.cfg.timing, ex);
         let retires_at =
             ex + if slot.instr.op.is_fp() { FP_ISSUE_TO_RETIRE } else { INT_ISSUE_TO_RETIRE };
@@ -923,6 +1046,9 @@ impl<P: SystemPort> Processor<P> {
                 self.front.squash_ctx(ctx);
                 self.unit_mut(ctx).rollback(slot.fetch_index);
                 self.scoreboard.clear_context(ctx, now);
+                if self.cfg.validate {
+                    self.checked_cleared(ctx, now);
+                }
                 self.ctx[ctx].state = CtxState::Waiting { reason: WaitReason::Sync, until: None };
                 self.ctx[ctx].epoch += 1;
                 self.ctx[ctx].wrong_path = false;
@@ -1212,6 +1338,9 @@ impl<P: SystemPort> Processor<P> {
         self.transfer_squashed(&squashed);
         self.front.squash_ctx(ctx);
         self.scoreboard.clear_context(ctx, self.now);
+        if self.cfg.validate {
+            self.checked_cleared(ctx, self.now);
+        }
         self.ctx[ctx].epoch += 1;
         self.ctx[ctx].wrong_path = false;
         self.ctx[ctx].pending_backoff = false;

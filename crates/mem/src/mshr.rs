@@ -1,5 +1,7 @@
 use std::collections::BTreeMap;
 
+use interleave_obs::validate::Violation;
+
 /// Miss-status holding registers for the lockup-free data cache.
 ///
 /// Tracks outstanding line fills so that a second miss to an in-flight line
@@ -92,7 +94,57 @@ impl MshrFile {
     pub fn earliest_ready(&self) -> Option<u64> {
         self.outstanding.values().copied().min()
     }
+
+    /// Number of entries the file was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Checks the MSHR structural invariants at cycle `now`:
+    /// occupancy never exceeds capacity, every outstanding line address
+    /// is aligned to `line_size` (i.e. the fill targets a real cache
+    /// line), and no fill completes in the past without having been
+    /// expired by more than a full miss round-trip (`expire` is lazy, so
+    /// entries may linger a little after completion; a stale entry whose
+    /// completion is far behind `now` means the sweep was skipped).
+    ///
+    /// Duplicate outstanding lines cannot be represented (the map is
+    /// keyed by line address) and are rejected at [`MshrFile::allocate`]
+    /// time instead.
+    pub fn check_invariants(&self, now: u64, line_size: u64) -> Result<(), Violation> {
+        if self.outstanding.len() > self.capacity {
+            return Err(Violation::new(
+                "mem.mshr",
+                "occupancy exceeds capacity",
+                now,
+                format!("{} outstanding, capacity {}", self.outstanding.len(), self.capacity),
+            ));
+        }
+        for (&line, &ready) in &self.outstanding {
+            if line % line_size != 0 {
+                return Err(Violation::new(
+                    "mem.mshr",
+                    "outstanding fill targets an unaligned line",
+                    now,
+                    format!("line {line:#x} is not {line_size}-byte aligned"),
+                ));
+            }
+            if ready.saturating_add(STALE_FILL_GRACE) < now {
+                return Err(Violation::new(
+                    "mem.mshr",
+                    "completed fill never expired",
+                    now,
+                    format!("line {line:#x} completed at cycle {ready} and was never swept"),
+                ));
+            }
+        }
+        Ok(())
+    }
 }
+
+/// Cycles a completed fill may linger before [`MshrFile::check_invariants`]
+/// treats it as a missed `expire` sweep (expiry is lazy by design).
+const STALE_FILL_GRACE: u64 = 4096;
 
 #[cfg(test)]
 mod tests {
@@ -148,6 +200,36 @@ mod tests {
         assert_eq!(m.allocations(), 0);
         // High-water restarts at current occupancy, not zero.
         assert_eq!(m.high_water(), 2);
+    }
+
+    #[test]
+    fn invariants_hold_on_normal_use() {
+        let mut m = MshrFile::new(4);
+        m.allocate(0x40, 50);
+        m.allocate(0x80, 60);
+        assert!(m.check_invariants(10, 64).is_ok());
+        assert_eq!(m.capacity(), 4);
+    }
+
+    #[test]
+    fn invariants_flag_unaligned_line() {
+        let mut m = MshrFile::new(4);
+        m.allocate(0x41, 50);
+        let v = m.check_invariants(10, 64).unwrap_err();
+        assert_eq!(v.component, "mem.mshr");
+        assert!(v.to_string().contains("0x41"), "{v}");
+        assert!(v.to_string().contains("cycle 10"), "{v}");
+    }
+
+    #[test]
+    fn invariants_flag_stale_fill() {
+        let mut m = MshrFile::new(4);
+        m.allocate(0x40, 50);
+        // Lazy expiry: a recently completed fill is fine...
+        assert!(m.check_invariants(51, 64).is_ok());
+        // ...but one stranded far in the past means expire() never ran.
+        let v = m.check_invariants(50 + STALE_FILL_GRACE + 1, 64).unwrap_err();
+        assert!(v.to_string().contains("never"), "{v}");
     }
 
     #[test]

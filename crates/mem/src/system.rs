@@ -1,4 +1,5 @@
 use interleave_isa::Access;
+use interleave_obs::validate::Violation;
 use interleave_obs::Registry;
 
 use crate::{DirectCache, DirectTlb, MemConfig, MemStats, MshrFile, Resource};
@@ -76,6 +77,12 @@ pub struct UniMemSystem {
     bus_reply: Resource,
     banks: Vec<Resource>,
     stats: MemStats,
+    /// Completion cycle of the most recent I-cache miss. The I-cache is
+    /// blocking, so a second miss whose lookup begins before this cycle
+    /// is a structural violation (recorded, surfaced by
+    /// [`UniMemSystem::check_invariants`]).
+    l1i_outstanding_until: u64,
+    pending_violation: Option<Violation>,
 }
 
 impl UniMemSystem {
@@ -100,6 +107,8 @@ impl UniMemSystem {
             bus_reply: Resource::new(),
             banks: vec![Resource::new(); cfg.banks],
             stats: MemStats::default(),
+            l1i_outstanding_until: 0,
+            pending_violation: None,
             cfg,
         }
     }
@@ -231,9 +240,25 @@ impl UniMemSystem {
         }
 
         self.stats.l1i_misses += 1;
+        // Blocking I-cache: a new miss may not begin while the previous
+        // fill is still in flight (resuming at exactly the completion
+        // cycle is legal). Record rather than panic so the simulation
+        // driver can attach context and seed to the report.
+        if lookup_start < self.l1i_outstanding_until && self.pending_violation.is_none() {
+            self.pending_violation = Some(Violation::new(
+                "mem.l1i",
+                "blocking I-cache has more than one outstanding miss",
+                lookup_start,
+                format!(
+                    "fetch of {pc:#x} missed while a fill was outstanding until cycle {}",
+                    self.l1i_outstanding_until
+                ),
+            ));
+        }
         // Fills serialize on the I-cache fill port (fill occupancy 8).
         let start = self.l1i_fill_port.acquire(lookup_start, self.cfg.l1i.fill_occupancy);
         let (level, ready_at) = self.miss_path(start, pc);
+        self.l1i_outstanding_until = ready_at;
         // The I-cache fetches two lines per miss (Table 1).
         for extra in 0..self.cfg.l1i.fetch_lines {
             let fill_addr = pc + extra * self.cfg.l1i.line;
@@ -352,6 +377,17 @@ impl UniMemSystem {
     /// Line size in bytes.
     pub fn line_size(&self) -> u64 {
         self.cfg.l1d.line
+    }
+
+    /// Checks the hierarchy's structural invariants at cycle `now`:
+    /// surfaces any recorded blocking-I-cache violation, then checks the
+    /// MSHR file (occupancy within capacity, fills target real lines,
+    /// lazy expiry not stranded). Cheap — O(outstanding MSHRs).
+    pub fn check_invariants(&self, now: u64) -> Result<(), Violation> {
+        if let Some(v) = &self.pending_violation {
+            return Err(v.clone());
+        }
+        self.mshr.check_invariants(now, self.cfg.l1d.line)
     }
 }
 
@@ -574,6 +610,48 @@ mod tests {
             }
         }
         assert!(misses > 100, "heavy displacement should force re-misses, got {misses}");
+    }
+
+    #[test]
+    fn invariants_clean_after_traffic() {
+        let mut m = no_tlb();
+        for i in 0..32u64 {
+            m.access_data(i * 100, i * 0x200, Access::Read, 0);
+        }
+        assert!(m.check_invariants(32 * 100).is_ok());
+    }
+
+    #[test]
+    fn overlapping_inst_misses_are_flagged() {
+        let mut m = no_tlb();
+        let ready = match m.access_inst(0, 0x400) {
+            InstAccess::Miss { ready_at, .. } => ready_at,
+            other => panic!("{other:?}"),
+        };
+        // A second I-miss that begins before the first fill completes
+        // violates the blocking-I-cache model...
+        match m.access_inst(ready - 5, 0x10_0000) {
+            InstAccess::Miss { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        let v = m.check_invariants(ready).unwrap_err();
+        assert_eq!(v.component, "mem.l1i");
+        assert!(v.to_string().contains("outstanding"), "{v}");
+    }
+
+    #[test]
+    fn back_to_back_inst_misses_are_legal() {
+        let mut m = no_tlb();
+        let ready = match m.access_inst(0, 0x400) {
+            InstAccess::Miss { ready_at, .. } => ready_at,
+            other => panic!("{other:?}"),
+        };
+        // ...but resuming at exactly the completion cycle is fine.
+        match m.access_inst(ready, 0x10_0000) {
+            InstAccess::Miss { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(m.check_invariants(ready + 100).is_ok());
     }
 
     #[test]

@@ -1,5 +1,7 @@
 use std::collections::HashMap;
 
+use interleave_obs::validate::Violation;
+
 /// How a data access was serviced, for latency sampling and statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MissClass {
@@ -284,6 +286,88 @@ impl Directory {
             Some(LineState::Shared(mask)) => mask.count_ones() as usize,
         }
     }
+
+    /// Checks the directory's state-machine legality at `cycle`: every
+    /// tracked line is aligned; a shared line has a non-empty sharer
+    /// vector with no bits beyond the node count (owner/sharer-vector
+    /// consistency — a dirty line is `Dirty(owner)` by construction, so
+    /// an M-line with sharers cannot even be represented and the check
+    /// enforces the representation's side conditions); a dirty line's
+    /// owner is a real node. O(tracked lines) — drivers run this at
+    /// chunk boundaries, not per tick.
+    pub fn check_invariants(&self, cycle: u64) -> Result<(), Violation> {
+        for (&line, &state) in &self.states {
+            if line % self.line != 0 {
+                return Err(Violation::new(
+                    "mp.directory",
+                    "tracked line address is not line-aligned",
+                    cycle,
+                    format!("line {line:#x} with {}-byte lines", self.line),
+                ));
+            }
+            match state {
+                LineState::Shared(mask) => {
+                    if mask == 0 {
+                        return Err(Violation::new(
+                            "mp.directory",
+                            "shared line has an empty sharer vector",
+                            cycle,
+                            format!("line {line:#x}"),
+                        ));
+                    }
+                    if self.nodes < 64 && mask >> self.nodes != 0 {
+                        let ghost = 63 - mask.leading_zeros() as usize;
+                        return Err(Violation::new(
+                            "mp.directory",
+                            "sharer vector names a nonexistent node",
+                            cycle,
+                            format!("line {line:#x} mask {mask:#x} with {} nodes", self.nodes),
+                        )
+                        .with_context(ghost));
+                    }
+                }
+                LineState::Dirty(owner) => {
+                    if owner >= self.nodes {
+                        return Err(Violation::new(
+                            "mp.directory",
+                            "dirty line has an out-of-range owner",
+                            cycle,
+                            format!("line {line:#x} owned by node {owner} of {}", self.nodes),
+                        )
+                        .with_context(owner));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Visits every line the directory believes is cached somewhere,
+    /// as `(line_address, node, dirty)` per cached copy — the driver's
+    /// directory↔cache cross-check.
+    pub fn for_each_cached_copy(&self, mut f: impl FnMut(u64, usize, bool)) {
+        for (&line, &state) in &self.states {
+            match state {
+                LineState::Dirty(owner) => f(line, owner, true),
+                LineState::Shared(mask) => {
+                    for node in 0..self.nodes.min(64) {
+                        if mask & (1 << node) != 0 {
+                            f(line, node, false);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Corrupts the directory by marking `line_addr` dirty-owned by
+    /// `owner` without any legality checks. Fault injection for the
+    /// validation layer's own regression tests — never called by the
+    /// protocol paths.
+    #[doc(hidden)]
+    pub fn corrupt_line_for_test(&mut self, line_addr: u64, owner: usize) {
+        self.states.insert(line_addr, LineState::Dirty(owner));
+    }
 }
 
 #[cfg(test)]
@@ -386,5 +470,42 @@ mod tests {
     #[should_panic]
     fn too_many_nodes_rejected() {
         let _ = Directory::new(65, 32);
+    }
+
+    #[test]
+    fn invariants_hold_through_protocol_traffic() {
+        let mut dir = Directory::new(4, 32);
+        dir.read(0, 0x00);
+        dir.read(1, 0x00);
+        dir.write(2, 0x00, false);
+        dir.read(3, 0x00);
+        dir.evict(2, 0x00, false);
+        dir.write(1, 0x40, false);
+        dir.evict(1, 0x40, true);
+        assert!(dir.check_invariants(100).is_ok());
+    }
+
+    #[test]
+    fn corrupted_owner_is_caught() {
+        let mut dir = Directory::new(4, 32);
+        dir.read(0, 0x00);
+        dir.corrupt_line_for_test(0x40, 9);
+        let v = dir.check_invariants(777).unwrap_err();
+        assert_eq!(v.context, Some(9));
+        let msg = v.to_string();
+        assert!(msg.contains("cycle 777"), "{msg}");
+        assert!(msg.contains("owner"), "{msg}");
+    }
+
+    #[test]
+    fn cached_copy_walk_matches_state() {
+        let mut dir = Directory::new(4, 32);
+        dir.read(0, 0x00);
+        dir.read(1, 0x00);
+        dir.write(2, 0x20, false);
+        let mut copies = vec![];
+        dir.for_each_cached_copy(|line, node, dirty| copies.push((line, node, dirty)));
+        copies.sort_unstable();
+        assert_eq!(copies, vec![(0x00, 0, false), (0x00, 1, false), (0x20, 2, true)]);
     }
 }

@@ -4,6 +4,7 @@ use std::rc::Rc;
 use interleave_core::{DataOutcome, InstOutcome, SyncOutcome, SystemPort};
 use interleave_isa::{Access, SyncRef};
 use interleave_mem::{CacheParams, DirectCache, Resource};
+use interleave_obs::validate::Violation;
 use interleave_obs::{Histogram, Registry};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -25,6 +26,9 @@ pub struct MpShared {
     directory: Directory,
     latency: LatencyModel,
     rng: SmallRng,
+    /// Seed the machine was built with, attached to violation reports so
+    /// a failing run can be replayed.
+    seed: u64,
     /// Lock/barrier state.
     pub sync: SyncController,
     /// Completion times of recent misses (memory-level-parallelism probe).
@@ -52,6 +56,7 @@ impl MpShared {
             directory: Directory::new(nodes, params.line),
             latency,
             rng: SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
+            seed,
             sync: SyncController::new(threads),
             mlp_outstanding: Vec::new(),
             mlp_accum: (0, 0),
@@ -62,6 +67,48 @@ impl MpShared {
     /// The directory (protocol statistics, classification).
     pub fn directory(&self) -> &Directory {
         &self.directory
+    }
+
+    /// Mutable directory access. Exists for the validation layer's
+    /// fault-injection tests; protocol traffic goes through
+    /// [`MpShared::access`] only.
+    #[doc(hidden)]
+    pub fn directory_mut(&mut self) -> &mut Directory {
+        &mut self.directory
+    }
+
+    /// Checks the machine's coherence invariants at `cycle`: directory
+    /// state-machine legality, directory↔cache agreement (every copy the
+    /// directory tracks is actually cached by that node, with a dirty
+    /// line's owner holding it exclusively by construction of the
+    /// full-bit-vector representation), and the synchronization
+    /// controller's lock/barrier structure. O(tracked lines) — run at
+    /// chunk boundaries, not per tick. Violations carry the machine seed
+    /// for replay.
+    pub fn check_invariants(&self, cycle: u64) -> Result<(), Violation> {
+        let attach = |v: Violation| v.with_seed(self.seed);
+        self.directory.check_invariants(cycle).map_err(attach)?;
+        let mut mismatch = None;
+        self.directory.for_each_cached_copy(|line, node, dirty| {
+            if mismatch.is_none() && (node >= self.nodes || !self.caches[node].probe(line)) {
+                mismatch = Some((line, node, dirty));
+            }
+        });
+        if let Some((line, node, dirty)) = mismatch {
+            return Err(attach(
+                Violation::new(
+                    "mp.directory",
+                    "directory tracks a copy the node does not cache",
+                    cycle,
+                    format!(
+                        "line {line:#x} recorded {} by node {node}",
+                        if dirty { "dirty" } else { "shared" }
+                    ),
+                )
+                .with_context(node),
+            ));
+        }
+        self.sync.check_invariants(cycle).map_err(attach)
     }
 
     /// Resets protocol statistics (after warmup). Latency histograms are

@@ -53,6 +53,13 @@ pub struct MpSim {
     seed: u64,
     /// Fast-forward lockstep cycles in which every node processor is idle.
     idle_skip: bool,
+    /// Run the invariant checkers: per-tick processor checks plus
+    /// machine-wide coherence checks at every 128-cycle chunk boundary.
+    validate: bool,
+    /// Deliberately corrupt the directory once the lockstep clock reaches
+    /// this cycle (fault injection for the validation layer's own
+    /// regression tests).
+    fault_at: Option<u64>,
 }
 
 /// Builder for [`MpSim`]; obtained from [`MpSim::builder`].
@@ -116,6 +123,24 @@ impl MpSimBuilder {
         self
     }
 
+    /// Run the structural invariant checkers: per-tick processor checks
+    /// plus directory/sync coherence checks at every 128-cycle chunk
+    /// boundary, panicking with a report naming the cycle, context, and
+    /// replay seed on violation. Defaults to
+    /// [`interleave_obs::validate::default_enabled`].
+    pub fn validate(mut self, enabled: bool) -> Self {
+        self.sim.validate = enabled;
+        self
+    }
+
+    /// Corrupts the directory once the clock reaches `cycle`. Fault
+    /// injection for the validation layer's regression tests only.
+    #[doc(hidden)]
+    pub fn inject_directory_fault_at(mut self, cycle: u64) -> Self {
+        self.sim.fault_at = Some(cycle);
+        self
+    }
+
     /// Finalizes the simulation.
     pub fn build(self) -> MpSim {
         self.sim
@@ -161,6 +186,8 @@ impl MpSim {
                 latency: LatencyModel::dash_like(),
                 seed: 0x19941004,
                 idle_skip: true,
+                validate: interleave_obs::validate::default_enabled(),
+                fault_at: None,
             },
         }
     }
@@ -233,6 +260,7 @@ impl MpSim {
             .map(|n| {
                 let mut cfg = ProcConfig::new(self.scheme, self.contexts_per_node);
                 cfg.idle_skip = self.idle_skip;
+                cfg.validate = self.validate;
                 Processor::new(cfg, NodePort::new(n, shared.clone()))
             })
             .collect();
@@ -284,8 +312,20 @@ impl MpSim {
             }
         };
 
+        // Machine-wide coherence checks are O(tracked lines), so they run
+        // at chunk boundaries rather than per tick; per-tick processor
+        // checks are enabled on each CPU via `cfg.validate` above.
+        let check_machine = |now: u64| {
+            if self.validate {
+                if let Err(v) = shared.borrow().check_invariants(now) {
+                    panic!("{v}");
+                }
+            }
+        };
+
         // Warmup.
         advance_to(&mut cpus, &mut now, self.warmup_cycles);
+        check_machine(now);
         for cpu in cpus.iter_mut() {
             cpu.reset_breakdown();
             for ctx in 0..self.contexts_per_node {
@@ -296,9 +336,17 @@ impl MpSim {
 
         let start = now;
         let safety = start + self.total_work.saturating_mul(400).max(20_000_000);
+        let mut fault_pending = self.fault_at;
         loop {
             let chunk_end = now + 128;
             advance_to(&mut cpus, &mut now, chunk_end);
+            if fault_pending.is_some_and(|t| now >= t) {
+                fault_pending = None;
+                // An illegal owner: no such node exists, so the directory
+                // legality check must trip at the next boundary.
+                shared.borrow_mut().directory_mut().corrupt_line_for_test(0x40, self.nodes + 5);
+            }
+            check_machine(now);
             let done = cpus
                 .iter()
                 .all(|cpu| (0..self.contexts_per_node).all(|ctx| cpu.retired(ctx) >= quota));

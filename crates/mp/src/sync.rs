@@ -2,6 +2,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use interleave_core::SyncOutcome;
 use interleave_isa::{SyncKind, SyncRef};
+use interleave_obs::validate::Violation;
 
 /// A thread identity: (node, hardware context).
 pub type Who = (usize, usize);
@@ -171,6 +172,83 @@ impl SyncController {
     pub fn grants(&self) -> u64 {
         self.grants
     }
+
+    /// Checks the controller's structural invariants at `cycle`: a lock
+    /// is never simultaneously held and reserved (a reservation exists
+    /// only between release and the grantee's re-execution), waiters
+    /// queue at most once and never while holding or being granted the
+    /// lock (so every NACKed retry stays drainable — a queued thread is
+    /// always eventually reachable by a hand-off), barrier arrivals
+    /// never exceed the arity and never overlap the released set, and
+    /// pending wakes are distinct (grants ≤ waiters).
+    pub fn check_invariants(&self, cycle: u64) -> Result<(), Violation> {
+        for (&id, lock) in &self.locks {
+            if let (Some(h), Some(r)) = (lock.holder, lock.reserved) {
+                return Err(Violation::new(
+                    "mp.sync",
+                    "lock simultaneously held and reserved",
+                    cycle,
+                    format!("lock {id} held by {h:?}, reserved for {r:?}"),
+                )
+                .with_context(h.0));
+            }
+            for (i, who) in lock.queue.iter().enumerate() {
+                if lock.queue.iter().skip(i + 1).any(|w| w == who) {
+                    return Err(Violation::new(
+                        "mp.sync",
+                        "thread queued twice on one lock",
+                        cycle,
+                        format!("lock {id}, thread {who:?}"),
+                    )
+                    .with_context(who.0));
+                }
+                if lock.holder == Some(*who) || lock.reserved == Some(*who) {
+                    return Err(Violation::new(
+                        "mp.sync",
+                        "lock holder or grantee is also queued waiting",
+                        cycle,
+                        format!("lock {id}, thread {who:?}"),
+                    )
+                    .with_context(who.0));
+                }
+            }
+        }
+        for (&instance, barrier) in &self.barriers {
+            if barrier.arrived.len() as u32 >= barrier.expected {
+                return Err(Violation::new(
+                    "mp.sync",
+                    "barrier instance at arity but never released",
+                    cycle,
+                    format!(
+                        "instance {instance}: {} arrived of {} expected",
+                        barrier.arrived.len(),
+                        barrier.expected
+                    ),
+                ));
+            }
+            if let Some(who) = barrier.arrived.intersection(&barrier.passed).next() {
+                return Err(Violation::new(
+                    "mp.sync",
+                    "thread both waiting at and released from a barrier",
+                    cycle,
+                    format!("instance {instance}, thread {who:?}"),
+                )
+                .with_context(who.0));
+            }
+        }
+        for (i, who) in self.wakes.iter().enumerate() {
+            if self.wakes.iter().skip(i + 1).any(|w| w == who) {
+                return Err(Violation::new(
+                    "mp.sync",
+                    "thread has more pending wakes than waits",
+                    cycle,
+                    format!("thread {who:?} woken twice"),
+                )
+                .with_context(who.0));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +363,22 @@ mod tests {
         // A squash re-executes the arrival before release: still waiting.
         assert_eq!(c.sync((0, 0), bar(3)), SyncOutcome::Wait);
         assert_eq!(c.sync((1, 0), bar(3)), SyncOutcome::Proceed);
+    }
+
+    #[test]
+    fn invariants_hold_through_contention() {
+        let mut c = SyncController::new(4);
+        c.sync((0, 0), acq(1));
+        c.sync((1, 0), acq(1));
+        c.sync((2, 0), acq(1));
+        c.sync((0, 0), rel(1));
+        assert!(c.check_invariants(50).is_ok());
+        c.take_wakes();
+        c.sync((1, 0), acq(1));
+        for node in 0..3 {
+            c.sync((node, 0), bar(0));
+        }
+        assert!(c.check_invariants(99).is_ok());
     }
 
     #[test]

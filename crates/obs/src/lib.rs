@@ -14,6 +14,8 @@
 //!   `chrome://tracing`.
 //! * [`json`] — a minimal JSON parser used by the trace validator and
 //!   the schema tests (the workspace is offline; no serde).
+//! * [`validate`] — the shared [`validate::Violation`] report type and
+//!   enable logic for the workspace-wide invariant checkers.
 //!
 //! # Overhead when disabled
 //!
@@ -33,6 +35,7 @@ mod counter;
 mod histogram;
 pub mod json;
 mod registry;
+pub mod validate;
 
 pub use counter::Counter;
 pub use histogram::Histogram;

@@ -1,0 +1,112 @@
+//! Property tests for the [`Registry`] merge fold.
+//!
+//! Sweep metric artifacts are produced by folding per-run registries
+//! into one snapshot; serial and parallel sweeps fold in different
+//! orders, so byte-identical artifacts require the fold to be a
+//! commutative, associative monoid with the empty registry as identity.
+
+use interleave_obs::{Histogram, Registry};
+use proptest::prelude::*;
+
+/// One registration event: counters and histograms draw from disjoint
+/// name pools so no event sequence can trigger the type-mismatch panic.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Counter { name: u8, value: u16 },
+    Record { name: u8, value: u16 },
+}
+
+fn event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0u8..6, any::<u16>()).prop_map(|(name, value)| Event::Counter { name, value }),
+        (0u8..4, any::<u16>()).prop_map(|(name, value)| Event::Record { name, value }),
+    ]
+}
+
+fn build(events: &[Event]) -> Registry {
+    let mut reg = Registry::new();
+    for event in events {
+        match *event {
+            Event::Counter { name, value } => {
+                reg.counter(&format!("counter.{name}"), u64::from(value));
+            }
+            Event::Record { name, value } => {
+                let mut h = Histogram::new();
+                h.record(u64::from(value));
+                reg.histogram(&format!("hist.{name}"), &h);
+            }
+        }
+    }
+    reg
+}
+
+proptest! {
+    /// Merging is commutative: `a ∪ b == b ∪ a`.
+    #[test]
+    fn merge_commutes(
+        a in proptest::collection::vec(event(), 0..40),
+        b in proptest::collection::vec(event(), 0..40),
+    ) {
+        let (a, b) = (build(&a), build(&b));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merging is associative: `(a ∪ b) ∪ c == a ∪ (b ∪ c)`.
+    #[test]
+    fn merge_associates(
+        a in proptest::collection::vec(event(), 0..30),
+        b in proptest::collection::vec(event(), 0..30),
+        c in proptest::collection::vec(event(), 0..30),
+    ) {
+        let (a, b, c) = (build(&a), build(&b), build(&c));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// The empty registry is a two-sided identity.
+    #[test]
+    fn empty_is_identity(a in proptest::collection::vec(event(), 0..40)) {
+        let a = build(&a);
+        let mut left = Registry::new();
+        left.merge(&a);
+        let mut right = a.clone();
+        right.merge(&Registry::new());
+        prop_assert_eq!(&left, &a);
+        prop_assert_eq!(&right, &a);
+    }
+
+    /// Folding a batch of registries is independent of fold order: any
+    /// permutation (modelled here as forward vs reverse, which generate
+    /// all adjacent transpositions under shrinking) yields the same
+    /// snapshot — the property the parallel sweep runner relies on.
+    #[test]
+    fn fold_order_is_irrelevant(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(event(), 0..20), 0..8,
+        ),
+    ) {
+        let regs: Vec<Registry> = batches.iter().map(|b| build(b)).collect();
+        let mut forward = Registry::new();
+        for r in &regs {
+            forward.merge(r);
+        }
+        let mut reverse = Registry::new();
+        for r in regs.iter().rev() {
+            reverse.merge(r);
+        }
+        prop_assert_eq!(&forward, &reverse);
+        // And folding equals building from the concatenated event log.
+        let all: Vec<Event> = batches.into_iter().flatten().collect();
+        prop_assert_eq!(&forward, &build(&all));
+    }
+}

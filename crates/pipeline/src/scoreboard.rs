@@ -1,4 +1,5 @@
 use interleave_isa::{FuKind, Instr, Reg, TimingModel};
+use interleave_obs::validate::Violation;
 
 const FU_COUNT: usize = 6;
 
@@ -176,6 +177,154 @@ impl Scoreboard {
             }
         }
     }
+
+    /// Checks the scoreboard's standing structural invariants at `now`:
+    /// every busy functional unit is owned by a real context, reservation
+    /// history is ordered (`prev_free_at <= free_at`), and the
+    /// hard-wired zero register is never tracked (always ready, never
+    /// memory-pending). O(contexts + units).
+    pub fn check_invariants(&self, now: u64) -> Result<(), Violation> {
+        for (i, state) in self.fu.iter().enumerate() {
+            if state.owner != usize::MAX && state.owner >= self.contexts {
+                return Err(Violation::new(
+                    "pipeline.scoreboard",
+                    "functional unit owned by a nonexistent context",
+                    now,
+                    format!("unit {i} owned by context {} of {}", state.owner, self.contexts),
+                ));
+            }
+            if state.prev_free_at > state.free_at {
+                return Err(Violation::new(
+                    "pipeline.scoreboard",
+                    "functional-unit reservation history out of order",
+                    now,
+                    format!(
+                        "unit {i}: prev_free_at {} > free_at {}",
+                        state.prev_free_at, state.free_at
+                    ),
+                )
+                .with_context(if state.owner == usize::MAX {
+                    0
+                } else {
+                    state.owner
+                }));
+            }
+        }
+        for ctx in 0..self.contexts {
+            let slot = self.slot(ctx, Reg::ZERO);
+            if self.reg_ready[slot] != 0 || self.mem_pending[slot] {
+                return Err(Violation::new(
+                    "pipeline.scoreboard",
+                    "hard-wired zero register acquired scoreboard state",
+                    now,
+                    format!(
+                        "ready_at {}, mem_pending {}",
+                        self.reg_ready[slot], self.mem_pending[slot]
+                    ),
+                )
+                .with_context(ctx));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that issuing `instr` into EX at cycle `ex` is hazard-legal:
+    /// every forwarding source is ready by `ex` (i.e. comes from a
+    /// completed or exactly-forwardable in-flight op), the write does not
+    /// complete before an older write to the same register (no
+    /// dual-writer WB), and the functional unit is free.
+    pub fn check_issue(
+        &self,
+        ctx: usize,
+        instr: &Instr,
+        timing: &TimingModel,
+        ex: u64,
+    ) -> Result<(), Violation> {
+        for src in instr.sources() {
+            let ready = self.reg_ready[self.slot(ctx, src)];
+            if ready > ex {
+                return Err(Violation::new(
+                    "pipeline.scoreboard",
+                    "issued with a forwarding source that is not live",
+                    ex,
+                    format!("{:?} source {src:?} not ready until cycle {ready}", instr.op),
+                )
+                .with_context(ctx));
+            }
+        }
+        let t = timing.timing(instr.op);
+        if let Some(dst) = instr.dest() {
+            let prior = self.reg_ready[self.slot(ctx, dst)];
+            if ex + u64::from(t.latency) < prior {
+                return Err(Violation::new(
+                    "pipeline.scoreboard",
+                    "write would complete before an older write (dual-writer WB)",
+                    ex,
+                    format!(
+                        "{:?} writes {dst:?} at cycle {} but an older write lands at {prior}",
+                        instr.op,
+                        ex + u64::from(t.latency)
+                    ),
+                )
+                .with_context(ctx));
+            }
+        }
+        if let Some(fu) = instr.op.fu() {
+            let state = &self.fu[fu_slot(fu)];
+            if state.free_at > ex {
+                return Err(Violation::new(
+                    "pipeline.scoreboard",
+                    "issued to a busy functional unit",
+                    ex,
+                    format!("{:?} unit busy until cycle {}", fu, state.free_at),
+                )
+                .with_context(ctx));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that [`Scoreboard::clear_context`] removed exactly the
+    /// squashed context's state: none of its registers remains pending
+    /// past `now` and no functional unit is still held by it beyond
+    /// `now`. Other contexts' slots are untouched by construction
+    /// (per-context index ranges), so this completes the "squash removes
+    /// exactly the squashed context's slots" invariant.
+    pub fn check_cleared(&self, ctx: usize, now: u64) -> Result<(), Violation> {
+        let base = ctx * Reg::COUNT;
+        for (i, slot) in (base..base + Reg::COUNT).enumerate() {
+            if self.reg_ready[slot] > now {
+                return Err(Violation::new(
+                    "pipeline.scoreboard",
+                    "squashed context still has a pending register write",
+                    now,
+                    format!("register index {i} ready at cycle {}", self.reg_ready[slot]),
+                )
+                .with_context(ctx));
+            }
+            if self.mem_pending[slot] {
+                return Err(Violation::new(
+                    "pipeline.scoreboard",
+                    "squashed context still has a memory-pending register",
+                    now,
+                    format!("register index {i}"),
+                )
+                .with_context(ctx));
+            }
+        }
+        for (i, state) in self.fu.iter().enumerate() {
+            if state.owner == ctx && state.free_at > now {
+                return Err(Violation::new(
+                    "pipeline.scoreboard",
+                    "squashed context still holds a functional unit",
+                    now,
+                    format!("unit {i} busy until cycle {}", state.free_at),
+                )
+                .with_context(ctx));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +441,72 @@ mod tests {
         sb.clear_context(0, 12);
         let div2 = Instr::arith(0, Op::FpDivDouble, Some(Reg::fp(1)), None, None);
         assert_eq!(sb.earliest_issue(0, &div2, &timing(), 12), 71);
+    }
+
+    #[test]
+    fn check_issue_accepts_legal_and_flags_hazards() {
+        let mut sb = Scoreboard::new(1);
+        let load = Instr::load(0, Reg::int(4), Reg::int(29), 0x100);
+        sb.issue(0, &load, &timing(), 10);
+        let consumer = Instr::alu(4, Some(Reg::int(5)), Some(Reg::int(4)), None);
+        // Result forwardable at cycle 13: issuing then is legal...
+        assert!(sb.check_issue(0, &consumer, &timing(), 13).is_ok());
+        // ...but issuing at 12 reads a value that is not live yet.
+        let v = sb.check_issue(0, &consumer, &timing(), 12).unwrap_err();
+        assert_eq!(v.context, Some(0));
+        assert!(v.to_string().contains("not ready until"), "{v}");
+    }
+
+    #[test]
+    fn check_issue_flags_dual_writer_wb() {
+        let mut sb = Scoreboard::new(1);
+        let div = Instr::arith(0, Op::IntDiv, Some(Reg::int(3)), Some(Reg::int(1)), None);
+        sb.issue(0, &div, &timing(), 10); // r3 ready at 45
+        let alu = Instr::alu(4, Some(Reg::int(3)), Some(Reg::int(2)), None);
+        // An ALU write at EX 20 completes at 21 — before the divide's WB.
+        let v = sb.check_issue(0, &alu, &timing(), 20).unwrap_err();
+        assert!(v.to_string().contains("older write"), "{v}");
+        // At EX 44 the writes are ordered; legal.
+        assert!(sb.check_issue(0, &alu, &timing(), 44).is_ok());
+    }
+
+    #[test]
+    fn check_issue_flags_busy_fu() {
+        let mut sb = Scoreboard::new(2);
+        let div = Instr::arith(0, Op::FpDivDouble, Some(Reg::fp(1)), None, None);
+        sb.issue(0, &div, &timing(), 10); // FpDiv busy until 71
+        let div2 = Instr::arith(0, Op::FpDivDouble, Some(Reg::fp(2)), None, None);
+        let v = sb.check_issue(1, &div2, &timing(), 50).unwrap_err();
+        assert!(v.to_string().contains("busy"), "{v}");
+    }
+
+    #[test]
+    fn check_cleared_after_squash() {
+        let mut sb = Scoreboard::new(2);
+        let load = Instr::load(0, Reg::int(4), Reg::int(29), 0x100);
+        sb.issue(0, &load, &timing(), 10);
+        sb.set_mem_pending(0, Reg::int(4), 100);
+        let div = Instr::arith(4, Op::FpDivDouble, Some(Reg::fp(1)), None, None);
+        sb.issue(0, &div, &timing(), 11);
+        // Before the squash, the cleared-state check must fail...
+        assert!(sb.check_cleared(0, 12).is_err());
+        sb.clear_context(0, 12);
+        // ...and pass afterwards, for the squashed context only.
+        assert!(sb.check_cleared(0, 12).is_ok());
+        assert!(sb.check_invariants(12).is_ok());
+    }
+
+    #[test]
+    fn standing_invariants_hold_through_traffic() {
+        let mut sb = Scoreboard::new(4);
+        let t = timing();
+        for ctx in 0..4 {
+            let load = Instr::load(0, Reg::int(4), Reg::int(29), 0x100);
+            let ex = sb.earliest_issue(ctx, &load, &t, 10 + ctx as u64);
+            assert!(sb.check_issue(ctx, &load, &t, ex).is_ok());
+            sb.issue(ctx, &load, &t, ex);
+        }
+        assert!(sb.check_invariants(20).is_ok());
     }
 
     #[test]

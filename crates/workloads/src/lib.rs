@@ -25,12 +25,15 @@
 //!   produces the paper's Figure 6/7 breakdowns and Table 7 throughput
 //!   numbers;
 //! * [`trace`] — a text trace format and replaying instruction source,
-//!   for driving the simulator with externally generated traces.
+//!   for driving the simulator with externally generated traces;
+//! * [`litmus`] — deterministic litmus cases and differential oracles
+//!   for the validation layer (idle-skip invariance, fixed work).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod generator;
+pub mod litmus;
 mod measure;
 pub mod mixes;
 mod os;

@@ -58,6 +58,8 @@ pub struct MultiprogramSim {
     store_policy: StorePolicy,
     /// Fast-forward cycles in which the processor can only idle.
     idle_skip: bool,
+    /// Run the always-compiled invariant checkers during the simulation.
+    validate: bool,
 }
 
 /// Builder for [`MultiprogramSim`]; obtained from
@@ -138,6 +140,14 @@ impl MultiprogramSimBuilder {
         self
     }
 
+    /// Run the invariant checkers during the simulation (default
+    /// [`interleave_obs::validate::default_enabled`]). A violation panics
+    /// with a report naming the cycle, context, and this run's seed.
+    pub fn validate(mut self, enabled: bool) -> Self {
+        self.sim.validate = enabled;
+        self
+    }
+
     /// Finalizes the simulation.
     pub fn build(self) -> MultiprogramSim {
         self.sim
@@ -188,6 +198,7 @@ impl MultiprogramSim {
                 btb_entries: 2048,
                 store_policy: StorePolicy::SwitchOnMiss,
                 idle_skip: true,
+                validate: interleave_obs::validate::default_enabled(),
             },
         }
     }
@@ -260,7 +271,18 @@ impl MultiprogramSim {
         proc_cfg.btb_entries = self.btb_entries;
         proc_cfg.store_policy = self.store_policy;
         proc_cfg.idle_skip = self.idle_skip;
+        proc_cfg.validate = self.validate;
         let mut cpu = Processor::new(proc_cfg, UniMemSystem::new(self.mem.clone()));
+        // Per-tick checks run inside the processor; this driver-level pass
+        // re-checks at scheduling boundaries so a violation report carries
+        // the replayable seed of this run.
+        let check = |cpu: &Processor<UniMemSystem>| {
+            if self.validate {
+                if let Err(v) = cpu.check_invariants() {
+                    panic!("{}", v.with_seed(self.seed));
+                }
+            }
+        };
 
         // Parked fetch units, indexed by application; residents are inside
         // the processor (None here).
@@ -287,6 +309,7 @@ impl MultiprogramSim {
 
         // Warmup, then reset all statistics.
         cpu.run_cycles(self.warmup_cycles);
+        check(&cpu);
         cpu.reset_breakdown();
         cpu.port_mut().reset_stats();
         let mut completed = vec![0u64; n_apps];
@@ -311,6 +334,7 @@ impl MultiprogramSim {
                     break;
                 }
             }
+            check(&cpu);
             if all_done {
                 break;
             }

@@ -1,31 +1,54 @@
 #!/usr/bin/env bash
 # Full verification gate: release build, lint wall, the whole test
 # suite, formatting, and release-binary smoke runs (trace export +
-# schema validation, sweep throughput). Run from anywhere inside the
-# repository. `--quick` skips the release-binary smoke runs.
+# schema validation, sweep throughput + regression gate). Run from
+# anywhere inside the repository.
+#
+#   --quick      skip the release-binary smoke runs
+#   --validate   also run the test suite with the invariant checkers on
+#                (INTERLEAVE_VALIDATE=1 and --features validate) and
+#                enforce the <2x wall-clock overhead budget on the
+#                smoke grid
+#
+# Set INTERLEAVE_ARTIFACT_DIR to keep the BENCH_*/METRICS_* smoke
+# artifacts (CI uploads them); otherwise they go to a temp dir.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
+validate=0
 for arg in "$@"; do
   case "$arg" in
     --quick) quick=1 ;;
-    *) echo "usage: scripts/check.sh [--quick]" >&2; exit 2 ;;
+    --validate) validate=1 ;;
+    *) echo "usage: scripts/check.sh [--quick] [--validate]" >&2; exit 2 ;;
   esac
 done
 
 cargo build --release
 cargo clippy --workspace -- -D warnings
-cargo test -q
+cargo test -q --workspace
 cargo fmt --check
+
+if [ "$validate" -eq 1 ]; then
+  # The checkers are always compiled; exercise both ways of turning
+  # them on (the runtime switch and the feature flag).
+  INTERLEAVE_VALIDATE=1 cargo test -q --workspace
+  cargo test -q --workspace --features validate
+fi
 
 if [ "$quick" -eq 1 ]; then
   echo "check.sh: all green (quick mode, release smokes skipped)"
   exit 0
 fi
 
-tmpdir="$(mktemp -d)"
-trap 'rm -rf "$tmpdir"' EXIT
+if [ -n "${INTERLEAVE_ARTIFACT_DIR:-}" ]; then
+  tmpdir="$INTERLEAVE_ARTIFACT_DIR"
+  mkdir -p "$tmpdir"
+else
+  tmpdir="$(mktemp -d)"
+  trap 'rm -rf "$tmpdir"' EXIT
+fi
 
 # Smoke: export a Chrome trace from the release binary and feed it back
 # through the schema validator (tests/trace_schema.rs).
@@ -34,9 +57,41 @@ INTERLEAVE_TRACE_FILE="$tmpdir/trace.json" cargo test -q --test trace_schema
 
 # Smoke: run the seconds-long sweep grid and check the BENCH artifact
 # reports a positive host-throughput rate (the hot loop's cycles/sec
-# instrumentation stays wired up).
+# instrumentation stays wired up). A missing key is a hard failure: an
+# earlier version piped an empty grep into awk, which exits 0 on zero
+# lines of input and silently passed.
 ./target/release/interleave-sim sweep --artifact smoke --json "$tmpdir" >/dev/null
-grep -o '"sim_cycles_per_sec": [0-9.]*' "$tmpdir/BENCH_smoke.json" | head -1 \
-  | awk '{ if ($2 + 0 <= 0) { print "check.sh: sweep reported no throughput" > "/dev/stderr"; exit 1 } }'
+rate="$(grep -o '"sim_cycles_per_sec": [0-9.]*' "$tmpdir/BENCH_smoke.json" | head -1 | sed 's/.*: //')"
+if [ -z "$rate" ]; then
+  echo "check.sh: BENCH_smoke.json is missing sim_cycles_per_sec" >&2
+  exit 1
+fi
+if ! awk -v r="$rate" 'BEGIN { exit (r + 0 > 0) ? 0 : 1 }'; then
+  echo "check.sh: sweep reported no throughput (sim_cycles_per_sec=$rate)" >&2
+  exit 1
+fi
+
+# Regression gate against the checked-in baseline floor.
+scripts/throughput_gate.sh "$tmpdir/BENCH_smoke.json"
+
+if [ "$validate" -eq 1 ]; then
+  # Overhead budget: the same smoke grid with every checker enabled
+  # must stay under 2x the plain wall-clock (plus 500ms of slack —
+  # these runs are short enough for scheduler noise to matter).
+  base_ms="$(grep -o '"wall_ms": [0-9]*' "$tmpdir/BENCH_smoke.json" | head -1 | sed 's/.*: //')"
+  mkdir -p "$tmpdir/validate"
+  INTERLEAVE_VALIDATE=1 ./target/release/interleave-sim sweep --artifact smoke --json "$tmpdir/validate" >/dev/null
+  val_ms="$(grep -o '"wall_ms": [0-9]*' "$tmpdir/validate/BENCH_smoke.json" | head -1 | sed 's/.*: //')"
+  if [ -z "$base_ms" ] || [ -z "$val_ms" ]; then
+    echo "check.sh: smoke artifacts are missing wall_ms" >&2
+    exit 1
+  fi
+  budget=$((base_ms * 2 + 500))
+  if [ "$val_ms" -gt "$budget" ]; then
+    echo "check.sh: validation overhead exceeds budget (${val_ms}ms vs ${base_ms}ms base, budget ${budget}ms)" >&2
+    exit 1
+  fi
+  echo "check.sh: validation overhead ${val_ms}ms vs ${base_ms}ms base (budget ${budget}ms)"
+fi
 
 echo "check.sh: all green"

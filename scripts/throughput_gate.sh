@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI throughput regression gate: compares the aggregate host-throughput
+# rate (`sim_cycles_per_sec`) of a freshly produced BENCH artifact
+# against the checked-in baseline and fails on a >30% regression.
+#
+#   scripts/throughput_gate.sh <current BENCH json> [<baseline json>]
+#
+# A missing or malformed rate on either side is a hard failure — an
+# artifact without the key means the instrumentation came unwired, which
+# is exactly the regression this gate exists to catch (an earlier
+# version of check.sh passed silently in that case).
+set -euo pipefail
+
+current_json="${1:?usage: scripts/throughput_gate.sh <current BENCH json> [<baseline json>]}"
+baseline_json="${2:-$(dirname "$0")/../ci/baseline_smoke.json}"
+
+extract_rate() {
+  # Prints the first top-level occurrence of the key, or fails loudly.
+  local file="$1" key="$2" val
+  if [ ! -f "$file" ]; then
+    echo "throughput_gate: no such file: $file" >&2
+    return 1
+  fi
+  val="$(grep -o "\"$key\": *[0-9.]*" "$file" | head -1 | sed 's/.*: *//')"
+  if [ -z "$val" ]; then
+    echo "throughput_gate: $file is missing \"$key\"" >&2
+    return 1
+  fi
+  printf '%s\n' "$val"
+}
+
+current="$(extract_rate "$current_json" sim_cycles_per_sec)"
+baseline="$(extract_rate "$baseline_json" sim_cycles_per_sec)"
+
+# Pass iff current >= 0.7 * baseline (awk handles the floats; its exit
+# status carries the verdict).
+if awk -v cur="$current" -v base="$baseline" \
+    'BEGIN { exit (cur + 0 >= base * 0.7) ? 0 : 1 }'; then
+  echo "throughput_gate: ok ($current cycles/sec vs baseline $baseline, floor $(awk -v b="$baseline" 'BEGIN { printf "%.1f", b * 0.7 }'))"
+else
+  echo "throughput_gate: FAIL — $current cycles/sec is more than 30% below the baseline $baseline" >&2
+  echo "throughput_gate: if this is an accepted slowdown, re-baseline ci/baseline_smoke.json (see EXPERIMENTS.md)" >&2
+  exit 1
+fi

@@ -1,0 +1,120 @@
+//! Integration tests for the validation layer: clean runs stay clean
+//! with every checker enabled, differential oracles hold across the
+//! scheme grid, and a deliberately corrupted directory is caught with a
+//! replayable report naming the cycle and context.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use interleave_core::Scheme;
+use interleave_mp::{splash_suite, MpSim};
+use interleave_obs::validate::Violation;
+use interleave_workloads::litmus;
+use proptest::prelude::*;
+
+#[test]
+fn violation_reports_name_cycle_context_and_seed() {
+    let v = Violation::new(
+        "mp.directory",
+        "dirty line has an out-of-range owner",
+        4242,
+        "line 0x40".to_string(),
+    )
+    .with_context(9)
+    .with_seed(0x1994_0501);
+    let msg = v.to_string();
+    assert!(msg.contains("validate[mp.directory]"), "component missing: {msg}");
+    assert!(msg.contains("at cycle 4242"), "cycle missing: {msg}");
+    assert!(msg.contains("context 9"), "context missing: {msg}");
+    assert!(msg.contains("seed 0x19940501"), "seed missing: {msg}");
+    assert!(msg.contains("line 0x40"), "detail missing: {msg}");
+}
+
+#[test]
+fn multiprocessor_runs_clean_with_validation_on() {
+    for (scheme, contexts) in [(Scheme::Single, 1), (Scheme::Interleaved, 2)] {
+        let r = MpSim::builder(splash_suite()[0].clone())
+            .scheme(scheme)
+            .nodes(4)
+            .contexts(contexts)
+            .work(12_000)
+            .warmup(1_000)
+            .validate(true)
+            .build()
+            .run();
+        assert!(r.cycles > 0, "{scheme:?} produced no measured cycles");
+    }
+}
+
+/// The acceptance gate for the checkers themselves: corrupt the
+/// directory mid-run (an out-of-range dirty owner — node 9 of 4) and
+/// require the validation layer to halt the run with a report naming
+/// the failure cycle and the offending context.
+#[test]
+fn seeded_directory_bug_is_caught_with_cycle_and_context() {
+    let sim = MpSim::builder(splash_suite()[0].clone())
+        .scheme(Scheme::Interleaved)
+        .nodes(4)
+        .contexts(2)
+        .work(12_000)
+        .warmup(500)
+        .validate(true)
+        .inject_directory_fault_at(2_000)
+        .build();
+    let result = catch_unwind(AssertUnwindSafe(|| sim.run()));
+    let payload = result.expect_err("corrupted directory must not complete cleanly");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload is a message");
+    assert!(msg.contains("validate[mp.directory]"), "wrong component: {msg}");
+    assert!(msg.contains("dirty line has an out-of-range owner"), "wrong invariant: {msg}");
+    assert!(msg.contains("at cycle"), "no cycle in report: {msg}");
+    assert!(msg.contains("context 9"), "no offending context in report: {msg}");
+    assert!(msg.contains("seed"), "no replayable seed in report: {msg}");
+}
+
+/// The same fault injected with validation off must also be injected
+/// with validation on — guard against the checker passing only because
+/// the fault plumbing silently stopped firing.
+#[test]
+fn fault_injection_is_exercised_only_with_validation() {
+    let sim = MpSim::builder(splash_suite()[1].clone())
+        .scheme(Scheme::Blocked)
+        .nodes(2)
+        .contexts(2)
+        .work(8_000)
+        .warmup(500)
+        .validate(true)
+        .inject_directory_fault_at(1_000)
+        .build();
+    assert!(catch_unwind(AssertUnwindSafe(|| sim.run())).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Differential oracle over a generated grid: idle-cycle skipping is
+    /// bit-invisible and the fixed-work bound holds for every scheme,
+    /// context count, and seed.
+    #[test]
+    fn litmus_oracles_hold_across_generated_cases(
+        (scheme_idx, contexts) in prop_oneof![
+            Just((0usize, 1usize)),
+            (1usize..4, 2usize..=4).prop_map(|(s, c)| (s, c)),
+        ],
+        seed in any::<u32>(),
+    ) {
+        let scheme = [Scheme::Single, Scheme::Blocked, Scheme::Interleaved, Scheme::FineGrained]
+            [scheme_idx];
+        let case = litmus::LitmusCase {
+            name: "generated",
+            scheme,
+            contexts,
+            quota: 1_200,
+            seed: u64::from(seed),
+        };
+        litmus::check_idle_skip_invariance(&case).unwrap();
+        litmus::check_fixed_work(&case).unwrap();
+    }
+}
