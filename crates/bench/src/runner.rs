@@ -224,6 +224,7 @@ struct Overrides {
     work: Option<u64>,
     latency: Option<LatencyModel>,
     idle_skip: Option<bool>,
+    mp_jobs: Option<usize>,
 }
 
 /// Declarative description of an experiment grid.
@@ -369,6 +370,17 @@ impl ExperimentSpec {
         self
     }
 
+    /// Overrides the host worker threads each multiprocessor cell uses
+    /// to advance its node shards between conservative quantum barriers
+    /// (see [`interleave_mp::MpSimBuilder::mp_jobs`]). When unset, the
+    /// `INTERLEAVE_MP_JOBS` environment variable applies, defaulting to
+    /// 1 (serial). Purely a host-throughput knob: simulated results are
+    /// bit-identical for every value.
+    pub fn mp_jobs(mut self, jobs: usize) -> Self {
+        self.overrides.mp_jobs = Some(jobs);
+        self
+    }
+
     /// The spec's name.
     pub fn name(&self) -> &str {
         &self.name
@@ -445,6 +457,9 @@ impl ExperimentSpec {
                 }
                 if let Some(skip) = ov.idle_skip {
                     b = b.idle_skip(skip);
+                }
+                if let Some(jobs) = ov.mp_jobs.or_else(mp_jobs_from_env) {
+                    b = b.mp_jobs(jobs);
                 }
                 CellResult::Mp(Box::new(b.build().run()))
             }
@@ -784,6 +799,12 @@ impl SweepResult {
     }
 }
 
+/// The `INTERLEAVE_MP_JOBS` fallback for specs that do not set
+/// [`ExperimentSpec::mp_jobs`] explicitly.
+fn mp_jobs_from_env() -> Option<usize> {
+    std::env::var("INTERLEAVE_MP_JOBS").ok().and_then(|v| v.parse::<usize>().ok())
+}
+
 /// Simulated-cycles-per-host-second rate, or 0 when the wall time is too
 /// small to measure.
 fn cycles_per_sec(cycles: u64, wall: Duration) -> f64 {
@@ -888,6 +909,17 @@ mod tests {
         let off = Runner::serial().run(&tiny_spec().idle_skip(false));
         assert!(on.results_match(&off), "idle skipping must not change simulated results");
         assert_eq!(on.metrics_json(), off.metrics_json());
+    }
+
+    #[test]
+    fn mp_jobs_override_is_bit_identical() {
+        let serial = Runner::serial().run(&tiny_spec().mp_jobs(1));
+        let sharded = Runner::serial().run(&tiny_spec().mp_jobs(4));
+        assert!(
+            serial.results_match(&sharded),
+            "the parallel multiprocessor driver must not change simulated results"
+        );
+        assert_eq!(serial.metrics_json(), sharded.metrics_json());
     }
 
     #[test]

@@ -9,7 +9,11 @@ use interleave_isa::Instr;
 /// instruction in program order. Returning `None` ends the stream (the
 /// context is done once everything retires). Workload models in
 /// `interleave-workloads` and `interleave-mp` implement this trait.
-pub trait InstrSource {
+///
+/// Sources are `Send` so a whole [`Processor`](crate::Processor) can be
+/// moved onto a worker thread — the multiprocessor driver advances each
+/// node on its own host thread between conservative quantum barriers.
+pub trait InstrSource: Send {
     /// Produces the next instruction in program order, or `None` at end of
     /// stream.
     fn next_instr(&mut self) -> Option<Instr>;

@@ -96,6 +96,11 @@ impl DirectCache {
         evicted
     }
 
+    /// Whether the line containing `addr` is present and dirty.
+    pub fn is_dirty(&self, addr: u64) -> bool {
+        self.probe(addr) && self.dirty[self.index(addr)]
+    }
+
     /// Marks the line containing `addr` dirty.
     ///
     /// # Panics
@@ -230,6 +235,20 @@ mod tests {
     fn mark_dirty_missing_line_panics() {
         let mut c = small();
         c.mark_dirty(0x20);
+    }
+
+    #[test]
+    fn is_dirty_tracks_fills_and_marks() {
+        let mut c = small();
+        assert!(!c.is_dirty(0x20));
+        c.fill(0x20, false);
+        assert!(!c.is_dirty(0x20));
+        c.mark_dirty(0x20);
+        assert!(c.is_dirty(0x20));
+        // A different line in the same set is not dirty.
+        assert!(!c.is_dirty(0xA0));
+        c.invalidate(0x20);
+        assert!(!c.is_dirty(0x20));
     }
 
     #[test]

@@ -165,6 +165,43 @@ impl Directory {
         }
     }
 
+    /// Classifies a read miss by `node` without mutating state or
+    /// statistics — the shard-local first pass of the parallel driver,
+    /// which samples latency from this class immediately and replays the
+    /// mutating [`Directory::read`] at the next quantum barrier.
+    pub fn classify_read(&self, node: usize, addr: u64) -> MissClass {
+        let line = self.line_of(addr);
+        match self.states.get(&line).copied() {
+            None | Some(LineState::Shared(_)) => self.memory_class(node, addr),
+            Some(LineState::Dirty(owner)) if owner == node => MissClass::Hit,
+            Some(LineState::Dirty(_)) => MissClass::RemoteCache,
+        }
+    }
+
+    /// Classifies a write by `node` without mutating state or statistics
+    /// (see [`Directory::classify_read`]). `cached` indicates whether the
+    /// node already holds the line.
+    pub fn classify_write(&self, node: usize, addr: u64, cached: bool) -> MissClass {
+        let line = self.line_of(addr);
+        match self.states.get(&line).copied() {
+            None => self.memory_class(node, addr),
+            Some(LineState::Dirty(owner)) if owner == node => MissClass::Hit,
+            Some(LineState::Dirty(_)) => MissClass::RemoteCache,
+            Some(LineState::Shared(mask)) => {
+                let others = (0..self.nodes).any(|m| m != node && mask & (1 << m) != 0);
+                if cached {
+                    if !others && self.home(addr) == node {
+                        MissClass::Hit
+                    } else {
+                        MissClass::Upgrade
+                    }
+                } else {
+                    self.memory_class(node, addr)
+                }
+            }
+        }
+    }
+
     /// A read miss by `node` for the line containing `addr`.
     pub fn read(&mut self, node: usize, addr: u64) -> Transaction {
         debug_assert!(node < self.nodes);
@@ -495,6 +532,48 @@ mod tests {
         let msg = v.to_string();
         assert!(msg.contains("cycle 777"), "{msg}");
         assert!(msg.contains("owner"), "{msg}");
+    }
+
+    #[test]
+    fn classify_matches_mutating_transactions() {
+        // Drive a directory through mixed traffic; before every mutating
+        // call, the read-only classifier must predict the same class.
+        let mut dir = Directory::new(4, 32);
+        let script: [(usize, u64, bool); 8] = [
+            (0, 0x00, false),
+            (1, 0x00, false),
+            (2, 0x00, true),
+            (3, 0x20, false),
+            (3, 0x20, true),
+            (0, 0x20, true),
+            (2, 0x40, false),
+            (1, 0x40, false),
+        ];
+        for (node, addr, write) in script {
+            if write {
+                let cached = dir.sharers(addr) > 0; // approximation for the test
+                let predicted = dir.classify_write(node, addr, cached);
+                assert_eq!(
+                    predicted,
+                    dir.write(node, addr, cached).class,
+                    "write {node} {addr:#x}"
+                );
+            } else {
+                let predicted = dir.classify_read(node, addr);
+                assert_eq!(predicted, dir.read(node, addr).class, "read {node} {addr:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn classify_does_not_mutate() {
+        let mut dir = Directory::new(4, 32);
+        dir.read(0, 0x00);
+        let stats_before = *dir.stats();
+        dir.classify_read(1, 0x00);
+        dir.classify_write(1, 0x00, false);
+        assert_eq!(*dir.stats(), stats_before);
+        assert_eq!(dir.sharers(0x00), 1);
     }
 
     #[test]

@@ -49,6 +49,39 @@ impl LatencyModel {
             rng.gen_range(range.0..=range.1)
         }
     }
+
+    /// Conservative lookahead of the parallel driver: the minimum number
+    /// of cycles any cross-node message can take, i.e. the floor of the
+    /// remote-memory and remote-cache reply ranges (Table 8). No message
+    /// generated inside a simulation quantum of at most this many cycles
+    /// can be due before the quantum's end barrier, so nodes may advance
+    /// a full quantum independently without reordering any delivery.
+    pub fn lookahead(&self) -> u64 {
+        self.remote.0.min(self.remote_cache.0)
+    }
+
+    /// Samples a latency for one miss class without shared generator
+    /// state: the draw is a pure hash of `(seed, node, draw)`, so
+    /// concurrent shards sample identical sequences no matter how the
+    /// host schedules them — the property that makes `--mp-jobs`
+    /// bit-invisible.
+    pub fn sample_hashed(&self, range: (u64, u64), seed: u64, node: usize, draw: u64) -> u64 {
+        if range.0 == range.1 {
+            return range.0;
+        }
+        let span = range.1 - range.0 + 1;
+        let key = splitmix64(seed ^ splitmix64(((node as u64) << 40) ^ draw));
+        range.0 + key % span
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer used to
+/// derive order-independent latency draws.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Default for LatencyModel {
@@ -100,5 +133,35 @@ mod tests {
     fn unordered_classes_rejected() {
         let m = LatencyModel { local: (80, 200), ..LatencyModel::dash_like() };
         m.validate();
+    }
+
+    #[test]
+    fn lookahead_is_min_cross_node_floor() {
+        assert_eq!(LatencyModel::dash_like().lookahead(), 80);
+        let m = LatencyModel { remote_cache: (60, 160), ..LatencyModel::dash_like() };
+        assert_eq!(m.lookahead(), 60);
+    }
+
+    #[test]
+    fn hashed_samples_stay_in_range_and_are_deterministic() {
+        let m = LatencyModel::dash_like();
+        for draw in 0..1000 {
+            for node in 0..4 {
+                let l = m.sample_hashed(m.local, 7, node, draw);
+                assert!((22..=38).contains(&l));
+                assert_eq!(l, m.sample_hashed(m.local, 7, node, draw));
+            }
+        }
+        // Distinct nodes and draws decorrelate.
+        let a: Vec<u64> = (0..50).map(|d| m.sample_hashed(m.remote, 7, 0, d)).collect();
+        let b: Vec<u64> = (0..50).map(|d| m.sample_hashed(m.remote, 7, 1, d)).collect();
+        assert_ne!(a, b);
+        assert!(a.iter().collect::<std::collections::HashSet<_>>().len() > 10);
+    }
+
+    #[test]
+    fn hashed_degenerate_range_is_constant() {
+        let m = LatencyModel { local: (30, 30), ..LatencyModel::dash_like() };
+        assert_eq!(m.sample_hashed(m.local, 1, 0, 0), 30);
     }
 }

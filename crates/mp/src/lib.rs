@@ -38,6 +38,5 @@ mod sync;
 pub use apps::{splash_suite, SharingPattern, SplashProfile, SplashThread};
 pub use directory::{Directory, DirectoryStats, MissClass};
 pub use latency::LatencyModel;
-pub use node::{MpShared, NodePort};
 pub use sim::{MpResult, MpSim, MpSimBuilder};
-pub use sync::SyncController;
+pub use sync::{SyncController, SyncShard};

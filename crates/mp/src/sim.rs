@@ -1,21 +1,35 @@
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use interleave_core::{IdleBound, ProcConfig, Processor, Scheme, WaitReason};
-use interleave_obs::Registry;
+use interleave_mem::CacheParams;
+use interleave_obs::validate::Violation;
+use interleave_obs::{Histogram, Registry};
 use interleave_stats::Breakdown;
 
-use crate::{DirectoryStats, LatencyModel, MpShared, NodePort, SplashProfile, SplashThread};
+use crate::node::{barrier_exchange, ShardPort, ShardState};
+use crate::{Directory, DirectoryStats, LatencyModel, MissClass, SplashProfile, SplashThread};
 
 /// Multiprocessor simulation driver (paper Section 5.2).
 ///
 /// Runs one SPLASH-like application decomposed into `nodes ×
-/// contexts_per_node` threads over the directory-coherent machine, in
-/// lockstep (all node processors advance each cycle, then synchronization
-/// wakes are delivered). The run is fixed-work: it ends when every thread
-/// has retired its share of `total_work` instructions, so execution time
-/// is directly comparable across context counts (the basis of Table 10's
-/// speedups).
+/// contexts_per_node` threads over the directory-coherent machine. Time
+/// advances in conservative quanta of at most [`LatencyModel::lookahead`]
+/// cycles: within a quantum every node's processor, cache, and port
+/// advance independently (optionally on parallel host threads, see
+/// [`MpSimBuilder::mp_jobs`]), classifying misses against the frozen
+/// master directory; at the quantum barrier the logged directory
+/// transactions replay in the deterministic order `(cycle, node, seq)`
+/// and the resulting coherence and synchronization messages are routed
+/// for delivery in later quanta. Because no cross-node message can be
+/// due before the end of the quantum that produced it, results are
+/// bit-identical for any `mp_jobs` value.
+///
+/// The run is fixed-work: it ends when every thread has retired its
+/// share of `total_work` instructions, so execution time is directly
+/// comparable across context counts (the basis of Table 10's speedups).
 ///
 /// # Examples
 ///
@@ -51,22 +65,26 @@ pub struct MpSim {
     latency: LatencyModel,
     /// Seed for streams and latency sampling.
     seed: u64,
-    /// Fast-forward lockstep cycles in which every node processor is idle.
+    /// Fast-forward cycles in which a shard's processor is idle.
     idle_skip: bool,
     /// Run the invariant checkers: per-tick processor checks plus
     /// machine-wide coherence checks at every 128-cycle chunk boundary.
     validate: bool,
-    /// Deliberately corrupt the directory once the lockstep clock reaches
-    /// this cycle (fault injection for the validation layer's own
-    /// regression tests).
+    /// Deliberately corrupt the directory once the clock reaches this
+    /// cycle (fault injection for the validation layer's own regression
+    /// tests).
     fault_at: Option<u64>,
+    /// Host worker threads advancing node shards between quantum
+    /// barriers (1 = serial in the driver's own thread).
+    mp_jobs: usize,
 }
 
 /// Builder for [`MpSim`]; obtained from [`MpSim::builder`].
 ///
 /// Defaults (before any setter) are a single-context 8-node machine with
 /// 400 000 instructions of total work, 20 000 warmup cycles, the
-/// DASH-like latencies, and the fixed default seed.
+/// DASH-like latencies, the fixed default seed, and a serial host driver
+/// (`mp_jobs = 1`).
 #[derive(Debug, Clone)]
 pub struct MpSimBuilder {
     sim: MpSim,
@@ -115,9 +133,9 @@ impl MpSimBuilder {
         self
     }
 
-    /// Fast-forward lockstep cycles in which every node processor is idle
-    /// (default true). Purely a host-throughput optimisation — results
-    /// are bit-identical with it on or off.
+    /// Fast-forward cycles in which a shard's processor is idle (default
+    /// true). Purely a host-throughput optimisation — results are
+    /// bit-identical with it on or off.
     pub fn idle_skip(mut self, enabled: bool) -> Self {
         self.sim.idle_skip = enabled;
         self
@@ -130,6 +148,15 @@ impl MpSimBuilder {
     /// [`interleave_obs::validate::default_enabled`].
     pub fn validate(mut self, enabled: bool) -> Self {
         self.sim.validate = enabled;
+        self
+    }
+
+    /// Host worker threads advancing node shards in parallel between
+    /// conservative quantum barriers (default 1 = serial). Clamped to
+    /// the node count. Purely a host-throughput knob: results are
+    /// bit-identical for every value.
+    pub fn mp_jobs(mut self, jobs: usize) -> Self {
+        self.sim.mp_jobs = jobs;
         self
     }
 
@@ -188,6 +215,7 @@ impl MpSim {
                 idle_skip: true,
                 validate: interleave_obs::validate::default_enabled(),
                 fault_at: None,
+                mp_jobs: 1,
             },
         }
     }
@@ -238,35 +266,52 @@ impl MpSim {
         self.seed
     }
 
+    /// Host worker threads requested for the parallel driver.
+    pub fn mp_jobs(&self) -> usize {
+        self.mp_jobs
+    }
+
     /// Runs the simulation to completion.
     ///
     /// # Panics
     ///
-    /// Panics on inconsistent configuration or if the run exceeds an
-    /// internal safety bound (livelock).
+    /// Panics on inconsistent configuration, on an invariant violation
+    /// when validation is enabled, or if the run exceeds an internal
+    /// safety bound (livelock).
     pub fn run(&self) -> MpResult {
         self.app.validate();
         assert!(self.nodes >= 1, "need at least one node");
         let threads = self.nodes * self.contexts_per_node;
         let quota = (self.total_work / threads as u64).max(1);
+        let hop = self.latency.lookahead();
+        let jobs = self.mp_jobs.clamp(1, self.nodes);
+        let contexts = self.contexts_per_node;
+        let idle_skip = self.idle_skip;
 
-        let shared = Rc::new(RefCell::new(MpShared::new(
-            self.nodes,
-            threads as u32,
-            self.latency,
-            self.seed,
-        )));
-        let mut cpus: Vec<Processor<NodePort>> = (0..self.nodes)
+        let line_size = CacheParams::primary_data().line;
+        let master = Arc::new(RwLock::new(Directory::new(self.nodes, line_size)));
+        let states: Vec<Arc<Mutex<ShardState>>> = (0..self.nodes)
+            .map(|n| Arc::new(Mutex::new(ShardState::new(n, contexts, threads as u32, hop))))
+            .collect();
+        let mut shards: Vec<(usize, Processor<ShardPort>)> = (0..self.nodes)
             .map(|n| {
-                let mut cfg = ProcConfig::new(self.scheme, self.contexts_per_node);
-                cfg.idle_skip = self.idle_skip;
+                let mut cfg = ProcConfig::new(self.scheme, contexts);
+                cfg.idle_skip = idle_skip;
                 cfg.validate = self.validate;
-                Processor::new(cfg, NodePort::new(n, shared.clone()))
+                let port = ShardPort::new(
+                    n,
+                    self.nodes,
+                    self.seed,
+                    self.latency,
+                    states[n].clone(),
+                    master.clone(),
+                );
+                (n, Processor::new(cfg, port))
             })
             .collect();
-        for (node, cpu) in cpus.iter_mut().enumerate() {
-            for ctx in 0..self.contexts_per_node {
-                let thread = node * self.contexts_per_node + ctx;
+        for (node, cpu) in shards.iter_mut() {
+            for ctx in 0..contexts {
+                let thread = *node * contexts + ctx;
                 cpu.attach(
                     ctx,
                     Box::new(SplashThread::new(self.app.clone(), thread, threads, self.seed)),
@@ -274,115 +319,411 @@ impl MpSim {
             }
         }
 
-        let mut now = 0u64;
-        let step = |cpus: &mut Vec<Processor<NodePort>>, now: &mut u64| {
-            for cpu in cpus.iter_mut() {
-                cpu.tick();
-            }
-            *now += 1;
-            let wakes = shared.borrow_mut().sync.take_wakes();
-            for (node, ctx) in wakes {
-                if cpus[node].ctx_view(ctx).waiting_on == Some(WaitReason::Sync) {
-                    cpus[node].wake_context(ctx);
-                }
-                // Otherwise the thread is spinning at issue (single-context
-                // scheme) and will observe its reservation on retry.
-            }
-        };
-
-        // Every cycle in which all node processors are idle can be
-        // skipped in one jump: synchronization wakes are produced only by
-        // processors issuing sync operations during `step`, so an
-        // all-idle machine has no pending wakes to deliver cycle-by-cycle
-        // and the lockstep clock may advance straight to the earliest
-        // idle bound (clamped to the caller's boundary, preserving the
-        // warmup reset and quota-check cycles exactly).
-        let advance_to = |cpus: &mut Vec<Processor<NodePort>>, now: &mut u64, limit: u64| {
-            while *now < limit {
-                if self.idle_skip {
-                    if let Some(t) = all_idle_target(cpus, *now, limit) {
-                        for cpu in cpus.iter_mut() {
-                            cpu.skip_idle_to(t);
-                        }
-                        *now = t;
-                        continue;
-                    }
-                }
-                step(cpus, now);
-            }
-        };
-
         // Machine-wide coherence checks are O(tracked lines), so they run
         // at chunk boundaries rather than per tick; per-tick processor
-        // checks are enabled on each CPU via `cfg.validate` above.
-        let check_machine = |now: u64| {
-            if self.validate {
-                if let Err(v) = shared.borrow().check_invariants(now) {
-                    panic!("{v}");
+        // checks are enabled on each CPU via `cfg.validate` above. Every
+        // shard is parked at the barrier when this runs, so the locks are
+        // uncontended.
+        let check_machine = |now: u64| -> Result<(), String> {
+            if !self.validate {
+                return Ok(());
+            }
+            let fail = |v: Violation| v.with_seed(self.seed).to_string();
+            let dir = read_lock(&master);
+            dir.check_invariants(now).map_err(fail)?;
+            // Cross-check: every copy the master tracks must actually be
+            // cached by its node.
+            let guards: Vec<MutexGuard<'_, ShardState>> = states.iter().map(|s| lock(s)).collect();
+            let mut missing = None;
+            dir.for_each_cached_copy(|line, node, dirty| {
+                if missing.is_none() && (node >= self.nodes || !guards[node].cache.probe(line)) {
+                    missing = Some((line, node, dirty));
                 }
+            });
+            if let Some((line, node, dirty)) = missing {
+                let state = if dirty { "dirty" } else { "shared" };
+                return Err(fail(
+                    Violation::new(
+                        "mp.directory",
+                        "directory tracks a copy the node does not cache",
+                        now,
+                        format!("line {line:#x} recorded {state} at node {node}"),
+                    )
+                    .with_context(node),
+                ));
+            }
+            for g in &guards {
+                g.sync.check_invariants(now).map_err(fail)?;
+            }
+            Ok(())
+        };
+
+        // The barrier schedule, shared verbatim by the serial and
+        // threaded drivers so `mp_jobs` cannot influence results: quanta
+        // of at most one lookahead, clipped to the warmup boundary and to
+        // every 128-cycle validation chunk, with the transaction replay
+        // and message routing at each quantum barrier.
+        let mut eff_seq = 0u64;
+        let mut drive =
+            |exec: &mut dyn FnMut(u64, u64, bool) -> Result<(), ()>| -> Result<(u64, u64), Abort> {
+                let mut now = 0u64;
+                while now < self.warmup_cycles {
+                    let to = (now + hop).min(self.warmup_cycles);
+                    exec(now, to, false).map_err(|()| Abort::Panicked)?;
+                    barrier_exchange(&master, &states, hop, &mut eff_seq);
+                    now = to;
+                }
+                check_machine(now).map_err(Abort::Fail)?;
+                write_lock(&master).reset_stats();
+                for state in &states {
+                    for h in &mut lock(state).latencies {
+                        h.reset();
+                    }
+                }
+                let start = now;
+                let safety = start + self.total_work.saturating_mul(400).max(20_000_000);
+                let mut fault_pending = self.fault_at;
+                // The processors reset their own statistics at the start of
+                // the first measured segment.
+                let mut reset = true;
+                loop {
+                    let chunk_end = now + 128;
+                    while now < chunk_end {
+                        let to = (now + hop).min(chunk_end);
+                        exec(now, to, reset).map_err(|()| Abort::Panicked)?;
+                        reset = false;
+                        barrier_exchange(&master, &states, hop, &mut eff_seq);
+                        now = to;
+                    }
+                    if fault_pending.is_some_and(|t| now >= t) {
+                        fault_pending = None;
+                        // An illegal owner: no such node exists, so the
+                        // directory legality check must trip at the next
+                        // boundary.
+                        write_lock(&master).corrupt_line_for_test(0x40, self.nodes + 5);
+                    }
+                    check_machine(now).map_err(Abort::Fail)?;
+                    let done = states.iter().all(|s| lock(s).retired.iter().all(|&r| r >= quota));
+                    if done {
+                        break;
+                    }
+                    if now >= safety {
+                        return Err(Abort::Fail(
+                            "multiprocessor run exceeded safety bound (livelock?)".into(),
+                        ));
+                    }
+                }
+                Ok((start, now))
+            };
+
+        let (start, end, shards) = if jobs == 1 {
+            let mut exec = |from: u64, to: u64, reset: bool| -> Result<(), ()> {
+                let seg = SegmentCtl { from, to, reset, quit: false };
+                run_group(&mut shards, &states, seg, contexts, idle_skip);
+                Ok(())
+            };
+            match drive(&mut exec) {
+                Ok((s, e)) => (s, e, shards),
+                Err(Abort::Fail(msg)) => panic!("{msg}"),
+                Err(Abort::Panicked) => {
+                    unreachable!("the serial driver propagates panics directly")
+                }
+            }
+        } else {
+            let mut groups: Vec<Vec<(usize, Processor<ShardPort>)>> =
+                (0..jobs).map(|_| Vec::new()).collect();
+            for (node, cpu) in shards {
+                groups[node % jobs].push((node, cpu));
+            }
+            // The driver thread doubles as worker group 0, so `jobs`
+            // counts every host thread advancing shards.
+            let mut own = groups.remove(0);
+            let ctl = Mutex::new(SegmentCtl { from: 0, to: 0, reset: false, quit: false });
+            let start_bar = SpinBarrier::new(jobs);
+            let end_bar = SpinBarrier::new(jobs);
+            let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+            let (outcome, mut shards) = std::thread::scope(|scope| {
+                let states = &states;
+                let ctl = &ctl;
+                let start_bar = &start_bar;
+                let end_bar = &end_bar;
+                let panic_slot = &panic_slot;
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .map(|group| {
+                        scope.spawn(move || {
+                            worker_loop(
+                                group, states, ctl, start_bar, end_bar, panic_slot, contexts,
+                                idle_skip,
+                            )
+                        })
+                    })
+                    .collect();
+                let mut exec = |from: u64, to: u64, reset: bool| -> Result<(), ()> {
+                    let seg = SegmentCtl { from, to, reset, quit: false };
+                    *lock(ctl) = seg;
+                    start_bar.wait();
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        run_group(&mut own, states, seg, contexts, idle_skip);
+                    }));
+                    if let Err(payload) = result {
+                        lock(panic_slot).get_or_insert(payload);
+                    }
+                    end_bar.wait();
+                    // Any panic (ours or a worker's) aborts the schedule;
+                    // the payload waits in the slot.
+                    if lock(panic_slot).is_some() {
+                        Err(())
+                    } else {
+                        Ok(())
+                    }
+                };
+                let outcome = catch_unwind(AssertUnwindSafe(|| drive(&mut exec)));
+                // Quit handshake on every exit path: the workers park at
+                // the start barrier, so release them before the scope
+                // would try to join them.
+                *lock(ctl) = SegmentCtl { from: 0, to: 0, reset: false, quit: true };
+                start_bar.wait();
+                let mut shards = own;
+                for h in handles {
+                    shards.extend(h.join().expect("workers catch panics and exit at quit"));
+                }
+                (outcome, shards)
+            });
+            shards.sort_unstable_by_key(|&(n, _)| n);
+            match outcome {
+                Err(driver_panic) => resume_unwind(driver_panic),
+                Ok(Err(Abort::Panicked)) => {
+                    let payload = panic_slot
+                        .into_inner()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .expect("a panicked abort leaves its payload in the slot");
+                    resume_unwind(payload);
+                }
+                Ok(Err(Abort::Fail(msg))) => panic!("{msg}"),
+                Ok(Ok((s, e))) => (s, e, shards),
             }
         };
 
-        // Warmup.
-        advance_to(&mut cpus, &mut now, self.warmup_cycles);
-        check_machine(now);
-        for cpu in cpus.iter_mut() {
-            cpu.reset_breakdown();
-            for ctx in 0..self.contexts_per_node {
-                cpu.reset_retired(ctx);
-            }
-        }
-        shared.borrow_mut().reset_stats();
-
-        let start = now;
-        let safety = start + self.total_work.saturating_mul(400).max(20_000_000);
-        let mut fault_pending = self.fault_at;
-        loop {
-            let chunk_end = now + 128;
-            advance_to(&mut cpus, &mut now, chunk_end);
-            if fault_pending.is_some_and(|t| now >= t) {
-                fault_pending = None;
-                // An illegal owner: no such node exists, so the directory
-                // legality check must trip at the next boundary.
-                shared.borrow_mut().directory_mut().corrupt_line_for_test(0x40, self.nodes + 5);
-            }
-            check_machine(now);
-            let done = cpus
-                .iter()
-                .all(|cpu| (0..self.contexts_per_node).all(|ctx| cpu.retired(ctx) >= quota));
-            if done {
-                break;
-            }
-            assert!(now < safety, "multiprocessor run exceeded safety bound (livelock?)");
-        }
-
+        let cpus: Vec<Processor<ShardPort>> = shards.into_iter().map(|(_, c)| c).collect();
         let breakdown: Breakdown = cpus.iter().map(|c| c.breakdown()).sum();
         let per_node: Vec<Breakdown> = cpus.iter().map(|c| c.breakdown().clone()).collect();
-        let directory = *shared.borrow().directory().stats();
-        let avg_mlp = shared.borrow().avg_mlp();
+        let directory = *read_lock(&master).stats();
         let mut metrics = Registry::new();
         for cpu in &cpus {
             cpu.collect_metrics(&mut metrics);
         }
-        shared.borrow().collect_metrics(&mut metrics);
-        MpResult { cycles: now - start, breakdown, directory, threads, avg_mlp, per_node, metrics }
+        metrics.counter("mp.dir.local", directory.local);
+        metrics.counter("mp.dir.remote", directory.remote);
+        metrics.counter("mp.dir.remote_cache", directory.remote_cache);
+        metrics.counter("mp.dir.upgrades", directory.upgrades);
+        metrics.counter("mp.dir.invalidations", directory.invalidations);
+        metrics.counter("mp.dir.writebacks", directory.writebacks);
+        let mut merged: [Histogram; 4] = Default::default();
+        let mut mlp = (0u64, 0u64);
+        let mut sync_stats = (0u64, 0u64);
+        for state in &states {
+            let st = lock(state);
+            for (h, shard) in merged.iter_mut().zip(st.latencies.iter()) {
+                h.merge(shard);
+            }
+            mlp.0 += st.mlp_accum.0;
+            mlp.1 += st.mlp_accum.1;
+            sync_stats.0 += st.sync.waits();
+            sync_stats.1 += st.sync.grants();
+        }
+        for class in MissClass::MISSES {
+            let h = &merged[class.index()];
+            if !h.is_empty() {
+                metrics.histogram(&format!("mp.latency.{}", class.label()), h);
+            }
+        }
+        metrics.counter("mp.sync.waits", sync_stats.0);
+        metrics.counter("mp.sync.grants", sync_stats.1);
+        let avg_mlp = if mlp.1 == 0 { 0.0 } else { mlp.0 as f64 / mlp.1 as f64 };
+
+        MpResult { cycles: end - start, breakdown, directory, threads, avg_mlp, per_node, metrics }
     }
 }
 
-/// Earliest cycle an all-idle machine may fast-forward to, capped at
-/// `limit`, or `None` when some processor can still make progress (or the
-/// jump is not worth more than one lockstep step). `External` bounds
-/// (untimed sync waits) contribute nothing: with every processor idle no
-/// wake can arrive before `limit`.
-fn all_idle_target(cpus: &[Processor<NodePort>], now: u64, limit: u64) -> Option<u64> {
-    let mut target = limit;
-    for cpu in cpus {
-        match cpu.idle_bound()? {
-            IdleBound::Until(t) => target = target.min(t),
-            IdleBound::External => {}
+/// One segment order from the driver to every worker group.
+#[derive(Debug, Clone, Copy)]
+struct SegmentCtl {
+    from: u64,
+    to: u64,
+    reset: bool,
+    quit: bool,
+}
+
+/// Why the barrier schedule stopped early.
+enum Abort {
+    /// A violation or livelock the driver detected; carries the message
+    /// to panic with after the workers shut down.
+    Fail(String),
+    /// A shard advance panicked; the payload waits in the panic slot.
+    Panicked,
+}
+
+/// Locks a mutex, ignoring poisoning: panics are handled deliberately by
+/// the segment protocol (stored, shut down, re-raised), so a poisoned
+/// lock must not cascade into a second panic that would wedge a barrier.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// See [`lock`].
+fn read_lock<T>(m: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    m.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// See [`lock`].
+fn write_lock<T>(m: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    m.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Advances one shard's processor from `from` to exactly `to`, applying
+/// queued messages at their due cycles and skipping idle stretches (the
+/// per-node reuse of the event-driven uniprocessor machinery: the jump
+/// target is clamped to the segment end, the processor's own idle bound,
+/// and the earliest queued message).
+fn advance_shard(
+    cpu: &mut Processor<ShardPort>,
+    state: &Mutex<ShardState>,
+    from: u64,
+    to: u64,
+    contexts: usize,
+    idle_skip: bool,
+) {
+    debug_assert_eq!(cpu.now(), from);
+    let mut wakes = Vec::new();
+    loop {
+        let now = cpu.now();
+        if now >= to {
+            break;
+        }
+        // One state lock per iteration: apply due messages, then read
+        // the next due cycle to bound any idle jump.
+        let next_due = {
+            let mut st = lock(state);
+            st.deliver_due(now, &mut wakes);
+            st.next_due()
+        };
+        for ctx in wakes.drain(..) {
+            if cpu.ctx_view(ctx).waiting_on == Some(WaitReason::Sync) {
+                cpu.wake_context(ctx);
+            }
+            // Otherwise the context spins at issue and will observe its
+            // token on retry.
+        }
+        if idle_skip {
+            if let Some(bound) = cpu.idle_bound() {
+                let mut target = to;
+                if let IdleBound::Until(t) = bound {
+                    target = target.min(t);
+                }
+                if let Some(due) = next_due {
+                    target = target.min(due);
+                }
+                if target > now + 1 {
+                    cpu.skip_idle_to(target);
+                    continue;
+                }
+            }
+        }
+        cpu.tick();
+    }
+    // Publish retired counts for the driver's barrier-time done-check.
+    let mut st = lock(state);
+    for ctx in 0..contexts {
+        st.retired[ctx] = cpu.retired(ctx);
+    }
+}
+
+/// Runs one segment over every shard a worker group owns.
+fn run_group(
+    group: &mut [(usize, Processor<ShardPort>)],
+    states: &[Arc<Mutex<ShardState>>],
+    seg: SegmentCtl,
+    contexts: usize,
+    idle_skip: bool,
+) {
+    for (node, cpu) in group.iter_mut() {
+        if seg.reset {
+            cpu.reset_breakdown();
+            for ctx in 0..contexts {
+                cpu.reset_retired(ctx);
+            }
+        }
+        advance_shard(cpu, &states[*node], seg.from, seg.to, contexts, idle_skip);
+    }
+}
+
+/// One worker's service loop: park at the start barrier, run the
+/// commanded segment over the owned shards, park at the end barrier.
+/// Panics are caught and parked in `panic_slot` so the barrier protocol
+/// never wedges; the thread exits (returning its shards) on `quit`.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    mut group: Vec<(usize, Processor<ShardPort>)>,
+    states: &[Arc<Mutex<ShardState>>],
+    ctl: &Mutex<SegmentCtl>,
+    start: &SpinBarrier,
+    end: &SpinBarrier,
+    panic_slot: &Mutex<Option<Box<dyn Any + Send>>>,
+    contexts: usize,
+    idle_skip: bool,
+) -> Vec<(usize, Processor<ShardPort>)> {
+    loop {
+        start.wait();
+        let seg = *lock(ctl);
+        if seg.quit {
+            return group;
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_group(&mut group, states, seg, contexts, idle_skip);
+        }));
+        if let Err(payload) = result {
+            lock(panic_slot).get_or_insert(payload);
+        }
+        end.wait();
+    }
+}
+
+/// A reusable spin rendezvous for the per-segment barriers. `std`'s
+/// `Barrier` parks threads through the OS; segments are tens of
+/// microseconds of host work, so spinning (with a yield fallback for
+/// oversubscribed hosts) keeps the rendezvous cheap.
+struct SpinBarrier {
+    members: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(members: usize) -> SpinBarrier {
+        SpinBarrier { members, count: AtomicUsize::new(0), generation: AtomicUsize::new(0) }
+    }
+
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.members {
+            // Last arrival: reset the count for the next use, then
+            // release the waiters (the generation bump publishes the
+            // reset).
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(1024) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
         }
     }
-    (target > now + 1).then_some(target)
 }
 
 #[cfg(test)]
@@ -403,21 +744,21 @@ mod tests {
     }
 
     #[test]
-    fn builder_defaults_match_old_constructor() {
-        #[allow(deprecated)]
-        let old = MpSim::new(apps::water(), Scheme::Blocked, 4, 2);
-        let new =
+    fn builder_defaults_are_stable() {
+        // These defaults were pinned by the old `MpSim::new(app, scheme,
+        // nodes, contexts)` constructor; the builder must keep them.
+        let sim =
             MpSim::builder(apps::water()).scheme(Scheme::Blocked).nodes(4).contexts(2).build();
-        assert_eq!(old.scheme, new.scheme);
-        assert_eq!(old.nodes, new.nodes);
-        assert_eq!(old.contexts_per_node, new.contexts_per_node);
-        assert_eq!(old.total_work, new.total_work);
-        assert_eq!(old.warmup_cycles, new.warmup_cycles);
-        assert_eq!(old.seed, new.seed);
-        assert_eq!(old.app.name, new.app.name);
-        // And the runs they produce are bit-identical at a tiny scale.
-        let shrink = |sim: MpSim| MpSim { total_work: 8_000, warmup_cycles: 500, ..sim };
-        assert_eq!(shrink(old).run(), shrink(new).run());
+        assert_eq!(sim.scheme, Scheme::Blocked);
+        assert_eq!(sim.nodes, 4);
+        assert_eq!(sim.contexts_per_node, 2);
+        assert_eq!(sim.total_work, 400_000);
+        assert_eq!(sim.warmup_cycles, 20_000);
+        assert_eq!(sim.seed, 0x19941004);
+        assert_eq!(sim.latency, LatencyModel::dash_like());
+        assert_eq!(sim.mp_jobs, 1);
+        assert!(sim.idle_skip);
+        assert!(sim.fault_at.is_none());
     }
 
     #[test]
@@ -493,5 +834,75 @@ mod tests {
         let a = quick(apps::locus(), Scheme::Interleaved, 2, 2);
         let b = quick(apps::locus(), Scheme::Interleaved, 2, 2);
         assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn mp_jobs_is_bit_invisible() {
+        let run = |jobs: usize| {
+            MpSim::builder(apps::water())
+                .scheme(Scheme::Interleaved)
+                .nodes(4)
+                .contexts(2)
+                .work(16_000)
+                .warmup(1_000)
+                .mp_jobs(jobs)
+                .build()
+                .run()
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(4));
+        assert_eq!(serial, run(64)); // clamped to the node count
+    }
+
+    #[test]
+    fn idle_skip_is_bit_invisible_in_parallel() {
+        let run = |skip: bool| {
+            MpSim::builder(apps::cholesky())
+                .scheme(Scheme::Interleaved)
+                .nodes(4)
+                .contexts(2)
+                .work(8_000)
+                .warmup(500)
+                .mp_jobs(2)
+                .idle_skip(skip)
+                .build()
+                .run()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn odd_warmup_boundary_composes_with_quanta_and_chunks() {
+        // 777 is neither a quantum (80) nor a chunk (128) multiple, so
+        // the warmup reset lands inside both; the parallel schedule must
+        // clip its segments to the same cycle the serial one does.
+        let run = |jobs: usize| {
+            MpSim::builder(apps::mp3d())
+                .scheme(Scheme::Blocked)
+                .nodes(2)
+                .contexts(2)
+                .work(6_000)
+                .warmup(777)
+                .mp_jobs(jobs)
+                .build()
+                .run()
+        };
+        assert_eq!(run(1), run(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range owner")]
+    fn parallel_driver_propagates_validation_panics() {
+        MpSim::builder(apps::water())
+            .nodes(4)
+            .contexts(1)
+            .work(8_000)
+            .warmup(500)
+            .mp_jobs(4)
+            .validate(true)
+            .inject_directory_fault_at(1_000)
+            .build()
+            .run();
     }
 }

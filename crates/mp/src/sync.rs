@@ -251,6 +251,80 @@ impl SyncController {
     }
 }
 
+/// Home-side synchronization shard for the parallel driver.
+///
+/// Lock and barrier identifiers are partitioned across nodes (`id %
+/// nodes` picks the home); each home owns one `SyncShard` wrapping a
+/// [`SyncController`] that only ever sees its own identifiers.
+/// Cross-node lock/barrier traffic arrives as messages: a request is
+/// processed at its delivery cycle, and every thread the controller
+/// grants or releases is returned so the caller can send grant tokens
+/// back through the same deterministic message queues.
+#[derive(Debug)]
+pub struct SyncShard {
+    inner: SyncController,
+    /// Threads whose request NACKed, keyed to the operation they will
+    /// re-execute once granted.
+    waiting: HashMap<Who, SyncRef>,
+}
+
+impl SyncShard {
+    /// Creates a shard whose barriers expect `threads` arrivals.
+    pub fn new(threads: u32) -> SyncShard {
+        SyncShard { inner: SyncController::new(threads), waiting: HashMap::new() }
+    }
+
+    /// Processes one request from `who` and appends every `(thread,
+    /// operation)` pair that must receive a grant token to `grants` (the
+    /// requester itself when the operation proceeds immediately, plus any
+    /// threads the controller wakes). Wakes are consumed here — the
+    /// controller's reservation or barrier pass is claimed on the woken
+    /// thread's behalf — so a token is an unconditional go-ahead; the
+    /// paired operation lets the receiver match the token against its
+    /// pending request and ignore anything stale. Releases produce no
+    /// token for the requester (the releasing thread never waits).
+    pub fn request(&mut self, who: Who, op: SyncRef, grants: &mut Vec<(Who, SyncRef)>) {
+        match op.kind {
+            SyncKind::LockRelease => {
+                self.inner.sync(who, op);
+            }
+            SyncKind::LockAcquire | SyncKind::BarrierArrive => match self.inner.sync(who, op) {
+                SyncOutcome::Proceed => grants.push((who, op)),
+                SyncOutcome::Wait => {
+                    self.waiting.insert(who, op);
+                }
+            },
+        }
+        let mut woken = self.inner.take_wakes();
+        // The controller releases barrier arrivers in hash order; sort so
+        // grant-token sequence numbers are run-to-run deterministic.
+        woken.sort_unstable();
+        for w in woken {
+            let pending = self.waiting.remove(&w).expect("woken thread has a pending request");
+            let outcome = self.inner.sync(w, pending);
+            debug_assert_eq!(outcome, SyncOutcome::Proceed, "wake without a claimable grant");
+            grants.push((w, pending));
+        }
+    }
+
+    /// Number of operations that had to wait.
+    pub fn waits(&self) -> u64 {
+        self.inner.waits()
+    }
+
+    /// Number of lock grants.
+    pub fn grants(&self) -> u64 {
+        self.inner.grants()
+    }
+
+    /// Structural invariants of the wrapped controller (wakes are always
+    /// drained inside [`SyncShard::request`], so the shard adds no state
+    /// of its own beyond the pending-operation map).
+    pub fn check_invariants(&self, cycle: u64) -> Result<(), Violation> {
+        self.inner.check_invariants(cycle)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,5 +462,55 @@ mod tests {
         c.sync((1, 0), acq(1));
         assert_eq!(c.waits(), 1);
         assert_eq!(c.grants(), 1);
+    }
+
+    #[test]
+    fn shard_grants_uncontended_acquire_immediately() {
+        let mut s = SyncShard::new(2);
+        let mut grants = vec![];
+        s.request((0, 0), acq(1), &mut grants);
+        assert_eq!(grants, vec![((0, 0), acq(1))]);
+    }
+
+    #[test]
+    fn shard_hands_off_contended_lock_on_release() {
+        let mut s = SyncShard::new(4);
+        let mut grants = vec![];
+        s.request((0, 0), acq(1), &mut grants);
+        s.request((1, 0), acq(1), &mut grants);
+        s.request((2, 0), acq(1), &mut grants);
+        assert_eq!(grants, vec![((0, 0), acq(1))]); // 1 and 2 queue
+        grants.clear();
+        // Release consumes the hand-off on the waiter's behalf: the token
+        // is an unconditional grant, no re-request needed.
+        s.request((0, 0), rel(1), &mut grants);
+        assert_eq!(grants, vec![((1, 0), acq(1))]);
+        grants.clear();
+        s.request((1, 0), rel(1), &mut grants);
+        assert_eq!(grants, vec![((2, 0), acq(1))]);
+        assert!(s.check_invariants(10).is_ok());
+    }
+
+    #[test]
+    fn shard_releases_barrier_to_all_arrivers_in_order() {
+        let mut s = SyncShard::new(3);
+        let mut grants = vec![];
+        s.request((2, 0), bar(0), &mut grants);
+        s.request((0, 1), bar(0), &mut grants);
+        assert!(grants.is_empty());
+        s.request((1, 0), bar(0), &mut grants);
+        // Last arriver first (its own proceed), then the waiters sorted.
+        assert_eq!(grants, vec![((1, 0), bar(0)), ((0, 1), bar(0)), ((2, 0), bar(0))]);
+        assert!(s.check_invariants(20).is_ok());
+    }
+
+    #[test]
+    fn shard_release_produces_no_token_for_requester() {
+        let mut s = SyncShard::new(2);
+        let mut grants = vec![];
+        s.request((0, 0), acq(7), &mut grants);
+        grants.clear();
+        s.request((0, 0), rel(7), &mut grants);
+        assert!(grants.is_empty());
     }
 }

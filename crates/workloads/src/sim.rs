@@ -454,28 +454,23 @@ mod tests {
     }
 
     #[test]
-    fn builder_defaults_match_old_constructor() {
-        #[allow(deprecated)]
-        let old = MultiprogramSim::new(mixes::fp(), Scheme::Interleaved, 2);
-        let new =
+    fn builder_defaults_are_stable() {
+        // These defaults were pinned by the old
+        // `MultiprogramSim::new(workload, scheme, contexts)` constructor;
+        // the builder must keep them.
+        let sim =
             MultiprogramSim::builder(mixes::fp()).scheme(Scheme::Interleaved).contexts(2).build();
-        assert_eq!(old.scheme, new.scheme);
-        assert_eq!(old.contexts, new.contexts);
-        assert_eq!(old.quota, new.quota);
-        assert_eq!(old.warmup_cycles, new.warmup_cycles);
-        assert_eq!(old.seed, new.seed);
-        assert_eq!(old.os, new.os);
-        assert_eq!(old.btb_entries, new.btb_entries);
-        assert_eq!(old.store_policy, new.store_policy);
-        assert_eq!(old.workload.name, new.workload.name);
-        // And the runs they produce are bit-identical at a tiny scale.
-        let shrink =
-            |sim: MultiprogramSim| MultiprogramSim { quota: 1_000, warmup_cycles: 500, ..sim };
-        let a = shrink(old).run();
-        let b = shrink(new).run();
-        assert_eq!(a.cycles, b.cycles);
-        assert_eq!(a.instructions, b.instructions);
-        assert_eq!(a.breakdown, b.breakdown);
+        assert_eq!(sim.scheme, Scheme::Interleaved);
+        assert_eq!(sim.contexts, 2);
+        assert_eq!(sim.quota, 40_000);
+        assert_eq!(sim.warmup_cycles, 30_000);
+        assert_eq!(sim.seed, 0x19940501);
+        assert_eq!(sim.os, OsModel::scaled());
+        assert_eq!(sim.mem, MemConfig::workstation());
+        assert_eq!(sim.btb_entries, 2048);
+        assert_eq!(sim.store_policy, StorePolicy::SwitchOnMiss);
+        assert!(sim.idle_skip);
+        assert_eq!(sim.workload.name, mixes::fp().name);
     }
 
     #[test]

@@ -3,7 +3,12 @@
 # rate (`sim_cycles_per_sec`) of a freshly produced BENCH artifact
 # against the checked-in baseline and fails on a >30% regression.
 #
-#   scripts/throughput_gate.sh <current BENCH json> [<baseline json>]
+#   scripts/throughput_gate.sh <current BENCH json> [<baseline json>] [<baseline key>]
+#
+# The optional third argument names the baseline-file key to compare
+# against (default `sim_cycles_per_sec`, the uniprocessor smoke rate;
+# the nightly MP tier passes `table10_sim_cycles_per_sec` to gate the
+# multiprocessor loop against the same baseline file).
 #
 # A missing or malformed rate on either side is a hard failure — an
 # artifact without the key means the instrumentation came unwired, which
@@ -11,8 +16,9 @@
 # version of check.sh passed silently in that case).
 set -euo pipefail
 
-current_json="${1:?usage: scripts/throughput_gate.sh <current BENCH json> [<baseline json>]}"
+current_json="${1:?usage: scripts/throughput_gate.sh <current BENCH json> [<baseline json>] [<baseline key>]}"
 baseline_json="${2:-$(dirname "$0")/../ci/baseline_smoke.json}"
+baseline_key="${3:-sim_cycles_per_sec}"
 
 extract_rate() {
   # Prints the first top-level occurrence of the key, or fails loudly.
@@ -30,15 +36,15 @@ extract_rate() {
 }
 
 current="$(extract_rate "$current_json" sim_cycles_per_sec)"
-baseline="$(extract_rate "$baseline_json" sim_cycles_per_sec)"
+baseline="$(extract_rate "$baseline_json" "$baseline_key")"
 
 # Pass iff current >= 0.7 * baseline (awk handles the floats; its exit
 # status carries the verdict).
 if awk -v cur="$current" -v base="$baseline" \
     'BEGIN { exit (cur + 0 >= base * 0.7) ? 0 : 1 }'; then
-  echo "throughput_gate: ok ($current cycles/sec vs baseline $baseline, floor $(awk -v b="$baseline" 'BEGIN { printf "%.1f", b * 0.7 }'))"
+  echo "throughput_gate: ok ($current cycles/sec vs baseline $baseline_key=$baseline, floor $(awk -v b="$baseline" 'BEGIN { printf "%.1f", b * 0.7 }'))"
 else
-  echo "throughput_gate: FAIL — $current cycles/sec is more than 30% below the baseline $baseline" >&2
+  echo "throughput_gate: FAIL — $current cycles/sec is more than 30% below the baseline $baseline_key=$baseline" >&2
   echo "throughput_gate: if this is an accepted slowdown, re-baseline ci/baseline_smoke.json (see EXPERIMENTS.md)" >&2
   exit 1
 fi

@@ -58,6 +58,10 @@ pub enum Command {
         json: Option<String>,
         /// Explicit stream seed (`None` = the sims' defaults).
         seed: Option<u64>,
+        /// Host threads per multiprocessor cell (`None` =
+        /// `INTERLEAVE_MP_JOBS` / serial). Purely a host-side knob:
+        /// results are bit-identical at every value.
+        mp_jobs: Option<usize>,
         /// Print a per-second completion heartbeat to stderr.
         progress: bool,
     },
@@ -203,8 +207,8 @@ USAGE:
                        [--quota N] [--seed N]
   interleave-sim mp    [--app NAME] [--scheme S] [--nodes N] [--contexts N]
                        [--work N] [--seed N]
-  interleave-sim sweep --artifact table7|table10|smoke [--jobs N] [--scale ci|full]
-                       [--json DIR] [--seed N] [--progress]
+  interleave-sim sweep --artifact table7|table10|smoke [--jobs N] [--mp-jobs N]
+                       [--scale ci|full] [--json DIR] [--seed N] [--progress]
   interleave-sim trace [--file PATH] [--workload W] [--scheme S] [--contexts N]
                        [--max-cycles N] [--seed N] [--out PATH]
   interleave-sim metrics [--workload W] [--scheme S] [--contexts N] [--quota N]
@@ -250,6 +254,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             scale: flags.scale()?,
             json: flags.get("json").map(str::to_string),
             seed: flags.opt_num("seed")?,
+            mp_jobs: flags.opt_num("mp-jobs")?.map(|n| n as usize),
             progress: flags.switch("progress"),
         }),
         "trace" => Ok(Command::Trace {
@@ -375,7 +380,7 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 d.local, d.remote, d.remote_cache, d.upgrades, d.invalidations
             );
         }
-        Command::Sweep { artifact, jobs, scale, json, seed, progress } => {
+        Command::Sweep { artifact, jobs, scale, json, seed, mp_jobs, progress } => {
             let scale = scale.unwrap_or_else(Scale::from_env);
             let mut spec = match artifact.as_str() {
                 "table7" => {
@@ -408,6 +413,9 @@ pub fn run(command: Command) -> Result<(), CliError> {
             };
             if let Some(seed) = seed {
                 spec = spec.seeds([seed]);
+            }
+            if let Some(mp_jobs) = mp_jobs {
+                spec = spec.mp_jobs(mp_jobs);
             }
             let mut runner = jobs.map(Runner::new).unwrap_or_else(Runner::from_env);
             if progress {
@@ -615,12 +623,14 @@ mod tests {
         assert!(parse(&argv("sweep")).is_err());
         assert!(parse(&argv("sweep --artifact table7 --scale huge")).is_err());
         assert!(parse(&argv("sweep --artifact table7 --jobs x")).is_err());
+        assert!(parse(&argv("sweep --artifact table10 --mp-jobs x")).is_err());
     }
 
     #[test]
     fn parses_sweep() {
         let cmd = parse(&argv(
-            "sweep --artifact table7 --jobs 4 --scale ci --json out --seed 9 --progress",
+            "sweep --artifact table7 --jobs 4 --scale ci --json out --seed 9 --mp-jobs 2 \
+             --progress",
         ))
         .unwrap();
         assert_eq!(
@@ -631,16 +641,18 @@ mod tests {
                 scale: Some(Scale::Ci),
                 json: Some("out".into()),
                 seed: Some(9),
+                mp_jobs: Some(2),
                 progress: true,
             }
         );
         match parse(&argv("sweep --artifact table10")).unwrap() {
-            Command::Sweep { artifact, jobs, scale, json, seed, progress } => {
+            Command::Sweep { artifact, jobs, scale, json, seed, mp_jobs, progress } => {
                 assert_eq!(artifact, "table10");
                 assert_eq!(jobs, None);
                 assert_eq!(scale, None);
                 assert_eq!(json, None);
                 assert_eq!(seed, None);
+                assert_eq!(mp_jobs, None);
                 assert!(!progress);
             }
             other => panic!("{other:?}"),
@@ -655,6 +667,7 @@ mod tests {
             scale: Some(Scale::Ci),
             json: None,
             seed: None,
+            mp_jobs: None,
             progress: false,
         })
         .unwrap_err();

@@ -117,4 +117,36 @@ proptest! {
         litmus::check_idle_skip_invariance(&case).unwrap();
         litmus::check_fixed_work(&case).unwrap();
     }
+
+    /// Litmus grid for the parallel multiprocessor driver: over a
+    /// generated grid of applications, schemes, context counts, worker
+    /// counts, and seeds, `mp_jobs` must be bit-invisible — the full
+    /// result (cycles, breakdowns, directory stats, metric registry)
+    /// equals the serial driver's, with the invariant checkers on.
+    #[test]
+    fn mp_jobs_is_bit_invisible_across_generated_grid(
+        app_idx in 0usize..4,
+        scheme_idx in 0usize..3,
+        contexts in 1usize..=2,
+        jobs in 2usize..=4,
+        seed in any::<u32>(),
+    ) {
+        let scheme = [Scheme::Blocked, Scheme::Interleaved, Scheme::FineGrained][scheme_idx];
+        let run = |mp_jobs: usize| {
+            MpSim::builder(splash_suite()[app_idx].clone())
+                .scheme(scheme)
+                .nodes(4)
+                .contexts(contexts)
+                .work(6_000)
+                .warmup(500)
+                .seed(u64::from(seed))
+                .validate(true)
+                .mp_jobs(mp_jobs)
+                .build()
+                .run()
+        };
+        let serial = run(1);
+        let sharded = run(jobs);
+        prop_assert_eq!(serial, sharded, "mp_jobs={} diverged from the serial driver", jobs);
+    }
 }

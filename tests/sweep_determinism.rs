@@ -115,12 +115,36 @@ fn mp_golden_values_with_and_without_idle_skip() {
     let on = run(true);
     let off = run(false);
     assert_eq!(on, off, "idle skipping changed a multiprocessor result");
-    assert_eq!(on.cycles, 28_416);
+    assert_eq!(on.cycles, 28_800);
     assert_breakdown(
         "mp splash0/interleaved/4x2",
         &on.breakdown,
-        [12_302, 6_229, 2_084, 0, 82_050, 0, 10_999],
+        [12_491, 6_172, 2_016, 0, 83_514, 0, 11_007],
     );
+}
+
+/// The parallel multiprocessor driver is a pure host optimization: the
+/// golden run above must reproduce bit-for-bit at every worker count,
+/// including the full metrics registry.
+#[test]
+fn mp_golden_values_hold_at_every_mp_jobs() {
+    let run = |jobs: usize| {
+        MpSim::builder(splash_suite()[0].clone())
+            .scheme(Scheme::Interleaved)
+            .nodes(4)
+            .contexts(2)
+            .work(12_000)
+            .warmup(500)
+            .mp_jobs(jobs)
+            .build()
+            .run()
+    };
+    let serial = run(1);
+    assert_eq!(serial.cycles, 28_800);
+    for jobs in [2, 3, 4] {
+        let parallel = run(jobs);
+        assert_eq!(serial, parallel, "mp_jobs={jobs} diverged from the serial driver");
+    }
 }
 
 /// Sweep-level check: a whole grid run with idle skipping disabled must
