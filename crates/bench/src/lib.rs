@@ -20,35 +20,12 @@
 pub mod runner;
 
 use interleave_core::Scheme;
-use interleave_mp::{MpResult, MpSim, SplashProfile};
+use interleave_mp::{MpResult, SplashProfile};
 use interleave_stats::{Breakdown, Category, Table};
 use interleave_workloads::mixes::Workload;
-use interleave_workloads::{MultiprogramResult, MultiprogramSim};
+use interleave_workloads::MultiprogramResult;
 
 pub use runner::{Cell, CellResult, ExperimentSpec, Runner, Scale, SweepResult, Target};
-
-/// Whether paper-scale runs were requested via `INTERLEAVE_FULL=1`.
-#[deprecated(since = "0.2.0", note = "use `Scale::from_env()` instead")]
-pub fn full_scale() -> bool {
-    Scale::from_env() == Scale::Full
-}
-
-/// Builds a uniprocessor multiprogramming simulation at the configured
-/// scale.
-#[deprecated(
-    since = "0.2.0",
-    note = "describe the run as an `ExperimentSpec` and execute it with `Runner`"
-)]
-pub fn uni_sim(workload: Workload, scheme: Scheme, contexts: usize) -> MultiprogramSim {
-    let scale = Scale::from_env();
-    MultiprogramSim::builder(workload)
-        .scheme(scheme)
-        .contexts(contexts)
-        .quota(scale.uni_quota())
-        .warmup(scale.uni_warmup())
-        .os(scale.os_model())
-        .build()
-}
 
 /// Runs the uniprocessor grid for one workload: the single-context
 /// baseline plus blocked/interleaved at the given context counts.
@@ -83,29 +60,6 @@ fn unpack_uni(
         }
     }
     (baseline.expect("spec includes the baseline cell"), rows)
-}
-
-/// Number of multiprocessor nodes at the configured scale (the paper's
-/// DASH-like machine; 16 at full scale, 8 scaled).
-#[deprecated(since = "0.2.0", note = "use `Scale::from_env().mp_nodes()` instead")]
-pub fn mp_nodes() -> usize {
-    Scale::from_env().mp_nodes()
-}
-
-/// Builds a multiprocessor simulation at the configured scale.
-#[deprecated(
-    since = "0.2.0",
-    note = "describe the run as an `ExperimentSpec` and execute it with `Runner`"
-)]
-pub fn mp_sim(app: SplashProfile, scheme: Scheme, contexts: usize) -> MpSim {
-    let scale = Scale::from_env();
-    MpSim::builder(app)
-        .scheme(scheme)
-        .contexts(contexts)
-        .nodes(scale.mp_nodes())
-        .work(scale.mp_work())
-        .warmup(scale.mp_warmup())
-        .build()
 }
 
 /// Runs one application's multiprocessor grid: single-context baseline
@@ -200,20 +154,6 @@ fn slug(rendering: &str) -> String {
 mod tests {
     use super::*;
     use interleave_workloads::mixes;
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_scale_defaults() {
-        let scale = Scale::from_env();
-        let sim = uni_sim(mixes::fp(), Scheme::Interleaved, 2);
-        assert_eq!(sim.quota(), scale.uni_quota());
-        assert_eq!(sim.warmup_cycles(), scale.uni_warmup());
-        assert_eq!(sim.contexts(), 2);
-        let mp = mp_sim(interleave_mp::splash_suite()[0].clone(), Scheme::Blocked, 4);
-        assert_eq!(mp.total_work(), scale.mp_work());
-        assert_eq!(mp.nodes(), scale.mp_nodes());
-        assert_eq!(mp_nodes(), scale.mp_nodes());
-    }
 
     #[test]
     fn slug_is_filename_safe() {

@@ -224,6 +224,7 @@ struct Overrides {
     work: Option<u64>,
     latency: Option<LatencyModel>,
     idle_skip: Option<bool>,
+    adaptive: Option<bool>,
     mp_jobs: Option<usize>,
 }
 
@@ -362,11 +363,22 @@ impl ExperimentSpec {
         self
     }
 
-    /// Overrides idle-cycle skipping (default on). Purely a
+    /// Overrides idle-cycle skipping (default on). When unset, the
+    /// `INTERLEAVE_IDLE_SKIP` environment variable applies. Purely a
     /// host-throughput knob: simulated results are bit-identical either
     /// way (asserted by the `sweep_determinism` integration test).
     pub fn idle_skip(mut self, enabled: bool) -> Self {
         self.overrides.idle_skip = Some(enabled);
+        self
+    }
+
+    /// Overrides adaptive lookahead widening for multiprocessor cells
+    /// (see [`interleave_mp::MpSimBuilder::adaptive`]; default on). When
+    /// unset, the `INTERLEAVE_ADAPTIVE` environment variable applies.
+    /// Purely a host-throughput knob: simulated results are
+    /// bit-identical either way.
+    pub fn adaptive(mut self, enabled: bool) -> Self {
+        self.overrides.adaptive = Some(enabled);
         self
     }
 
@@ -437,7 +449,7 @@ impl ExperimentSpec {
                 if let Some(policy) = ov.store_policy {
                     b = b.store_policy(policy);
                 }
-                if let Some(skip) = ov.idle_skip {
+                if let Some(skip) = ov.idle_skip.or_else(idle_skip_from_env) {
                     b = b.idle_skip(skip);
                 }
                 CellResult::Uni(Box::new(b.build().run()))
@@ -455,8 +467,11 @@ impl ExperimentSpec {
                 if let Some(latency) = ov.latency {
                     b = b.latency(latency);
                 }
-                if let Some(skip) = ov.idle_skip {
+                if let Some(skip) = ov.idle_skip.or_else(idle_skip_from_env) {
                     b = b.idle_skip(skip);
+                }
+                if let Some(adaptive) = ov.adaptive.or_else(adaptive_from_env) {
+                    b = b.adaptive(adaptive);
                 }
                 if let Some(jobs) = ov.mp_jobs.or_else(mp_jobs_from_env) {
                     b = b.mp_jobs(jobs);
@@ -805,6 +820,29 @@ fn mp_jobs_from_env() -> Option<usize> {
     std::env::var("INTERLEAVE_MP_JOBS").ok().and_then(|v| v.parse::<usize>().ok())
 }
 
+/// The `INTERLEAVE_IDLE_SKIP` fallback for specs that do not set
+/// [`ExperimentSpec::idle_skip`] explicitly.
+fn idle_skip_from_env() -> Option<bool> {
+    bool_env("INTERLEAVE_IDLE_SKIP")
+}
+
+/// The `INTERLEAVE_ADAPTIVE` fallback for specs that do not set
+/// [`ExperimentSpec::adaptive`] explicitly.
+fn adaptive_from_env() -> Option<bool> {
+    bool_env("INTERLEAVE_ADAPTIVE")
+}
+
+/// Parses a boolean knob: `1`/`true`/`on` and `0`/`false`/`off`;
+/// anything else (including unset) falls through to the built-in
+/// default.
+fn bool_env(var: &str) -> Option<bool> {
+    match std::env::var(var).ok()?.as_str() {
+        "1" | "true" | "on" => Some(true),
+        "0" | "false" | "off" => Some(false),
+        _ => None,
+    }
+}
+
 /// Simulated-cycles-per-host-second rate, or 0 when the wall time is too
 /// small to measure.
 fn cycles_per_sec(cycles: u64, wall: Duration) -> f64 {
@@ -909,6 +947,42 @@ mod tests {
         let off = Runner::serial().run(&tiny_spec().idle_skip(false));
         assert!(on.results_match(&off), "idle skipping must not change simulated results");
         assert_eq!(on.metrics_json(), off.metrics_json());
+    }
+
+    #[test]
+    fn adaptive_override_is_bit_identical() {
+        let on = Runner::serial().run(&tiny_spec().adaptive(true));
+        let off = Runner::serial().run(&tiny_spec().adaptive(false));
+        assert!(on.results_match(&off), "adaptive lookahead must not change simulated results");
+        assert_eq!(on.metrics_json(), off.metrics_json());
+    }
+
+    /// One test covers every env knob so concurrent test threads never
+    /// race on the same variable. The knobs themselves are all
+    /// host-throughput-only (bit-invisible), so a concurrently running
+    /// sweep observing a transient value cannot change any result.
+    #[test]
+    fn env_knobs_round_trip() {
+        std::env::set_var("INTERLEAVE_MP_JOBS", "3");
+        std::env::set_var("INTERLEAVE_IDLE_SKIP", "0");
+        std::env::set_var("INTERLEAVE_ADAPTIVE", "off");
+        assert_eq!(mp_jobs_from_env(), Some(3));
+        assert_eq!(idle_skip_from_env(), Some(false));
+        assert_eq!(adaptive_from_env(), Some(false));
+        std::env::set_var("INTERLEAVE_IDLE_SKIP", "true");
+        std::env::set_var("INTERLEAVE_ADAPTIVE", "1");
+        assert_eq!(idle_skip_from_env(), Some(true));
+        assert_eq!(adaptive_from_env(), Some(true));
+        // Garbage falls through to the built-in default rather than
+        // silently picking a side.
+        std::env::set_var("INTERLEAVE_ADAPTIVE", "maybe");
+        assert_eq!(adaptive_from_env(), None);
+        std::env::remove_var("INTERLEAVE_MP_JOBS");
+        std::env::remove_var("INTERLEAVE_IDLE_SKIP");
+        std::env::remove_var("INTERLEAVE_ADAPTIVE");
+        assert_eq!(mp_jobs_from_env(), None);
+        assert_eq!(idle_skip_from_env(), None);
+        assert_eq!(adaptive_from_env(), None);
     }
 
     #[test]

@@ -1,19 +1,17 @@
-//! Cycle-indexed event queue for the processor hot loop.
+//! Pipeline micro-events for the processor hot loop, queued on the
+//! shared [`interleave_engine::EventQueue`] substrate.
 //!
 //! The processor schedules a handful of future micro-events per miss or
-//! mispredicted branch. The old implementation kept them in a `Vec` and
-//! repartitioned it every cycle; the [`EventQueue`] here is a binary
-//! min-heap keyed on `(due, class, seq)`, so a cycle with no due event
-//! costs one peek and a cycle with due events pops exactly those.
+//! mispredicted branch; the engine's min-heap keyed `(due, class, seq)`
+//! means a cycle with no due event costs one peek and a cycle with due
+//! events pops exactly those.
 //!
-//! The key preserves the historical processing order exactly: events are
-//! handled at their due cycle with misses before branch resolves (a miss
-//! bumps the context epoch, invalidating same-cycle branch resolves) and
-//! scheduling order within each class.
+//! The [`Sequenced`] impl preserves the historical processing order
+//! exactly: events are handled at their due cycle with misses before
+//! branch resolves (a miss bumps the context epoch, invalidating
+//! same-cycle branch resolves) and scheduling order within each class.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::fmt;
+use interleave_engine::Sequenced;
 
 /// A scheduled pipeline event (internal to the processor).
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +29,12 @@ impl Event {
             Event::MissDetect { due, .. } | Event::BranchResolve { due, .. } => due,
         }
     }
+}
+
+impl Sequenced for Event {
+    fn due(&self) -> u64 {
+        Event::due(self)
+    }
 
     /// Same-cycle ordering class: misses before branch resolves.
     fn class(&self) -> u8 {
@@ -41,80 +45,8 @@ impl Event {
     }
 }
 
-struct Entry {
-    /// (due, class, scheduling sequence) — the pop order.
-    key: (u64, u8, u64),
-    event: Event,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Entry) -> bool {
-        self.key == other.key
-    }
-}
-
-impl Eq for Entry {}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Entry) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Entry) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the smallest key.
-        other.key.cmp(&self.key)
-    }
-}
-
 /// Min-heap of pending [`Event`]s ordered by `(due, class, seq)`.
-#[derive(Default)]
-pub(crate) struct EventQueue {
-    heap: BinaryHeap<Entry>,
-    seq: u64,
-}
-
-impl EventQueue {
-    pub(crate) fn new() -> EventQueue {
-        EventQueue::default()
-    }
-
-    /// Schedules `event`; later pushes with an equal `(due, class)` pop
-    /// after earlier ones.
-    pub(crate) fn push(&mut self, event: Event) {
-        let key = (event.due(), event.class(), self.seq);
-        self.seq += 1;
-        self.heap.push(Entry { key, event });
-    }
-
-    /// Due cycle of the earliest pending event.
-    pub(crate) fn next_due(&self) -> Option<u64> {
-        self.heap.peek().map(|e| e.key.0)
-    }
-
-    /// Pops the next event due at or before `now`, if any.
-    pub(crate) fn pop_due(&mut self, now: u64) -> Option<Event> {
-        if self.next_due()? <= now {
-            self.heap.pop().map(|e| e.event)
-        } else {
-            None
-        }
-    }
-
-    pub(crate) fn len(&self) -> usize {
-        self.heap.len()
-    }
-}
-
-impl fmt::Debug for EventQueue {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("EventQueue")
-            .field("len", &self.len())
-            .field("next_due", &self.next_due())
-            .finish()
-    }
-}
+pub(crate) type EventQueue = interleave_engine::EventQueue<Event>;
 
 #[cfg(test)]
 mod tests {
@@ -126,20 +58,6 @@ mod tests {
 
     fn branch(due: u64, pc: u64) -> Event {
         Event::BranchResolve { due, ctx: 0, epoch: 0, pc, taken: true, target: 0 }
-    }
-
-    #[test]
-    fn pops_in_due_order() {
-        let mut q = EventQueue::new();
-        q.push(miss(9));
-        q.push(miss(3));
-        q.push(miss(6));
-        assert_eq!(q.next_due(), Some(3));
-        assert!(q.pop_due(2).is_none());
-        assert_eq!(q.pop_due(9).unwrap().due(), 3);
-        assert_eq!(q.pop_due(9).unwrap().due(), 6);
-        assert_eq!(q.pop_due(9).unwrap().due(), 9);
-        assert!(q.pop_due(u64::MAX).is_none());
     }
 
     #[test]
@@ -164,13 +82,5 @@ mod tests {
             })
             .collect();
         assert_eq!(pcs, [0x10, 0x20, 0x30]);
-    }
-
-    #[test]
-    fn empty_queue_reports_nothing_due() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.next_due(), None);
-        assert!(q.pop_due(100).is_none());
-        assert_eq!(q.len(), 0);
     }
 }

@@ -339,7 +339,7 @@ mod tests {
 
     #[test]
     fn empty_source_is_done() {
-        let mut f = unit(0);
+        let f = unit(0);
         assert!(f.is_done());
         assert!(f.peek().is_none());
     }

@@ -99,19 +99,10 @@ fn bubble_category(cause: BubbleCause) -> Option<Category> {
     }
 }
 
-/// How long the processor will stay idle, as reported by
-/// [`Processor::idle_bound`] when nothing is in the pipe and no context
-/// can fetch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum IdleBound {
-    /// Idle until the given cycle at the latest: the earliest pending
-    /// pipeline event or timed context wake.
-    Until(u64),
-    /// Idle until an external wake arrives (every blocker is an untimed
-    /// synchronization wait); wakes only happen between run calls, so the
-    /// caller may skip to its own horizon.
-    External,
-}
+/// How long the processor will stay idle (see [`Processor::idle_bound`]);
+/// defined by the shared engine substrate so the multiprocessor driver can
+/// fold per-processor bounds into machine-wide quiescence.
+pub use interleave_engine::IdleBound;
 
 /// A multiple-context processor attached to a memory system.
 ///

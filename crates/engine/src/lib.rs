@@ -1,0 +1,47 @@
+//! Generic discrete-event substrate shared by every simulator in the
+//! workspace.
+//!
+//! The uniprocessor hot loop and the multiprocessor quantum-barrier
+//! driver are two faces of one discrete-event idea; this crate hosts the
+//! pieces both instantiate instead of forking:
+//!
+//! * [`EventQueue`] — a cycle-indexed min-heap over any payload
+//!   implementing [`Sequenced`], keyed `(due, class, seq)` so
+//!   processing order is a pure function of scheduling order, never of
+//!   heap internals.
+//! * [`IdleBound`] and [`Quiescence`] — the time authority's vocabulary
+//!   for "nothing can happen before cycle t", used by idle-cycle
+//!   skipping inside one component and by adaptive lookahead across a
+//!   whole machine. [`quantum_end`] is the single shared clamp of a
+//!   quantum to the next scheduled boundary (warmup end or validation
+//!   chunk), so no driver can drift from the schedule.
+//! * [`Inbox`] and [`Msg`] — the deterministic cross-shard router:
+//!   messages totally ordered by `(due cycle, source lane, per-lane
+//!   sequence)` keys and delivered in exactly that order.
+//! * [`QuantumSchedule`] and [`run_sharded`] — the conservative
+//!   quantum-barrier driver: quanta of at most one lookahead, clipped to
+//!   warmup and validation-chunk boundaries, executed serially or on
+//!   host worker threads with bit-identical results, with optional
+//!   adaptive widening of quanta across provably quiescent stretches.
+//!
+//! Nothing in this crate knows about processors, caches, or directories;
+//! `interleave-core` instantiates the queue and idle bounds for its
+//! pipeline loop, `interleave-mp` instantiates the router and driver for
+//! its sharded machine, and future scenario families (shared-L1 thread
+//! coupling, deeply pipelined C-slow schemes) can instantiate the same
+//! substrate rather than fork a third copy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod queue;
+mod router;
+mod time;
+
+pub use driver::{
+    lock, read_lock, run_sharded, write_lock, Abort, Hooks, QuantumSchedule, Segment, Shard,
+};
+pub use queue::{EventQueue, Sequenced};
+pub use router::{Inbox, Msg, MsgKey};
+pub use time::{quantum_end, IdleBound, Quiescence};

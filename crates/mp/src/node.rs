@@ -14,11 +14,11 @@
 //! in which it was generated — the conservative guarantee that makes the
 //! parallel schedule independent of host thread interleaving.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 
 use interleave_core::{DataOutcome, InstOutcome, SyncOutcome, SystemPort};
+use interleave_engine::{IdleBound, Inbox};
 use interleave_isa::{Access, SyncKind, SyncRef};
 use interleave_mem::{CacheParams, DirectCache, Resource};
 use interleave_obs::Histogram;
@@ -26,14 +26,13 @@ use interleave_obs::Histogram;
 use crate::sync::Who;
 use crate::{Directory, LatencyModel, MissClass, SyncShard};
 
-/// Total-order key of a cross-node message: `(due cycle, source lane,
-/// per-lane sequence)`. Lanes `0..nodes` are the shards themselves; lane
-/// `nodes + n` carries coherence effects attributed to node `n`'s
-/// replayed transactions, so effect messages can never collide with
-/// shard-generated ones.
-pub(crate) type MsgKey = (u64, usize, u64);
-
 /// What a delivered message does at its destination shard.
+///
+/// Messages travel on the engine's router keyed `(due cycle, source
+/// lane, per-lane sequence)`. Lanes `0..nodes` are the shards
+/// themselves; lane `nodes + n` carries coherence effects attributed to
+/// node `n`'s replayed transactions, so effect messages can never
+/// collide with shard-generated ones.
 #[derive(Debug, Clone)]
 pub(crate) enum Payload {
     /// Drop the line (coherence invalidation) unless it was refilled at
@@ -72,37 +71,7 @@ pub(crate) enum Payload {
 
 /// A routed message: delivered to `dst`'s inbox at the barrier, then
 /// applied when the shard clock reaches `key.0`.
-#[derive(Debug)]
-pub(crate) struct Msg {
-    pub(crate) key: MsgKey,
-    pub(crate) dst: usize,
-    pub(crate) payload: Payload,
-}
-
-/// An inbox entry, ordered by key alone (keys are unique by
-/// construction: one sequence counter per lane).
-#[derive(Debug)]
-struct InMsg {
-    key: MsgKey,
-    payload: Payload,
-}
-
-impl PartialEq for InMsg {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl Eq for InMsg {}
-impl PartialOrd for InMsg {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for InMsg {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key)
-    }
-}
+pub(crate) type Msg = interleave_engine::Msg<Payload>;
 
 /// One logged directory transaction, replayed on the master at the next
 /// quantum barrier in `(cycle, node, seq)` order.
@@ -136,7 +105,7 @@ pub(crate) struct ShardState {
     port: Resource,
     /// Home-side lock/barrier state for identifiers homed on this node.
     pub(crate) sync: SyncShard,
-    inbox: BinaryHeap<Reverse<InMsg>>,
+    inbox: Inbox<Payload>,
     /// Messages generated this quantum, routed at the barrier.
     pub(crate) outbox: Vec<Msg>,
     /// Directory transactions logged this quantum.
@@ -152,6 +121,10 @@ pub(crate) struct ShardState {
     /// Retired-instruction counts published by the owning worker at each
     /// segment end (the driver's done-check reads these at barriers).
     pub(crate) retired: Vec<u64>,
+    /// The node processor's idle bound, published at each segment end.
+    /// `None` means the processor can act without external input; the
+    /// adaptive schedule folds these into machine-wide quiescence.
+    pub(crate) cpu_idle: Option<IdleBound>,
     /// Sampled unloaded latency per miss class, indexed by
     /// [`MissClass::index`].
     pub(crate) latencies: [Histogram; 4],
@@ -171,7 +144,7 @@ impl ShardState {
             cache: DirectCache::new(CacheParams::primary_data()),
             port: Resource::new(),
             sync: SyncShard::new(threads),
-            inbox: BinaryHeap::new(),
+            inbox: Inbox::new(),
             outbox: Vec::new(),
             txns: Vec::new(),
             seq: 0,
@@ -181,6 +154,7 @@ impl ShardState {
             sync_token: vec![None; contexts],
             sync_done: vec![None; contexts],
             retired: vec![0; contexts],
+            cpu_idle: None,
             latencies: Default::default(),
             mlp_outstanding: Vec::new(),
             mlp_accum: (0, 0),
@@ -195,22 +169,21 @@ impl ShardState {
     /// Accepts a barrier-routed message.
     pub(crate) fn enqueue(&mut self, msg: Msg) {
         debug_assert_eq!(msg.dst, self.node);
-        self.inbox.push(Reverse(InMsg { key: msg.key, payload: msg.payload }));
+        self.inbox.push(msg.key, msg.payload);
     }
 
     /// Due cycle of the earliest queued message, if any (bounds how far
     /// idle cycles may be skipped).
     pub(crate) fn next_due(&self) -> Option<u64> {
-        self.inbox.peek().map(|m| m.0.key.0)
+        self.inbox.next_due()
     }
 
     /// Applies every queued message due at or before `now`; contexts that
     /// received a grant token are appended to `wakes`.
     pub(crate) fn deliver_due(&mut self, now: u64, wakes: &mut Vec<usize>) {
-        while self.inbox.peek().is_some_and(|m| m.0.key.0 <= now) {
-            let Reverse(msg) = self.inbox.pop().expect("peeked");
-            let due = msg.key.0;
-            match msg.payload {
+        while let Some((key, payload)) = self.inbox.pop_due(now) {
+            let due = key.0;
+            match payload {
                 Payload::Invalidate { addr, txn_cycle } => {
                     if !self.refilled_since(addr, txn_cycle) {
                         self.cache.invalidate(addr);
@@ -257,7 +230,7 @@ impl ShardState {
             let payload = Payload::SyncToken { ctx, op };
             if dst == self.node {
                 let key = (now + 1, self.node, self.next_seq());
-                self.inbox.push(Reverse(InMsg { key, payload }));
+                self.inbox.push(key, payload);
             } else {
                 let key = (now + self.hop, self.node, self.next_seq());
                 self.outbox.push(Msg { key, dst, payload });

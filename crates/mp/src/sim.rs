@@ -1,9 +1,9 @@
-use std::any::Any;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use interleave_core::{IdleBound, ProcConfig, Processor, Scheme, WaitReason};
+use interleave_engine::{
+    lock, read_lock, run_sharded, write_lock, Hooks, QuantumSchedule, Quiescence, Segment, Shard,
+};
 use interleave_mem::CacheParams;
 use interleave_obs::validate::Violation;
 use interleave_obs::{Histogram, Registry};
@@ -15,9 +15,10 @@ use crate::{Directory, DirectoryStats, LatencyModel, MissClass, SplashProfile, S
 /// Multiprocessor simulation driver (paper Section 5.2).
 ///
 /// Runs one SPLASH-like application decomposed into `nodes ×
-/// contexts_per_node` threads over the directory-coherent machine. Time
+/// contexts_per_node` threads over the directory-coherent machine,
+/// instantiating the `interleave-engine` quantum-barrier substrate: time
 /// advances in conservative quanta of at most [`LatencyModel::lookahead`]
-/// cycles: within a quantum every node's processor, cache, and port
+/// cycles; within a quantum every node's processor, cache, and port
 /// advance independently (optionally on parallel host threads, see
 /// [`MpSimBuilder::mp_jobs`]), classifying misses against the frozen
 /// master directory; at the quantum barrier the logged directory
@@ -26,6 +27,11 @@ use crate::{Directory, DirectoryStats, LatencyModel, MissClass, SplashProfile, S
 /// for delivery in later quanta. Because no cross-node message can be
 /// due before the end of the quantum that produced it, results are
 /// bit-identical for any `mp_jobs` value.
+///
+/// When the whole machine is provably quiescent — every processor idle,
+/// no message due — the schedule widens quanta past the fixed lookahead
+/// floor (see [`MpSimBuilder::adaptive`]), skipping barriers whose
+/// exchanges would have been no-ops; this too is bit-invisible.
 ///
 /// The run is fixed-work: it ends when every thread has retired its
 /// share of `total_work` instructions, so execution time is directly
@@ -67,6 +73,8 @@ pub struct MpSim {
     seed: u64,
     /// Fast-forward cycles in which a shard's processor is idle.
     idle_skip: bool,
+    /// Widen quanta across machine-wide quiescent stretches.
+    adaptive: bool,
     /// Run the invariant checkers: per-tick processor checks plus
     /// machine-wide coherence checks at every 128-cycle chunk boundary.
     validate: bool,
@@ -83,8 +91,8 @@ pub struct MpSim {
 ///
 /// Defaults (before any setter) are a single-context 8-node machine with
 /// 400 000 instructions of total work, 20 000 warmup cycles, the
-/// DASH-like latencies, the fixed default seed, and a serial host driver
-/// (`mp_jobs = 1`).
+/// DASH-like latencies, the fixed default seed, a serial host driver
+/// (`mp_jobs = 1`), and idle skipping plus adaptive lookahead enabled.
 #[derive(Debug, Clone)]
 pub struct MpSimBuilder {
     sim: MpSim,
@@ -138,6 +146,18 @@ impl MpSimBuilder {
     /// bit-identical with it on or off.
     pub fn idle_skip(mut self, enabled: bool) -> Self {
         self.sim.idle_skip = enabled;
+        self
+    }
+
+    /// Widen quanta past the fixed lookahead floor across stretches the
+    /// machine is provably quiescent — every processor idle, no message
+    /// due — skipping barriers whose exchanges would have replayed and
+    /// routed nothing (default true). The widened quantum still ends on
+    /// the fixed schedule's barrier grid, so results are bit-identical
+    /// with it on or off, at every `mp_jobs` value; purely a
+    /// host-throughput optimisation for sync- or latency-bound phases.
+    pub fn adaptive(mut self, enabled: bool) -> Self {
+        self.sim.adaptive = enabled;
         self
     }
 
@@ -213,22 +233,12 @@ impl MpSim {
                 latency: LatencyModel::dash_like(),
                 seed: 0x19941004,
                 idle_skip: true,
+                adaptive: true,
                 validate: interleave_obs::validate::default_enabled(),
                 fault_at: None,
                 mp_jobs: 1,
             },
         }
-    }
-
-    /// A simulation with default work sizes and the DASH-like latencies.
-    #[deprecated(since = "0.2.0", note = "use `MpSim::builder(app)` instead")]
-    pub fn new(
-        app: SplashProfile,
-        scheme: Scheme,
-        nodes: usize,
-        contexts_per_node: usize,
-    ) -> MpSim {
-        MpSim::builder(app).scheme(scheme).nodes(nodes).contexts(contexts_per_node).build()
     }
 
     /// The application being run.
@@ -271,6 +281,11 @@ impl MpSim {
         self.mp_jobs
     }
 
+    /// Whether adaptive lookahead widening is enabled.
+    pub fn adaptive(&self) -> bool {
+        self.adaptive
+    }
+
     /// Runs the simulation to completion.
     ///
     /// # Panics
@@ -284,19 +299,17 @@ impl MpSim {
         let threads = self.nodes * self.contexts_per_node;
         let quota = (self.total_work / threads as u64).max(1);
         let hop = self.latency.lookahead();
-        let jobs = self.mp_jobs.clamp(1, self.nodes);
         let contexts = self.contexts_per_node;
-        let idle_skip = self.idle_skip;
 
         let line_size = CacheParams::primary_data().line;
         let master = Arc::new(RwLock::new(Directory::new(self.nodes, line_size)));
         let states: Vec<Arc<Mutex<ShardState>>> = (0..self.nodes)
             .map(|n| Arc::new(Mutex::new(ShardState::new(n, contexts, threads as u32, hop))))
             .collect();
-        let mut shards: Vec<(usize, Processor<ShardPort>)> = (0..self.nodes)
+        let mut shards: Vec<NodeShard> = (0..self.nodes)
             .map(|n| {
                 let mut cfg = ProcConfig::new(self.scheme, contexts);
-                cfg.idle_skip = idle_skip;
+                cfg.idle_skip = self.idle_skip;
                 cfg.validate = self.validate;
                 let port = ShardPort::new(
                     n,
@@ -306,206 +319,49 @@ impl MpSim {
                     states[n].clone(),
                     master.clone(),
                 );
-                (n, Processor::new(cfg, port))
+                NodeShard {
+                    cpu: Processor::new(cfg, port),
+                    state: states[n].clone(),
+                    contexts,
+                    idle_skip: self.idle_skip,
+                }
             })
             .collect();
-        for (node, cpu) in shards.iter_mut() {
+        for (node, shard) in shards.iter_mut().enumerate() {
             for ctx in 0..contexts {
-                let thread = *node * contexts + ctx;
-                cpu.attach(
+                let thread = node * contexts + ctx;
+                shard.cpu.attach(
                     ctx,
                     Box::new(SplashThread::new(self.app.clone(), thread, threads, self.seed)),
                 );
             }
         }
 
-        // Machine-wide coherence checks are O(tracked lines), so they run
-        // at chunk boundaries rather than per tick; per-tick processor
-        // checks are enabled on each CPU via `cfg.validate` above. Every
-        // shard is parked at the barrier when this runs, so the locks are
-        // uncontended.
-        let check_machine = |now: u64| -> Result<(), String> {
-            if !self.validate {
-                return Ok(());
-            }
-            let fail = |v: Violation| v.with_seed(self.seed).to_string();
-            let dir = read_lock(&master);
-            dir.check_invariants(now).map_err(fail)?;
-            // Cross-check: every copy the master tracks must actually be
-            // cached by its node.
-            let guards: Vec<MutexGuard<'_, ShardState>> = states.iter().map(|s| lock(s)).collect();
-            let mut missing = None;
-            dir.for_each_cached_copy(|line, node, dirty| {
-                if missing.is_none() && (node >= self.nodes || !guards[node].cache.probe(line)) {
-                    missing = Some((line, node, dirty));
-                }
-            });
-            if let Some((line, node, dirty)) = missing {
-                let state = if dirty { "dirty" } else { "shared" };
-                return Err(fail(
-                    Violation::new(
-                        "mp.directory",
-                        "directory tracks a copy the node does not cache",
-                        now,
-                        format!("line {line:#x} recorded {state} at node {node}"),
-                    )
-                    .with_context(node),
-                ));
-            }
-            for g in &guards {
-                g.sync.check_invariants(now).map_err(fail)?;
-            }
-            Ok(())
+        // The barrier schedule is shared verbatim by the engine's serial
+        // and threaded executors, so `mp_jobs` cannot influence results;
+        // quanta of at most one lookahead (adaptively widened across
+        // quiescent stretches, still on the fixed barrier grid), clipped
+        // to the warmup boundary and to every 128-cycle validation chunk.
+        let schedule = QuantumSchedule {
+            hop,
+            warmup: self.warmup_cycles,
+            chunk: 128,
+            safety_slack: self.total_work.saturating_mul(400).max(20_000_000),
+            adaptive: self.adaptive,
         };
-
-        // The barrier schedule, shared verbatim by the serial and
-        // threaded drivers so `mp_jobs` cannot influence results: quanta
-        // of at most one lookahead, clipped to the warmup boundary and to
-        // every 128-cycle validation chunk, with the transaction replay
-        // and message routing at each quantum barrier.
-        let mut eff_seq = 0u64;
-        let mut drive =
-            |exec: &mut dyn FnMut(u64, u64, bool) -> Result<(), ()>| -> Result<(u64, u64), Abort> {
-                let mut now = 0u64;
-                while now < self.warmup_cycles {
-                    let to = (now + hop).min(self.warmup_cycles);
-                    exec(now, to, false).map_err(|()| Abort::Panicked)?;
-                    barrier_exchange(&master, &states, hop, &mut eff_seq);
-                    now = to;
-                }
-                check_machine(now).map_err(Abort::Fail)?;
-                write_lock(&master).reset_stats();
-                for state in &states {
-                    for h in &mut lock(state).latencies {
-                        h.reset();
-                    }
-                }
-                let start = now;
-                let safety = start + self.total_work.saturating_mul(400).max(20_000_000);
-                let mut fault_pending = self.fault_at;
-                // The processors reset their own statistics at the start of
-                // the first measured segment.
-                let mut reset = true;
-                loop {
-                    let chunk_end = now + 128;
-                    while now < chunk_end {
-                        let to = (now + hop).min(chunk_end);
-                        exec(now, to, reset).map_err(|()| Abort::Panicked)?;
-                        reset = false;
-                        barrier_exchange(&master, &states, hop, &mut eff_seq);
-                        now = to;
-                    }
-                    if fault_pending.is_some_and(|t| now >= t) {
-                        fault_pending = None;
-                        // An illegal owner: no such node exists, so the
-                        // directory legality check must trip at the next
-                        // boundary.
-                        write_lock(&master).corrupt_line_for_test(0x40, self.nodes + 5);
-                    }
-                    check_machine(now).map_err(Abort::Fail)?;
-                    let done = states.iter().all(|s| lock(s).retired.iter().all(|&r| r >= quota));
-                    if done {
-                        break;
-                    }
-                    if now >= safety {
-                        return Err(Abort::Fail(
-                            "multiprocessor run exceeded safety bound (livelock?)".into(),
-                        ));
-                    }
-                }
-                Ok((start, now))
-            };
-
-        let (start, end, shards) = if jobs == 1 {
-            let mut exec = |from: u64, to: u64, reset: bool| -> Result<(), ()> {
-                let seg = SegmentCtl { from, to, reset, quit: false };
-                run_group(&mut shards, &states, seg, contexts, idle_skip);
-                Ok(())
-            };
-            match drive(&mut exec) {
-                Ok((s, e)) => (s, e, shards),
-                Err(Abort::Fail(msg)) => panic!("{msg}"),
-                Err(Abort::Panicked) => {
-                    unreachable!("the serial driver propagates panics directly")
-                }
-            }
-        } else {
-            let mut groups: Vec<Vec<(usize, Processor<ShardPort>)>> =
-                (0..jobs).map(|_| Vec::new()).collect();
-            for (node, cpu) in shards {
-                groups[node % jobs].push((node, cpu));
-            }
-            // The driver thread doubles as worker group 0, so `jobs`
-            // counts every host thread advancing shards.
-            let mut own = groups.remove(0);
-            let ctl = Mutex::new(SegmentCtl { from: 0, to: 0, reset: false, quit: false });
-            let start_bar = SpinBarrier::new(jobs);
-            let end_bar = SpinBarrier::new(jobs);
-            let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
-            let (outcome, mut shards) = std::thread::scope(|scope| {
-                let states = &states;
-                let ctl = &ctl;
-                let start_bar = &start_bar;
-                let end_bar = &end_bar;
-                let panic_slot = &panic_slot;
-                let handles: Vec<_> = groups
-                    .into_iter()
-                    .map(|group| {
-                        scope.spawn(move || {
-                            worker_loop(
-                                group, states, ctl, start_bar, end_bar, panic_slot, contexts,
-                                idle_skip,
-                            )
-                        })
-                    })
-                    .collect();
-                let mut exec = |from: u64, to: u64, reset: bool| -> Result<(), ()> {
-                    let seg = SegmentCtl { from, to, reset, quit: false };
-                    *lock(ctl) = seg;
-                    start_bar.wait();
-                    let result = catch_unwind(AssertUnwindSafe(|| {
-                        run_group(&mut own, states, seg, contexts, idle_skip);
-                    }));
-                    if let Err(payload) = result {
-                        lock(panic_slot).get_or_insert(payload);
-                    }
-                    end_bar.wait();
-                    // Any panic (ours or a worker's) aborts the schedule;
-                    // the payload waits in the slot.
-                    if lock(panic_slot).is_some() {
-                        Err(())
-                    } else {
-                        Ok(())
-                    }
-                };
-                let outcome = catch_unwind(AssertUnwindSafe(|| drive(&mut exec)));
-                // Quit handshake on every exit path: the workers park at
-                // the start barrier, so release them before the scope
-                // would try to join them.
-                *lock(ctl) = SegmentCtl { from: 0, to: 0, reset: false, quit: true };
-                start_bar.wait();
-                let mut shards = own;
-                for h in handles {
-                    shards.extend(h.join().expect("workers catch panics and exit at quit"));
-                }
-                (outcome, shards)
-            });
-            shards.sort_unstable_by_key(|&(n, _)| n);
-            match outcome {
-                Err(driver_panic) => resume_unwind(driver_panic),
-                Ok(Err(Abort::Panicked)) => {
-                    let payload = panic_slot
-                        .into_inner()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .expect("a panicked abort leaves its payload in the slot");
-                    resume_unwind(payload);
-                }
-                Ok(Err(Abort::Fail(msg))) => panic!("{msg}"),
-                Ok(Ok((s, e))) => (s, e, shards),
-            }
+        let mut hooks = MachineHooks {
+            sim: self,
+            master: &master,
+            states: &states,
+            hop,
+            eff_seq: 0,
+            fault_pending: self.fault_at,
+            quota,
         };
+        let ((start, end), shards) =
+            run_sharded(shards, self.mp_jobs, |exec| schedule.run(exec, &mut hooks));
 
-        let cpus: Vec<Processor<ShardPort>> = shards.into_iter().map(|(_, c)| c).collect();
+        let cpus: Vec<Processor<ShardPort>> = shards.into_iter().map(|s| s.cpu).collect();
         let breakdown: Breakdown = cpus.iter().map(|c| c.breakdown()).sum();
         let per_node: Vec<Breakdown> = cpus.iter().map(|c| c.breakdown().clone()).collect();
         let directory = *read_lock(&master).stats();
@@ -546,39 +402,123 @@ impl MpSim {
     }
 }
 
-/// One segment order from the driver to every worker group.
-#[derive(Debug, Clone, Copy)]
-struct SegmentCtl {
-    from: u64,
-    to: u64,
-    reset: bool,
-    quit: bool,
+/// One node as an engine shard: the processor plus a handle to the
+/// node's locked [`ShardState`].
+struct NodeShard {
+    cpu: Processor<ShardPort>,
+    state: Arc<Mutex<ShardState>>,
+    contexts: usize,
+    idle_skip: bool,
 }
 
-/// Why the barrier schedule stopped early.
-enum Abort {
-    /// A violation or livelock the driver detected; carries the message
-    /// to panic with after the workers shut down.
-    Fail(String),
-    /// A shard advance panicked; the payload waits in the panic slot.
-    Panicked,
+impl Shard for NodeShard {
+    fn run_segment(&mut self, seg: Segment) {
+        if seg.reset {
+            self.cpu.reset_breakdown();
+            for ctx in 0..self.contexts {
+                self.cpu.reset_retired(ctx);
+            }
+        }
+        advance_shard(&mut self.cpu, &self.state, seg.from, seg.to, self.contexts, self.idle_skip);
+    }
 }
 
-/// Locks a mutex, ignoring poisoning: panics are handled deliberately by
-/// the segment protocol (stored, shut down, re-raised), so a poisoned
-/// lock must not cascade into a second panic that would wedge a barrier.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+/// The machine-level callbacks the engine schedule drives between
+/// segments. All of them run on the driver thread while every worker is
+/// parked at a barrier, so the shard locks are uncontended.
+struct MachineHooks<'a> {
+    sim: &'a MpSim,
+    master: &'a RwLock<Directory>,
+    states: &'a [Arc<Mutex<ShardState>>],
+    hop: u64,
+    /// Persistent sequence counter of the effect lanes (lives across
+    /// barriers so effect keys never repeat while earlier effects are
+    /// still queued).
+    eff_seq: u64,
+    fault_pending: Option<u64>,
+    quota: u64,
 }
 
-/// See [`lock`].
-fn read_lock<T>(m: &RwLock<T>) -> RwLockReadGuard<'_, T> {
-    m.read().unwrap_or_else(PoisonError::into_inner)
-}
+impl Hooks for MachineHooks<'_> {
+    fn exchange(&mut self, _now: u64) {
+        barrier_exchange(self.master, self.states, self.hop, &mut self.eff_seq);
+    }
 
-/// See [`lock`].
-fn write_lock<T>(m: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
-    m.write().unwrap_or_else(PoisonError::into_inner)
+    /// Machine-wide coherence checks are O(tracked lines), so they run
+    /// at chunk boundaries rather than per tick; per-tick processor
+    /// checks are enabled on each CPU via `cfg.validate`.
+    fn check(&mut self, now: u64) -> Result<(), String> {
+        if !self.sim.validate {
+            return Ok(());
+        }
+        let fail = |v: Violation| v.with_seed(self.sim.seed).to_string();
+        let dir = read_lock(self.master);
+        dir.check_invariants(now).map_err(fail)?;
+        // Cross-check: every copy the master tracks must actually be
+        // cached by its node.
+        let guards: Vec<MutexGuard<'_, ShardState>> = self.states.iter().map(|s| lock(s)).collect();
+        let mut missing = None;
+        dir.for_each_cached_copy(|line, node, dirty| {
+            if missing.is_none() && (node >= self.sim.nodes || !guards[node].cache.probe(line)) {
+                missing = Some((line, node, dirty));
+            }
+        });
+        if let Some((line, node, dirty)) = missing {
+            let state = if dirty { "dirty" } else { "shared" };
+            return Err(fail(
+                Violation::new(
+                    "mp.directory",
+                    "directory tracks a copy the node does not cache",
+                    now,
+                    format!("line {line:#x} recorded {state} at node {node}"),
+                )
+                .with_context(node),
+            ));
+        }
+        for g in &guards {
+            g.sync.check_invariants(now).map_err(fail)?;
+        }
+        Ok(())
+    }
+
+    fn begin_measurement(&mut self, _now: u64) {
+        write_lock(self.master).reset_stats();
+        for state in self.states {
+            for h in &mut lock(state).latencies {
+                h.reset();
+            }
+        }
+    }
+
+    fn chunk_boundary(&mut self, now: u64) {
+        if self.fault_pending.is_some_and(|t| now >= t) {
+            self.fault_pending = None;
+            // An illegal owner: no such node exists, so the directory
+            // legality check must trip at the next boundary.
+            write_lock(self.master).corrupt_line_for_test(0x40, self.sim.nodes + 5);
+        }
+    }
+
+    fn done(&mut self) -> bool {
+        self.states.iter().all(|s| lock(s).retired.iter().all(|&r| r >= self.quota))
+    }
+
+    /// Folds every shard's published processor idle bound and earliest
+    /// queued message into the machine-wide claim the adaptive schedule
+    /// acts on. Reads only simulated state published at barriers, so the
+    /// answer — and therefore the widened schedule — is identical at
+    /// every `mp_jobs` value.
+    fn quiescent(&mut self) -> Quiescence {
+        let mut q = Quiescence::External;
+        for state in self.states {
+            let st = lock(state);
+            q = q.also_idle(st.cpu_idle).also_due(st.next_due());
+            if q == Quiescence::Active {
+                break;
+            }
+        }
+        q
+    }
 }
 
 /// Advances one shard's processor from `from` to exactly `to`, applying
@@ -632,98 +572,13 @@ fn advance_shard(
         }
         cpu.tick();
     }
-    // Publish retired counts for the driver's barrier-time done-check.
+    // Publish retired counts and the idle bound for the driver's
+    // barrier-time done-check and quiescence fold.
     let mut st = lock(state);
     for ctx in 0..contexts {
         st.retired[ctx] = cpu.retired(ctx);
     }
-}
-
-/// Runs one segment over every shard a worker group owns.
-fn run_group(
-    group: &mut [(usize, Processor<ShardPort>)],
-    states: &[Arc<Mutex<ShardState>>],
-    seg: SegmentCtl,
-    contexts: usize,
-    idle_skip: bool,
-) {
-    for (node, cpu) in group.iter_mut() {
-        if seg.reset {
-            cpu.reset_breakdown();
-            for ctx in 0..contexts {
-                cpu.reset_retired(ctx);
-            }
-        }
-        advance_shard(cpu, &states[*node], seg.from, seg.to, contexts, idle_skip);
-    }
-}
-
-/// One worker's service loop: park at the start barrier, run the
-/// commanded segment over the owned shards, park at the end barrier.
-/// Panics are caught and parked in `panic_slot` so the barrier protocol
-/// never wedges; the thread exits (returning its shards) on `quit`.
-#[allow(clippy::too_many_arguments)]
-fn worker_loop(
-    mut group: Vec<(usize, Processor<ShardPort>)>,
-    states: &[Arc<Mutex<ShardState>>],
-    ctl: &Mutex<SegmentCtl>,
-    start: &SpinBarrier,
-    end: &SpinBarrier,
-    panic_slot: &Mutex<Option<Box<dyn Any + Send>>>,
-    contexts: usize,
-    idle_skip: bool,
-) -> Vec<(usize, Processor<ShardPort>)> {
-    loop {
-        start.wait();
-        let seg = *lock(ctl);
-        if seg.quit {
-            return group;
-        }
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            run_group(&mut group, states, seg, contexts, idle_skip);
-        }));
-        if let Err(payload) = result {
-            lock(panic_slot).get_or_insert(payload);
-        }
-        end.wait();
-    }
-}
-
-/// A reusable spin rendezvous for the per-segment barriers. `std`'s
-/// `Barrier` parks threads through the OS; segments are tens of
-/// microseconds of host work, so spinning (with a yield fallback for
-/// oversubscribed hosts) keeps the rendezvous cheap.
-struct SpinBarrier {
-    members: usize,
-    count: AtomicUsize,
-    generation: AtomicUsize,
-}
-
-impl SpinBarrier {
-    fn new(members: usize) -> SpinBarrier {
-        SpinBarrier { members, count: AtomicUsize::new(0), generation: AtomicUsize::new(0) }
-    }
-
-    fn wait(&self) {
-        let generation = self.generation.load(Ordering::Acquire);
-        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.members {
-            // Last arrival: reset the count for the next use, then
-            // release the waiters (the generation bump publishes the
-            // reset).
-            self.count.store(0, Ordering::Relaxed);
-            self.generation.fetch_add(1, Ordering::Release);
-        } else {
-            let mut spins = 0u32;
-            while self.generation.load(Ordering::Acquire) == generation {
-                spins = spins.wrapping_add(1);
-                if spins.is_multiple_of(1024) {
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
-                }
-            }
-        }
-    }
+    st.cpu_idle = cpu.idle_bound();
 }
 
 #[cfg(test)]
@@ -758,6 +613,7 @@ mod tests {
         assert_eq!(sim.latency, LatencyModel::dash_like());
         assert_eq!(sim.mp_jobs, 1);
         assert!(sim.idle_skip);
+        assert!(sim.adaptive);
         assert!(sim.fault_at.is_none());
     }
 
@@ -870,6 +726,49 @@ mod tests {
                 .run()
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn adaptive_lookahead_is_bit_invisible() {
+        // Cholesky's lock contention produces the machine-wide quiescent
+        // stretches adaptive widening exploits; turning it on (serial or
+        // threaded) must not change a single bit of the result.
+        let run = |adaptive: bool, jobs: usize| {
+            MpSim::builder(apps::cholesky())
+                .scheme(Scheme::Interleaved)
+                .nodes(4)
+                .contexts(2)
+                .work(8_000)
+                .warmup(500)
+                .adaptive(adaptive)
+                .mp_jobs(jobs)
+                .build()
+                .run()
+        };
+        let fixed = run(false, 1);
+        assert_eq!(fixed, run(true, 1));
+        assert_eq!(fixed, run(true, 2));
+        assert_eq!(fixed, run(true, 4));
+    }
+
+    #[test]
+    fn adaptive_composes_with_disabled_idle_skip() {
+        // Quiescence is folded from published idle bounds even when
+        // within-segment idle skipping is off; the two knobs must stay
+        // independent and both bit-invisible.
+        let run = |adaptive: bool| {
+            MpSim::builder(apps::barnes())
+                .scheme(Scheme::Blocked)
+                .nodes(2)
+                .contexts(2)
+                .work(6_000)
+                .warmup(500)
+                .idle_skip(false)
+                .adaptive(adaptive)
+                .build()
+                .run()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -203,13 +203,6 @@ impl MultiprogramSim {
         }
     }
 
-    /// A simulation with the scaled default OS model, memory system, and
-    /// quotas.
-    #[deprecated(since = "0.2.0", note = "use `MultiprogramSim::builder(workload)` instead")]
-    pub fn new(workload: Workload, scheme: Scheme, contexts: usize) -> MultiprogramSim {
-        MultiprogramSim::builder(workload).scheme(scheme).contexts(contexts).build()
-    }
-
     /// The workload being run.
     pub fn workload(&self) -> &Workload {
         &self.workload

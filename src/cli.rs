@@ -62,6 +62,10 @@ pub enum Command {
         /// `INTERLEAVE_MP_JOBS` / serial). Purely a host-side knob:
         /// results are bit-identical at every value.
         mp_jobs: Option<usize>,
+        /// Adaptive lookahead widening for multiprocessor cells (`None`
+        /// = `INTERLEAVE_ADAPTIVE` / on). Purely a host-side knob:
+        /// results are bit-identical either way.
+        adaptive: Option<bool>,
         /// Print a per-second completion heartbeat to stderr.
         progress: bool,
     },
@@ -196,6 +200,15 @@ impl<'a> Flags<'a> {
                 .ok_or_else(|| CliError(format!("--scale expects `ci` or `full`, got `{v}`"))),
         }
     }
+
+    fn on_off(&self, name: &str) -> Result<Option<bool>, CliError> {
+        match self.get(name) {
+            None => Ok(None),
+            Some("on") => Ok(Some(true)),
+            Some("off") => Ok(Some(false)),
+            Some(v) => Err(CliError(format!("--{name} expects `on` or `off`, got `{v}`"))),
+        }
+    }
 }
 
 /// Usage text.
@@ -208,7 +221,8 @@ USAGE:
   interleave-sim mp    [--app NAME] [--scheme S] [--nodes N] [--contexts N]
                        [--work N] [--seed N]
   interleave-sim sweep --artifact table7|table10|smoke [--jobs N] [--mp-jobs N]
-                       [--scale ci|full] [--json DIR] [--seed N] [--progress]
+                       [--adaptive on|off] [--scale ci|full] [--json DIR]
+                       [--seed N] [--progress]
   interleave-sim trace [--file PATH] [--workload W] [--scheme S] [--contexts N]
                        [--max-cycles N] [--seed N] [--out PATH]
   interleave-sim metrics [--workload W] [--scheme S] [--contexts N] [--quota N]
@@ -255,6 +269,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             json: flags.get("json").map(str::to_string),
             seed: flags.opt_num("seed")?,
             mp_jobs: flags.opt_num("mp-jobs")?.map(|n| n as usize),
+            adaptive: flags.on_off("adaptive")?,
             progress: flags.switch("progress"),
         }),
         "trace" => Ok(Command::Trace {
@@ -380,7 +395,7 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 d.local, d.remote, d.remote_cache, d.upgrades, d.invalidations
             );
         }
-        Command::Sweep { artifact, jobs, scale, json, seed, mp_jobs, progress } => {
+        Command::Sweep { artifact, jobs, scale, json, seed, mp_jobs, adaptive, progress } => {
             let scale = scale.unwrap_or_else(Scale::from_env);
             let mut spec = match artifact.as_str() {
                 "table7" => {
@@ -416,6 +431,9 @@ pub fn run(command: Command) -> Result<(), CliError> {
             }
             if let Some(mp_jobs) = mp_jobs {
                 spec = spec.mp_jobs(mp_jobs);
+            }
+            if let Some(adaptive) = adaptive {
+                spec = spec.adaptive(adaptive);
             }
             let mut runner = jobs.map(Runner::new).unwrap_or_else(Runner::from_env);
             if progress {
@@ -624,13 +642,14 @@ mod tests {
         assert!(parse(&argv("sweep --artifact table7 --scale huge")).is_err());
         assert!(parse(&argv("sweep --artifact table7 --jobs x")).is_err());
         assert!(parse(&argv("sweep --artifact table10 --mp-jobs x")).is_err());
+        assert!(parse(&argv("sweep --artifact table10 --adaptive maybe")).is_err());
     }
 
     #[test]
     fn parses_sweep() {
         let cmd = parse(&argv(
             "sweep --artifact table7 --jobs 4 --scale ci --json out --seed 9 --mp-jobs 2 \
-             --progress",
+             --adaptive off --progress",
         ))
         .unwrap();
         assert_eq!(
@@ -642,17 +661,19 @@ mod tests {
                 json: Some("out".into()),
                 seed: Some(9),
                 mp_jobs: Some(2),
+                adaptive: Some(false),
                 progress: true,
             }
         );
-        match parse(&argv("sweep --artifact table10")).unwrap() {
-            Command::Sweep { artifact, jobs, scale, json, seed, mp_jobs, progress } => {
+        match parse(&argv("sweep --artifact table10 --adaptive on")).unwrap() {
+            Command::Sweep { artifact, jobs, scale, json, seed, mp_jobs, adaptive, progress } => {
                 assert_eq!(artifact, "table10");
                 assert_eq!(jobs, None);
                 assert_eq!(scale, None);
                 assert_eq!(json, None);
                 assert_eq!(seed, None);
                 assert_eq!(mp_jobs, None);
+                assert_eq!(adaptive, Some(true));
                 assert!(!progress);
             }
             other => panic!("{other:?}"),
@@ -668,6 +689,7 @@ mod tests {
             json: None,
             seed: None,
             mp_jobs: None,
+            adaptive: None,
             progress: false,
         })
         .unwrap_err();

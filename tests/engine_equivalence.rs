@@ -1,0 +1,119 @@
+//! Equivalence gate for the shared discrete-event engine
+//! (`crates/engine`): the uniprocessor and multiprocessor drivers now
+//! instantiate the engine's event queue, idle-bound authority, message
+//! router, and quantum-barrier schedule instead of bespoke copies. These
+//! tests pin the pre-extraction golden values and require the
+//! engine-backed drivers to reproduce them exactly — with the adaptive
+//! lookahead widening both off (the historical fixed schedule) and on
+//! (the default), at every worker count, down to the serialized metrics
+//! artifact bytes.
+
+use interleave::bench::{ExperimentSpec, Runner, Scale};
+use interleave::core::Scheme;
+use interleave::mp::{splash_suite, MpSim};
+use interleave::stats::{Breakdown, Category};
+use interleave::workloads::{mixes, MultiprogramSim};
+
+/// Asserts a breakdown matches golden per-category values in
+/// `Category::ALL` order.
+fn assert_breakdown(what: &str, got: &Breakdown, golden: [u64; 7]) {
+    for (c, want) in Category::ALL.into_iter().zip(golden) {
+        assert_eq!(got.get(c), want, "{what}: category {c:?} diverged from the golden value");
+    }
+}
+
+/// The uniprocessor hot loop now drains the engine's typed event queue.
+/// Golden values captured from the seed implementation must survive the
+/// port unchanged.
+#[test]
+fn engine_backed_uni_driver_reproduces_seed_goldens() {
+    let fp = MultiprogramSim::builder(mixes::fp())
+        .scheme(Scheme::Interleaved)
+        .contexts(2)
+        .quota(2_000)
+        .warmup(500)
+        .build()
+        .run();
+    assert_eq!(fp.cycles, 79_968);
+    assert_eq!(fp.instructions, 29_343);
+    assert_breakdown(
+        "uni fp/interleaved/2",
+        &fp.breakdown,
+        [29_181, 13_726, 1_367, 8_951, 16_485, 0, 10_258],
+    );
+
+    let ic = MultiprogramSim::builder(mixes::ic())
+        .scheme(Scheme::Blocked)
+        .contexts(4)
+        .quota(2_000)
+        .warmup(500)
+        .build()
+        .run();
+    assert_eq!(ic.cycles, 29_440);
+    assert_eq!(ic.instructions, 8_945);
+    assert_breakdown("uni ic/blocked/4", &ic.breakdown, [8_916, 5_951, 42, 7_353, 1_117, 0, 6_061]);
+}
+
+/// The multiprocessor lockstep loop now runs on the engine's
+/// `QuantumSchedule`. With adaptive widening disabled it must replay the
+/// seed's fixed 80-cycle barrier schedule bit for bit; with it enabled
+/// (the default) the widened schedule must still land on the same
+/// numbers, serially and at every worker count.
+#[test]
+fn engine_backed_mp_driver_reproduces_seed_goldens() {
+    let run = |adaptive: bool, jobs: usize| {
+        MpSim::builder(splash_suite()[0].clone())
+            .scheme(Scheme::Interleaved)
+            .nodes(4)
+            .contexts(2)
+            .work(12_000)
+            .warmup(500)
+            .adaptive(adaptive)
+            .mp_jobs(jobs)
+            .build()
+            .run()
+    };
+    let fixed = run(false, 1);
+    assert_eq!(fixed.cycles, 28_800);
+    assert_breakdown(
+        "mp splash0/interleaved/4x2",
+        &fixed.breakdown,
+        [12_491, 6_172, 2_016, 0, 83_514, 0, 11_007],
+    );
+    for adaptive in [false, true] {
+        for jobs in [1, 2, 4] {
+            let got = run(adaptive, jobs);
+            assert_eq!(
+                fixed, got,
+                "engine schedule (adaptive={adaptive}, mp_jobs={jobs}) diverged from the golden run"
+            );
+        }
+    }
+}
+
+/// Sweep-level gate: a grid run with adaptive widening forced off must
+/// reproduce the default (adaptive) grid cell for cell, down to the
+/// serialized metrics artifact bytes — the widened schedule is a pure
+/// host optimization.
+#[test]
+fn adaptive_schedule_produces_byte_identical_metrics_artifacts() {
+    let grid = |adaptive: bool| {
+        let spec = ExperimentSpec::new("engine_equivalence", Scale::Ci)
+            .uni(mixes::ic())
+            .mp(splash_suite()[0].clone())
+            .contexts([2, 4])
+            .quota(2_000)
+            .work(12_000)
+            .warmup(500)
+            .adaptive(adaptive);
+        Runner::new(2).run(&spec)
+    };
+    let on = grid(true);
+    let off = grid(false);
+    assert!(on.results_match(&off), "adaptive widening changed sweep results");
+    assert_eq!(
+        on.metrics_json(),
+        off.metrics_json(),
+        "METRICS artifact must be byte-identical with adaptive widening on or off"
+    );
+}

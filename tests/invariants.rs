@@ -149,4 +149,41 @@ proptest! {
         let sharded = run(jobs);
         prop_assert_eq!(serial, sharded, "mp_jobs={} diverged from the serial driver", jobs);
     }
+
+    /// Adaptive lookahead widening must be bit-invisible across the same
+    /// generated grid, at every worker count, with the invariant
+    /// checkers on: the widened schedule only ever skips barriers whose
+    /// exchanges would have been no-ops, so the full result (cycles,
+    /// breakdowns, directory stats, metric registry) equals the fixed
+    /// schedule's.
+    #[test]
+    fn adaptive_lookahead_is_bit_invisible_across_generated_grid(
+        app_idx in 0usize..4,
+        scheme_idx in 0usize..3,
+        contexts in 1usize..=2,
+        jobs in 1usize..=4,
+        seed in any::<u32>(),
+    ) {
+        let scheme = [Scheme::Blocked, Scheme::Interleaved, Scheme::FineGrained][scheme_idx];
+        let run = |adaptive: bool| {
+            MpSim::builder(splash_suite()[app_idx].clone())
+                .scheme(scheme)
+                .nodes(4)
+                .contexts(contexts)
+                .work(6_000)
+                .warmup(500)
+                .seed(u64::from(seed))
+                .validate(true)
+                .mp_jobs(jobs)
+                .adaptive(adaptive)
+                .build()
+                .run()
+        };
+        let fixed = run(false);
+        let adaptive = run(true);
+        prop_assert_eq!(
+            fixed, adaptive,
+            "adaptive lookahead diverged from the fixed schedule at mp_jobs={}", jobs
+        );
+    }
 }
