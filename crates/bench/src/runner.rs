@@ -14,12 +14,15 @@
 //! whether it runs serially or on any number of threads (see the
 //! `determinism` integration test).
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use interleave_core::{Scheme, StorePolicy};
 use interleave_mp::{LatencyModel, MpResult, MpSim, SplashProfile};
+use interleave_obs::bus::{Subscriber, Watch};
+use interleave_obs::profile::{self, PhaseProfile};
 use interleave_obs::Registry;
 use interleave_stats::{Breakdown, Category, Table};
 use interleave_workloads::mixes::Workload;
@@ -488,63 +491,221 @@ impl ExperimentSpec {
 /// into per-index slots, so aggregation order — and therefore every
 /// downstream table and JSON artifact — is independent of thread
 /// scheduling.
-#[derive(Debug, Clone, Copy)]
+///
+/// Every runner owns a latest-wins telemetry bus: after each completed
+/// cell it publishes a [`Snapshot`] (progress, throughput, merged
+/// metrics), which in-process clients read via [`Runner::subscribe`] and
+/// out-of-process clients read from the atomically-replaced
+/// `STATUS_<name>.json` written when a status directory is configured
+/// ([`Runner::status_dir`] / `INTERLEAVE_STATUS=<dir>`), e.g. with
+/// `interleave-sim watch`.
+#[derive(Debug, Clone)]
 pub struct Runner {
     jobs: usize,
     progress: bool,
+    status_dir: Option<PathBuf>,
+    bus: Watch<Snapshot>,
 }
 
-/// Rate-limited completion heartbeat printed to stderr by
-/// [`Runner::run`] when progress reporting is enabled.
-///
-/// Workers call [`ProgressMeter::tick`] once per finished cell; at most
-/// about one line per second is emitted (the final cell always reports),
-/// so long sweeps stay observable without flooding the terminal.
-#[derive(Debug)]
-struct ProgressMeter {
+/// One live-telemetry observation of a running sweep, published on the
+/// runner's bus after every completed cell (latest-wins; see
+/// [`interleave_obs::bus`]).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Spec name (artifact stem).
+    pub artifact: String,
+    /// Scale name (`ci` / `full`).
+    pub scale: &'static str,
+    /// Completed cells.
+    pub done: usize,
+    /// Total cells in the sweep.
+    pub total: usize,
+    /// Wall-clock milliseconds since the sweep started.
+    pub wall_ms: u64,
+    /// Completed cells per host second.
+    pub cells_per_sec: f64,
+    /// Estimated seconds to completion at the current rate.
+    pub eta_secs: f64,
+    /// Simulated cycles summed over completed cells.
+    pub sim_cycles: u64,
+    /// Simulated cycles per host second so far.
+    pub sim_cycles_per_sec: f64,
+    /// Whether every cell has completed.
+    pub finished: bool,
+    /// Coordinates of the most recently completed cell, or `""` before
+    /// the first one.
+    pub last_cell: String,
+    /// Metric registries of completed cells, merged. The registry fold
+    /// is commutative, so this is independent of completion order.
+    pub metrics: Registry,
+}
+
+impl Snapshot {
+    /// Serializes the snapshot as the `STATUS_*.json` document
+    /// (`interleave-status-v1`: scalar fields one per line, then the
+    /// merged metrics registry).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"artifact\": {},\n", json_str(&self.artifact)));
+        out.push_str("  \"schema\": \"interleave-status-v1\",\n");
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
+        out.push_str(&format!("  \"done\": {},\n", self.done));
+        out.push_str(&format!("  \"total\": {},\n", self.total));
+        out.push_str(&format!("  \"finished\": {},\n", self.finished));
+        out.push_str(&format!("  \"wall_ms\": {},\n", self.wall_ms));
+        out.push_str(&format!("  \"cells_per_sec\": {:.3},\n", self.cells_per_sec));
+        out.push_str(&format!("  \"eta_secs\": {:.1},\n", self.eta_secs));
+        out.push_str(&format!("  \"sim_cycles\": {},\n", self.sim_cycles));
+        out.push_str(&format!("  \"sim_cycles_per_sec\": {:.1},\n", self.sim_cycles_per_sec));
+        out.push_str(&format!("  \"last_cell\": {},\n", json_str(&self.last_cell)));
+        out.push_str(&format!("  \"metrics\": {}\n", self.metrics.to_json(2)));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Whether a heartbeat line should print after cell `done` of `total`
+/// completed, `since_last` after the previous line. The final cell
+/// always reports — a sweep that finishes inside the rate-limit window
+/// must still print its completion line (pinned by a unit test).
+fn heartbeat_due(done: usize, total: usize, since_last: Duration) -> bool {
+    done >= total || since_last >= Duration::from_secs(1)
+}
+
+/// Per-sweep telemetry state: publishes a [`Snapshot`] on the bus after
+/// every cell, mirrors it to the status file (write-then-rename, so
+/// readers never observe a partial document), and prints the
+/// rate-limited stderr heartbeat when progress reporting is on.
+struct SweepTelemetry<'a> {
+    artifact: &'a str,
+    scale: Scale,
     total: usize,
     started: Instant,
-    done: AtomicUsize,
-    last_print: Mutex<Instant>,
+    heartbeat: bool,
+    bus: &'a Watch<Snapshot>,
+    status_path: Option<PathBuf>,
+    state: Mutex<TelemetryState>,
 }
 
-impl ProgressMeter {
-    fn new(total: usize) -> ProgressMeter {
+struct TelemetryState {
+    done: usize,
+    sim_cycles: u64,
+    metrics: Registry,
+    last_print: Instant,
+}
+
+impl<'a> SweepTelemetry<'a> {
+    fn new(runner: &'a Runner, spec: &'a ExperimentSpec, total: usize) -> SweepTelemetry<'a> {
         let now = Instant::now();
-        ProgressMeter {
+        SweepTelemetry {
+            artifact: spec.name(),
+            scale: spec.scale(),
             total,
             started: now,
-            done: AtomicUsize::new(0),
-            last_print: Mutex::new(now),
+            heartbeat: runner.progress,
+            bus: &runner.bus,
+            status_path: runner
+                .status_dir
+                .as_ref()
+                .map(|dir| dir.join(format!("STATUS_{}.json", spec.name()))),
+            state: Mutex::new(TelemetryState {
+                done: 0,
+                sim_cycles: 0,
+                metrics: Registry::new(),
+                last_print: now,
+            }),
         }
     }
 
-    /// Records one completed cell and prints the heartbeat if at least a
-    /// second has passed since the previous line (or the sweep is done).
-    fn tick(&self, name: &str) {
-        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
-        let now = Instant::now();
-        {
-            let mut last = self.last_print.lock().expect("progress lock");
-            if done < self.total && now.duration_since(*last) < Duration::from_secs(1) {
-                return;
-            }
-            *last = now;
+    fn snapshot(&self, state: &TelemetryState, last_cell: String) -> Snapshot {
+        let wall = self.started.elapsed();
+        let secs = wall.as_secs_f64().max(1e-9);
+        let cells_per_sec = state.done as f64 / secs;
+        let eta_secs =
+            if state.done == 0 { 0.0 } else { (self.total - state.done) as f64 / cells_per_sec };
+        Snapshot {
+            artifact: self.artifact.to_string(),
+            scale: self.scale.name(),
+            done: state.done,
+            total: self.total,
+            wall_ms: u64::try_from(wall.as_millis()).unwrap_or(u64::MAX),
+            cells_per_sec,
+            eta_secs,
+            sim_cycles: state.sim_cycles,
+            sim_cycles_per_sec: cycles_per_sec(state.sim_cycles, wall),
+            finished: state.done >= self.total,
+            last_cell,
+            metrics: state.metrics.clone(),
         }
-        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
-        let rate = done as f64 / elapsed;
-        let eta = (self.total - done) as f64 / rate;
-        eprintln!(
-            "sweep {name}: {done}/{total} cells, {rate:.2} cells/s, ETA {eta:.0}s",
-            total = self.total
-        );
     }
+
+    /// Publishes the starting snapshot so subscribers (and the status
+    /// file) see the sweep before its first cell completes.
+    fn begin(&self) {
+        let state = self.state.lock().expect("telemetry lock");
+        let snapshot = self.snapshot(&state, String::new());
+        drop(state);
+        self.emit(snapshot, false);
+    }
+
+    /// Folds one completed cell in, publishes, and maybe heartbeats.
+    fn cell_finished(&self, cell: &Cell, result: &CellResult) {
+        let now = Instant::now();
+        let mut state = self.state.lock().expect("telemetry lock");
+        state.done += 1;
+        state.sim_cycles += result.cycles();
+        state.metrics.merge(result.metrics());
+        let print = self.heartbeat && {
+            let due = heartbeat_due(state.done, self.total, now.duration_since(state.last_print));
+            if due {
+                state.last_print = now;
+            }
+            due
+        };
+        let last_cell = format!("{} {} x{}", cell.target.name(), cell.scheme.name(), cell.contexts);
+        let snapshot = self.snapshot(&state, last_cell);
+        drop(state);
+        self.emit(snapshot, print);
+    }
+
+    fn emit(&self, snapshot: Snapshot, print: bool) {
+        if let Some(path) = &self.status_path {
+            if let Err(e) = write_status(path, &snapshot) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        if print {
+            eprintln!(
+                "sweep {}: {}/{} cells, {:.2} cells/s, {:.2e} sim cycles/s, ETA {:.0}s",
+                snapshot.artifact,
+                snapshot.done,
+                snapshot.total,
+                snapshot.cells_per_sec,
+                snapshot.sim_cycles_per_sec,
+                snapshot.eta_secs
+            );
+        }
+        self.bus.publish(snapshot);
+    }
+}
+
+/// Atomically replaces the status file: write a sibling temp file, then
+/// rename over the target, so a concurrent `watch` never reads a torn
+/// document.
+fn write_status(path: &Path, snapshot: &Snapshot) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, snapshot.to_json())?;
+    std::fs::rename(&tmp, path)
 }
 
 impl Runner {
     /// A runner using `jobs` worker threads (clamped to at least 1).
     pub fn new(jobs: usize) -> Runner {
-        Runner { jobs: jobs.max(1), progress: false }
+        Runner { jobs: jobs.max(1), progress: false, status_dir: None, bus: Watch::new() }
     }
 
     /// A single-threaded runner.
@@ -554,14 +715,26 @@ impl Runner {
 
     /// A runner using `INTERLEAVE_JOBS` if set, else the machine's
     /// available parallelism. Progress reporting is enabled when
-    /// `INTERLEAVE_PROGRESS=1`.
+    /// `INTERLEAVE_PROGRESS=1`, and `INTERLEAVE_STATUS=<dir>` configures
+    /// the live status-file directory.
     pub fn from_env() -> Runner {
         let jobs = std::env::var("INTERLEAVE_JOBS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
             .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
-        Runner::new(jobs)
-            .progress(matches!(std::env::var("INTERLEAVE_PROGRESS"), Ok(v) if v == "1"))
+        let mut runner = Runner::new(jobs)
+            .progress(matches!(std::env::var("INTERLEAVE_PROGRESS"), Ok(v) if v == "1"));
+        if let Ok(dir) = std::env::var("INTERLEAVE_STATUS") {
+            runner = runner.status_dir(dir);
+        }
+        runner
+    }
+
+    /// Overrides the worker-thread count (clamped to at least 1),
+    /// keeping any progress/status configuration already applied.
+    pub fn with_jobs(mut self, jobs: usize) -> Runner {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// Enables or disables the per-second completion heartbeat on stderr
@@ -569,6 +742,22 @@ impl Runner {
     pub fn progress(mut self, on: bool) -> Runner {
         self.progress = on;
         self
+    }
+
+    /// Mirrors every telemetry snapshot to `<dir>/STATUS_<name>.json`,
+    /// atomically replaced after each cell, so `interleave-sim watch`
+    /// (or any file-tailing client) can follow the sweep live.
+    pub fn status_dir(mut self, dir: impl Into<PathBuf>) -> Runner {
+        self.status_dir = Some(dir.into());
+        self
+    }
+
+    /// Subscribes to the runner's live telemetry bus. Snapshots are
+    /// latest-wins: a subscriber polling [`Subscriber::latest`] (or
+    /// blocking on [`Subscriber::changed`]) always sees the newest
+    /// state of whatever sweep this runner is executing.
+    pub fn subscribe(&self) -> Subscriber<Snapshot> {
+        self.bus.subscribe()
     }
 
     /// The worker-thread count.
@@ -580,15 +769,26 @@ impl Runner {
     pub fn run(&self, spec: &ExperimentSpec) -> SweepResult {
         let cells = spec.cells();
         let started = Instant::now();
-        let meter = self.progress.then(|| ProgressMeter::new(cells.len()));
-        let meter = meter.as_ref();
+        // Scope the host-phase profile to this sweep: discard anything
+        // accumulated before it, harvest after the workers are done.
+        let profiling = profile::enabled();
+        if profiling {
+            let _ = profile::take();
+        }
+        // Root scope on the coordinating thread: its self time picks up
+        // everything outside the cells (spawning, collection, telemetry),
+        // so the harvested self-times structurally account for the whole
+        // sweep wall even when the cells themselves are brief.
+        let sweep_scope = profile::enter("runner.sweep");
+        let telemetry = SweepTelemetry::new(self, spec, cells.len());
+        telemetry.begin();
+        let telemetry = &telemetry;
         let timed_cell = |c: &Cell| {
+            let _cell = profile::enter("runner.cell");
             let cell_start = Instant::now();
             let result = spec.run_cell(c);
             let wall = cell_start.elapsed();
-            if let Some(m) = meter {
-                m.tick(spec.name());
-            }
+            telemetry.cell_finished(c, &result);
             (result, wall)
         };
         let results: Vec<(CellResult, Duration)> = if self.jobs == 1 || cells.len() <= 1 {
@@ -615,13 +815,18 @@ impl Runner {
                 .collect()
         };
         let (results, cell_walls): (Vec<CellResult>, Vec<Duration>) = results.into_iter().unzip();
+        let wall = started.elapsed();
+        // Close the root scope before harvesting so its frame is folded
+        // into the profile.
+        drop(sweep_scope);
         SweepResult {
             name: spec.name.clone(),
             scale: spec.scale,
             jobs: self.jobs,
-            wall: started.elapsed(),
+            wall,
             cell_walls,
             cells: cells.into_iter().zip(results).collect(),
+            profile: profiling.then(profile::take),
         }
     }
 }
@@ -643,6 +848,9 @@ pub struct SweepResult {
     pub cell_walls: Vec<Duration>,
     /// Every cell with its result, in the spec's canonical order.
     pub cells: Vec<(Cell, CellResult)>,
+    /// Host-phase profile harvested over the sweep, when profiling was
+    /// enabled (see [`interleave_obs::profile`]).
+    pub profile: Option<PhaseProfile>,
 }
 
 impl SweepResult {
@@ -795,9 +1003,44 @@ impl SweepResult {
         Ok(path)
     }
 
+    /// Serializes the harvested host-phase profile as the
+    /// `PROFILE_*.json` document (`interleave-profile-v1`: header
+    /// scalars, then one phase object per line so shell gates can `grep`
+    /// individual phases). `None` when the sweep ran unprofiled.
+    pub fn profile_json(&self) -> Option<String> {
+        let profile = self.profile.as_ref()?;
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"artifact\": {},\n", json_str(&self.name)));
+        out.push_str("  \"schema\": \"interleave-profile-v1\",\n");
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale.name()));
+        out.push_str(&format!("  \"wall_ns\": {},\n", wall_ns(self.wall)));
+        let total_sim_cycles: u64 = self.cells.iter().map(|(_, r)| r.cycles()).sum();
+        out.push_str(&format!("  \"total_sim_cycles\": {total_sim_cycles},\n"));
+        out.push_str(&format!("  \"phases\": {}\n", profile.to_json(2)));
+        out.push_str("}\n");
+        Some(out)
+    }
+
+    /// Writes `PROFILE_<name>.json` into `dir`; `Ok(None)` when the
+    /// sweep ran unprofiled.
+    pub fn write_profile_json(
+        &self,
+        dir: &std::path::Path,
+    ) -> std::io::Result<Option<std::path::PathBuf>> {
+        let Some(doc) = self.profile_json() else {
+            return Ok(None);
+        };
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("PROFILE_{}.json", self.name));
+        std::fs::write(&path, doc)?;
+        Ok(Some(path))
+    }
+
     /// When `INTERLEAVE_JSON=<dir>` is set, writes the `BENCH_*.json`
-    /// and `METRICS_*.json` artifacts there (logging to stderr);
-    /// otherwise does nothing.
+    /// and `METRICS_*.json` artifacts there — plus `PROFILE_*.json` when
+    /// the sweep was profiled — logging to stderr; otherwise does
+    /// nothing.
     pub fn maybe_emit_json(&self) {
         let Ok(dir) = std::env::var("INTERLEAVE_JSON") else {
             return;
@@ -811,7 +1054,17 @@ impl SweepResult {
             Ok(path) => eprintln!("wrote {}", path.display()),
             Err(e) => eprintln!("warning: could not write METRICS_{}.json: {e}", self.name),
         }
+        match self.write_profile_json(dir) {
+            Ok(Some(path)) => eprintln!("wrote {}", path.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("warning: could not write PROFILE_{}.json: {e}", self.name),
+        }
     }
+}
+
+/// Wall duration in nanoseconds, saturating (u64 holds ~584 years).
+fn wall_ns(wall: Duration) -> u64 {
+    u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// The `INTERLEAVE_MP_JOBS` fallback for specs that do not set
@@ -1000,6 +1253,91 @@ mod tests {
     fn cell_walls_align_with_cells() {
         let sweep = Runner::new(3).run(&tiny_spec());
         assert_eq!(sweep.cell_walls.len(), sweep.cells.len());
+    }
+
+    /// The final heartbeat must print even when the whole sweep finishes
+    /// inside the 1-second rate-limit window.
+    #[test]
+    fn heartbeat_always_reports_the_final_cell() {
+        assert!(heartbeat_due(6, 6, Duration::from_millis(1)), "final cell inside the window");
+        assert!(heartbeat_due(3, 6, Duration::from_secs(2)), "window elapsed mid-sweep");
+        assert!(!heartbeat_due(3, 6, Duration::from_millis(1)), "rate-limited mid-sweep");
+        assert!(heartbeat_due(1, 1, Duration::ZERO), "single-cell sweep still reports");
+    }
+
+    #[test]
+    fn bus_publishes_per_cell_snapshots() {
+        let spec = tiny_spec();
+        let runner = Runner::new(2);
+        let mut sub = runner.subscribe();
+        assert!(sub.latest().is_none(), "nothing published before the sweep");
+        let sweep = runner.run(&spec);
+        let last = sub.latest().expect("final snapshot on the bus");
+        assert_eq!(last.artifact, "tiny");
+        assert_eq!(last.done, 6);
+        assert_eq!(last.total, 6);
+        assert!(last.finished);
+        assert!(!last.last_cell.is_empty());
+        let total: u64 = sweep.cells.iter().map(|(_, r)| r.cycles()).sum();
+        assert_eq!(last.sim_cycles, total);
+        // The merged registry equals the fold of every cell's registry
+        // (order-independent by the monoid property).
+        let mut merged = Registry::new();
+        for (_, r) in &sweep.cells {
+            merged.merge(r.metrics());
+        }
+        assert_eq!(last.metrics, merged);
+    }
+
+    #[test]
+    fn status_file_is_written_and_parses() {
+        let dir = std::env::temp_dir().join(format!("ilv_status_{}", std::process::id()));
+        let spec = tiny_spec();
+        let sweep = Runner::serial().status_dir(&dir).run(&spec);
+        let path = dir.join("STATUS_tiny.json");
+        let text = std::fs::read_to_string(&path).expect("status file written");
+        let doc = interleave_obs::json::parse(&text).expect("status json parses");
+        assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("interleave-status-v1"));
+        assert_eq!(doc.get("done").and_then(|v| v.as_u64()), Some(6));
+        assert_eq!(doc.get("finished").and_then(|v| v.as_bool()), Some(true));
+        let total: u64 = sweep.cells.iter().map(|(_, r)| r.cycles()).sum();
+        assert_eq!(doc.get("sim_cycles").and_then(|v| v.as_u64()), Some(total));
+        assert!(doc.get("metrics").and_then(|m| m.get("cycles.busy")).is_some());
+        assert!(!path.with_extension("json.tmp").exists(), "temp file renamed away");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The profiler must be bit-invisible to simulation results: the
+    /// deterministic METRICS artifact is byte-identical with profiling
+    /// on vs off, and every simulated result matches.
+    #[test]
+    fn profiling_is_bit_invisible_to_results() {
+        let spec = tiny_spec();
+        profile::set_enabled(false);
+        let off = Runner::serial().run(&spec);
+        profile::set_enabled(true);
+        let on = Runner::serial().run(&spec);
+        profile::set_enabled(false);
+        assert!(off.profile.is_none());
+        let profile = on.profile.as_ref().expect("profiled sweep harvests a profile");
+        assert!(on.results_match(&off), "profiling changed simulated results");
+        assert_eq!(on.metrics_json(), off.metrics_json(), "METRICS must be byte-identical");
+        // BENCH carries timestamps and wall times, so byte-identity is
+        // impossible there; results_match plus METRICS equality is the
+        // meaningful invariant.
+        // `>=`: other tests' worker threads may fold extra cells into
+        // the global harvest while the switch is on (global state).
+        let cell = profile.get("runner.cell").expect("root scope recorded");
+        assert!(cell.calls as usize >= on.cells.len());
+        assert!(profile.get("core.run").is_some(), "nested sim phases recorded");
+        assert!(profile.get("core.tick").map(|s| s.calls).unwrap_or(0) > 0);
+        // PROFILE json round-trips through obs::json.
+        let doc = on.profile_json().expect("profile document");
+        let parsed = interleave_obs::json::parse(&doc).expect("profile json parses");
+        assert_eq!(parsed.get("schema").and_then(|v| v.as_str()), Some("interleave-profile-v1"));
+        let phases = parsed.get("phases").expect("phases array");
+        let back = PhaseProfile::from_value(phases).expect("phases round-trip");
+        assert_eq!(&back, profile);
     }
 
     #[test]

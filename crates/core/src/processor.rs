@@ -1,5 +1,6 @@
 use interleave_isa::{Access, Instr, Op};
 use interleave_obs::chrome::ChromeTrace;
+use interleave_obs::profile;
 use interleave_obs::validate::Violation;
 use interleave_obs::{Counter, Histogram, Registry};
 use interleave_pipeline::{
@@ -424,6 +425,7 @@ impl<P: SystemPort> Processor<P> {
 
     /// Runs `n` cycles.
     pub fn run_cycles(&mut self, n: u64) {
+        let _run = profile::enter("core.run");
         let end = self.now.saturating_add(n);
         while self.now < end {
             if let Some(target) = self.skip_target(end) {
@@ -437,6 +439,7 @@ impl<P: SystemPort> Processor<P> {
     /// Runs until every stream completes or `max_cycles` elapse; returns
     /// the cycles executed.
     pub fn run_until_done(&mut self, max_cycles: u64) -> u64 {
+        let _run = profile::enter("core.run");
         let start = self.now;
         let end = start.saturating_add(max_cycles);
         while !self.is_done() && self.now < end {
@@ -645,6 +648,7 @@ impl<P: SystemPort> Processor<P> {
         if target <= self.now {
             return;
         }
+        let _skip = profile::enter("core.idle_skip");
         debug_assert!(
             match self.idle_bound() {
                 Some(IdleBound::Until(t)) => target <= t,
@@ -715,6 +719,7 @@ impl<P: SystemPort> Processor<P> {
 
     /// Advances the processor one cycle.
     pub fn tick(&mut self) {
+        profile::mark("core.tick");
         let now = self.now;
         self.process_events(now);
         self.wake_contexts(now);

@@ -35,6 +35,8 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use interleave_obs::profile;
+
 use crate::time::{quantum_end, Quiescence};
 
 /// One segment order from the schedule to every shard: advance from
@@ -144,7 +146,11 @@ impl QuantumSchedule {
         let mut now = 0u64;
         while now < self.warmup {
             let to = self.segment_end(now, self.warmup, hooks);
-            exec(Segment { from: now, to, reset: false }).map_err(|()| Abort::Panicked)?;
+            {
+                let _segment = profile::enter("engine.segment");
+                exec(Segment { from: now, to, reset: false }).map_err(|()| Abort::Panicked)?;
+            }
+            let _exchange = profile::enter("engine.exchange");
             hooks.exchange(to);
             now = to;
         }
@@ -159,8 +165,12 @@ impl QuantumSchedule {
             let chunk_end = now + self.chunk;
             while now < chunk_end {
                 let to = self.segment_end(now, chunk_end, hooks);
-                exec(Segment { from: now, to, reset }).map_err(|()| Abort::Panicked)?;
+                {
+                    let _segment = profile::enter("engine.segment");
+                    exec(Segment { from: now, to, reset }).map_err(|()| Abort::Panicked)?;
+                }
                 reset = false;
+                let _exchange = profile::enter("engine.exchange");
                 hooks.exchange(to);
                 now = to;
             }
@@ -187,6 +197,9 @@ impl QuantumSchedule {
         if !self.adaptive || fixed >= boundary {
             return fixed;
         }
+        // The quiescence query locks every shard, so it is the only
+        // part of quantum scheduling worth timing.
+        let _schedule = profile::enter("engine.schedule");
         match hooks.quiescent() {
             Quiescence::Active => fixed,
             Quiescence::External => boundary,

@@ -29,7 +29,11 @@
 //! pipeline loop, `interleave-mp` instantiates the router and driver for
 //! its sharded machine, and future scenario families (shared-L1 thread
 //! coupling, deeply pipelined C-slow schemes) can instantiate the same
-//! substrate rather than fork a third copy.
+//! substrate rather than fork a third copy. The only dependency is the
+//! workspace instrumentation layer: the driver brackets its segments and
+//! barrier exchanges with `interleave_obs::profile` scopes (and the
+//! queue/router count pops) so host time attributes to the substrate's
+//! phases — a relaxed atomic load per site when profiling is off.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -100,6 +100,7 @@ impl<E: Sequenced> EventQueue<E> {
     /// Pops the next event due at or before `now`, if any.
     pub fn pop_due(&mut self, now: u64) -> Option<E> {
         if self.next_due()? <= now {
+            interleave_obs::profile::mark("engine.event_pop");
             self.heap.pop().map(|e| e.event)
         } else {
             None

@@ -90,6 +90,7 @@ impl<P> Inbox<P> {
     /// Pops the next message due at or before `now`, if any.
     pub fn pop_due(&mut self, now: u64) -> Option<(MsgKey, P)> {
         if self.next_due()? <= now {
+            interleave_obs::profile::mark("engine.router_pop");
             self.heap.pop().map(|Reverse(m)| (m.key, m.payload))
         } else {
             None

@@ -272,6 +272,7 @@ impl UniMemSystem {
     /// Service a primary miss through L2 and, if needed, memory. Returns
     /// the level that serviced it and the absolute completion cycle.
     fn miss_path(&mut self, lookup_start: u64, addr: u64) -> (MissLevel, u64) {
+        interleave_obs::profile::mark("mem.miss");
         let path = self.cfg.path;
         let l2_params = self.cfg.l2;
         let miss_known = lookup_start + path.l1_lookup;
@@ -344,6 +345,7 @@ impl UniMemSystem {
     /// `dcache_lines` data-cache sets, and a proportional number of TLB
     /// entries, at pseudo-random positions derived from `seed`.
     pub fn os_displace(&mut self, icache_lines: usize, dcache_lines: usize, seed: u64) {
+        let _displace = interleave_obs::profile::enter("mem.os_displace");
         let mut state = seed | 1;
         let mut next = || {
             // xorshift64* — deterministic, dependency-free.

@@ -21,7 +21,7 @@ use interleave_core::{DataOutcome, InstOutcome, SyncOutcome, SystemPort};
 use interleave_engine::{IdleBound, Inbox};
 use interleave_isa::{Access, SyncKind, SyncRef};
 use interleave_mem::{CacheParams, DirectCache, Resource};
-use interleave_obs::Histogram;
+use interleave_obs::{profile, Histogram};
 
 use crate::sync::Who;
 use crate::{Directory, LatencyModel, MissClass, SyncShard};
@@ -431,6 +431,7 @@ pub(crate) fn barrier_exchange(
     }
     txns.sort_unstable_by_key(|&(node, t)| (t.cycle, node, t.seq));
     {
+        let _directory = profile::enter("mp.directory");
         let mut dir = master.write().expect("master directory");
         for (node, t) in txns {
             if let Some((victim, dirty)) = t.evicted {

@@ -6,7 +6,7 @@ use interleave_engine::{
 };
 use interleave_mem::CacheParams;
 use interleave_obs::validate::Violation;
-use interleave_obs::{Histogram, Registry};
+use interleave_obs::{profile, Histogram, Registry};
 use interleave_stats::Breakdown;
 
 use crate::node::{barrier_exchange, ShardPort, ShardState};
@@ -413,6 +413,7 @@ struct NodeShard {
 
 impl Shard for NodeShard {
     fn run_segment(&mut self, seg: Segment) {
+        let _advance = profile::enter("mp.shard_advance");
         if seg.reset {
             self.cpu.reset_breakdown();
             for ctx in 0..self.contexts {

@@ -141,7 +141,12 @@ pub struct TraceSummary {
 /// `traceEvents` array and that *every* event carries `ph` (a
 /// single-character string), an integral `ts`, and integral
 /// `pid`/`tid`; span (`X`) events must also carry `name` and an
-/// integral `dur`. Returns per-name duration totals so callers can
+/// integral `dur`. Spans on each `(pid, tid)` track must additionally
+/// obey stack discipline: any two spans are either disjoint or one is
+/// fully contained in the other (partial overlap would render as a
+/// corrupt timeline). Both simulator context tracks and host-profiler
+/// tracks ([`crate::profile::spans_to_chrome`]) satisfy this by
+/// construction. Returns per-name duration totals so callers can
 /// reconcile span time against independent cycle accounting.
 pub fn validate(doc: &str) -> Result<TraceSummary, String> {
     let root = json::parse(doc)?;
@@ -150,7 +155,11 @@ pub fn validate(doc: &str) -> Result<TraceSummary, String> {
     if events.is_empty() {
         return Err("empty \"traceEvents\" array".into());
     }
+    // Spans grouped per (pid, tid) track as (ts, dur, name), for the
+    // stack-discipline check below.
+    type TrackSpans = BTreeMap<(u64, u64), Vec<(u64, u64, String)>>;
     let mut summary = TraceSummary { events: events.len(), ..TraceSummary::default() };
+    let mut by_track: TrackSpans = BTreeMap::new();
     for (i, ev) in events.iter().enumerate() {
         let ph = ev
             .get("ph")
@@ -182,6 +191,30 @@ pub fn validate(doc: &str) -> Result<TraceSummary, String> {
             summary.spans += 1;
             *summary.dur_by_name.entry(name.to_string()).or_insert(0) += dur;
             *summary.spans_by_track.entry((pid, tid)).or_insert(0) += 1;
+            let ts = ev.get("ts").and_then(Value::as_u64).unwrap_or(0);
+            by_track.entry((pid, tid)).or_default().push((ts, dur, name.to_string()));
+        }
+    }
+    for ((pid, tid), mut spans) in by_track {
+        // Sorting by (ts, -dur) puts an enclosing span before its
+        // children regardless of document order; a stack of open end
+        // times then detects any partial overlap.
+        spans.sort_unstable_by_key(|&(ts, dur, _)| (ts, std::cmp::Reverse(dur)));
+        let mut open: Vec<u64> = Vec::new();
+        for (ts, dur, name) in spans {
+            while open.last().is_some_and(|&end| ts >= end) {
+                open.pop();
+            }
+            if let Some(&end) = open.last() {
+                if ts + dur > end {
+                    return Err(format!(
+                        "track ({pid}, {tid}): span {name:?} [{ts}, {end_new}) partially \
+                         overlaps an enclosing span ending at {end}",
+                        end_new = ts + dur
+                    ));
+                }
+            }
+            open.push(ts + dur);
         }
     }
     Ok(summary)
@@ -230,5 +263,29 @@ mod tests {
         assert!(validate(bad).unwrap_err().contains("pid"));
         // Not JSON at all.
         assert!(validate("traceEvents").is_err());
+    }
+
+    #[test]
+    fn validator_accepts_nested_and_rejects_partial_overlap() {
+        // Proper nesting (out of document order) is fine.
+        let mut nested = ChromeTrace::new();
+        nested.span(0, 1, 2, 3, "inner", "host");
+        nested.span(0, 1, 0, 10, "outer", "host");
+        nested.span(0, 1, 10, 4, "sibling", "host");
+        validate(&nested.to_json()).expect("nested spans validate");
+
+        // Same intervals on different tracks never interact.
+        let mut tracks = ChromeTrace::new();
+        tracks.span(0, 1, 0, 10, "a", "host");
+        tracks.span(0, 2, 5, 10, "b", "host");
+        validate(&tracks.to_json()).expect("overlap across tracks is fine");
+
+        // Partial overlap on one track is structural corruption.
+        let mut bad = ChromeTrace::new();
+        bad.span(0, 1, 0, 10, "outer", "host");
+        bad.span(0, 1, 5, 10, "straddler", "host");
+        let err = validate(&bad.to_json()).unwrap_err();
+        assert!(err.contains("straddler"), "unexpected error: {err}");
+        assert!(err.contains("partially overlaps"), "unexpected error: {err}");
     }
 }

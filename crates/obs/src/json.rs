@@ -81,6 +81,14 @@ impl Value {
         }
     }
 
+    /// The boolean if this is `true` or `false`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The number as `u64` if this is a non-negative integral number.
     pub fn as_u64(&self) -> Option<u64> {
         match self {

@@ -16,6 +16,11 @@
 //!   the schema tests (the workspace is offline; no serde).
 //! * [`validate`] — the shared [`validate::Violation`] report type and
 //!   enable logic for the workspace-wide invariant checkers.
+//! * [`profile`] — the hierarchical host-phase self-profiler: timed
+//!   scopes and clock-free marks accumulate per thread and fold into a
+//!   [`profile::PhaseProfile`] by the same monoid as [`Registry`].
+//! * [`bus`] — a latest-wins watch channel ([`bus::Watch`]) the sweep
+//!   runner publishes live per-cell telemetry snapshots through.
 //!
 //! # Overhead when disabled
 //!
@@ -30,10 +35,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bus;
 pub mod chrome;
 mod counter;
 mod histogram;
 pub mod json;
+pub mod profile;
 mod registry;
 pub mod validate;
 

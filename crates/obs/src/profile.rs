@@ -1,0 +1,705 @@
+//! Hierarchical host-phase self-profiler.
+//!
+//! The paper's methodology rests on exact attribution of *simulated*
+//! cycles (the `Breakdown`); this module is the same idea applied to
+//! *host* time. Hot phases of the simulator (cell execution, the uni
+//! slice loop, idle skipping, quantum barriers, shard advances, ...)
+//! bracket themselves with [`enter`] scopes; ultra-hot per-event sites
+//! (ticks, event pops, generated instructions) use the clock-free
+//! [`mark`] so enabling the profiler never distorts what it measures.
+//!
+//! # Accumulation model
+//!
+//! Each thread accumulates into a thread-local table keyed by the
+//! `&'static str` phase name (pointer-compared on the hot path, so a
+//! lookup is a short binary search over addresses, not a string
+//! compare). A scope stack tracks child time, so every exit charges
+//! `total` and `self = total - children` exactly once. When a thread
+//! dies — sweep workers live inside `std::thread::scope` — its table is
+//! folded into a process-wide [`PhaseProfile`] by the same name-sorted
+//! commutative/associative monoid fold the metric [`crate::Registry`]
+//! uses (property-tested in `tests/profile_properties.rs`), so the
+//! harvested profile is independent of thread scheduling. [`take`]
+//! flushes the calling thread and swaps the global profile out.
+//!
+//! # Cost when disabled
+//!
+//! Mirrors `INTERLEAVE_VALIDATE`: the instrumentation is always
+//! compiled, and [`enabled`] resolves once from the `profile` cargo
+//! feature or `INTERLEAVE_PROFILE=1` (overridable at runtime with
+//! [`set_enabled`], which the `interleave-sim profile` subcommand
+//! uses). Disabled cost per site is one relaxed atomic load and a
+//! branch — no clock read, no TLS access.
+//!
+//! # Test hook
+//!
+//! `INTERLEAVE_PROFILE_SLOW=<phase>:<micros>` sleeps that long inside
+//! every exit of the named scope, inflating its self time and the real
+//! wall clock. CI uses it to prove the phase-attributed throughput gate
+//! names the regressed phase (see `scripts/throughput_gate.sh`).
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::chrome::ChromeTrace;
+use crate::json::{self, Value};
+
+/// Accumulated statistics of one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Scope entries plus [`mark`] hits.
+    pub calls: u64,
+    /// Nanoseconds spent inside the phase, children included.
+    pub total_ns: u64,
+    /// Nanoseconds spent inside the phase, children excluded.
+    pub self_ns: u64,
+}
+
+impl PhaseStats {
+    /// Folds `other` into this entry (plain field-wise addition, so the
+    /// fold is trivially commutative and associative).
+    pub fn merge(&mut self, other: PhaseStats) {
+        self.calls += other.calls;
+        self.total_ns += other.total_ns;
+        self.self_ns += other.self_ns;
+    }
+}
+
+/// A name-sorted snapshot of per-phase host-time statistics.
+///
+/// The merge fold mirrors [`crate::Registry`]: entries are kept sorted
+/// by name and re-recording a name folds field-wise, so folding
+/// per-thread profiles is independent of harvest order (the property
+/// `tests/profile_properties.rs` pins).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    entries: Vec<(String, PhaseStats)>,
+}
+
+impl PhaseProfile {
+    /// An empty profile (the fold identity).
+    pub fn new() -> PhaseProfile {
+        PhaseProfile::default()
+    }
+
+    /// Folds `stats` into the entry named `name`.
+    pub fn record(&mut self, name: &str, stats: PhaseStats) {
+        match self.entries.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => self.entries[i].1.merge(stats),
+            Err(i) => self.entries.insert(i, (name.to_string(), stats)),
+        }
+    }
+
+    /// Folds every entry of `other` into this profile.
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        for (name, stats) in &other.entries {
+            self.record(name, *stats);
+        }
+    }
+
+    /// Statistics of the phase named `name`, if recorded.
+    pub fn get(&self, name: &str) -> Option<PhaseStats> {
+        self.entries.binary_search_by(|(n, _)| n.as_str().cmp(name)).ok().map(|i| self.entries[i].1)
+    }
+
+    /// Entries in ascending name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PhaseStats)> {
+        self.entries.iter().map(|(n, s)| (n.as_str(), s))
+    }
+
+    /// Number of recorded phases.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of every phase's self time — with a root scope around the
+    /// unit of work (the runner wraps each cell in `runner.cell`), this
+    /// approaches the measured wall time from below.
+    pub fn total_self_ns(&self) -> u64 {
+        self.entries.iter().map(|(_, s)| s.self_ns).sum()
+    }
+
+    /// Serialize as a JSON array, one phase object per line (so shell
+    /// gates can `grep` individual phases), sorted by name. `indent` is
+    /// the number of leading spaces applied to each line, as in
+    /// [`crate::Registry::to_json`].
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let mut out = String::new();
+        out.push_str("[\n");
+        for (i, (name, s)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "{pad}  {{\"name\": {}, \"calls\": {}, \"total_ns\": {}, \"self_ns\": {}}}{comma}",
+                json::escape(name),
+                s.calls,
+                s.total_ns,
+                s.self_ns
+            );
+        }
+        let _ = write!(out, "{pad}]");
+        out
+    }
+
+    /// Rebuilds a profile from the [`PhaseProfile::to_json`] array (or
+    /// any parsed `Value` of the same shape, e.g. the `"phases"` field
+    /// of a `PROFILE_*.json` document).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed entry.
+    pub fn from_value(value: &Value) -> Result<PhaseProfile, String> {
+        let arr = value.as_arr().ok_or("phase profile must be a JSON array")?;
+        let mut profile = PhaseProfile::new();
+        for (i, entry) in arr.iter().enumerate() {
+            let name = entry
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("phase {i}: missing \"name\""))?;
+            let field = |key: &str| {
+                entry
+                    .get(key)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("phase {i} ({name}): missing integral {key:?}"))
+            };
+            profile.record(
+                name,
+                PhaseStats {
+                    calls: field("calls")?,
+                    total_ns: field("total_ns")?,
+                    self_ns: field("self_ns")?,
+                },
+            );
+        }
+        Ok(profile)
+    }
+
+    /// Parses the output of [`PhaseProfile::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unparseable JSON or a malformed entry.
+    pub fn from_json(doc: &str) -> Result<PhaseProfile, String> {
+        PhaseProfile::from_value(&json::parse(doc)?)
+    }
+}
+
+/// One completed host-time span, for Chrome-trace export ([`take_spans`]
+/// / [`spans_to_chrome`]). Only recorded while [`record_spans`] is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostSpan {
+    /// Profiler thread ordinal (one track per host thread).
+    pub thread: u64,
+    /// Phase name.
+    pub name: &'static str,
+    /// Microseconds since the profiler epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+// --- enable switch -------------------------------------------------------
+
+const STATE_UNRESOLVED: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNRESOLVED);
+static SPANS_ON: AtomicU8 = AtomicU8::new(0);
+static THREAD_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Whether `INTERLEAVE_PROFILE=1` is set (cached on first query).
+pub fn env_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("INTERLEAVE_PROFILE").is_ok_and(|v| v == "1"))
+}
+
+/// The initial profiling default: on when the `profile` cargo feature
+/// is enabled or `INTERLEAVE_PROFILE=1` is set (mirroring
+/// `validate::default_enabled`).
+pub fn default_enabled() -> bool {
+    cfg!(feature = "profile") || env_enabled()
+}
+
+/// Whether profiling is currently on. Disabled cost at every
+/// instrumentation site is this one relaxed load plus a branch.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => resolve_enabled(),
+    }
+}
+
+#[cold]
+fn resolve_enabled() -> bool {
+    let on = default_enabled();
+    if on {
+        let _ = epoch();
+    }
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+    on
+}
+
+/// Overrides the enable switch at runtime (used by `interleave-sim
+/// profile`, which profiles regardless of the environment).
+pub fn set_enabled(on: bool) {
+    if on {
+        let _ = epoch();
+    }
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+/// Turns span recording for Chrome-trace export on or off (off by
+/// default: spans cost memory proportional to scope entries, while the
+/// aggregate profile is O(phases)). Only scopes entered while both
+/// [`enabled`] and this switch are on are recorded; each thread keeps at
+/// most 65,536 spans and counts the overflow as dropped.
+pub fn record_spans(on: bool) {
+    SPANS_ON.store(u8::from(on), Ordering::Relaxed);
+}
+
+#[inline]
+fn spans_on() -> bool {
+    SPANS_ON.load(Ordering::Relaxed) != 0
+}
+
+/// The instant host spans are timestamped against (set the first time
+/// profiling turns on).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds from `epoch` to `t`, truncated (0 if `t` precedes it).
+fn micros_since(epoch: Instant, t: Instant) -> u64 {
+    u64::try_from(t.saturating_duration_since(epoch).as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The `INTERLEAVE_PROFILE_SLOW=<phase>:<micros>` test hook, parsed
+/// once.
+fn slow_hook() -> Option<&'static (String, u64)> {
+    static HOOK: OnceLock<Option<(String, u64)>> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let spec = std::env::var("INTERLEAVE_PROFILE_SLOW").ok()?;
+        let (name, micros) = spec.rsplit_once(':')?;
+        Some((name.to_string(), micros.parse().ok()?))
+    })
+    .as_ref()
+}
+
+// --- thread-local accumulation -------------------------------------------
+
+const MAX_SPANS_PER_THREAD: usize = 1 << 16;
+
+struct Frame {
+    slot: u32,
+    start: Instant,
+    child_ns: u64,
+}
+
+/// Harvested but not yet taken state (all threads fold in here).
+#[derive(Default)]
+struct Harvest {
+    profile: PhaseProfile,
+    spans: Vec<HostSpan>,
+    dropped_spans: u64,
+}
+
+fn global() -> &'static Mutex<Harvest> {
+    static GLOBAL: OnceLock<Mutex<Harvest>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(Harvest::default()))
+}
+
+struct ThreadProfiler {
+    thread: u64,
+    /// `(name ptr, name len) -> slot`, sorted by key: same-site lookups
+    /// are a short binary search over addresses, never a string compare.
+    /// Distinct sites sharing one name get distinct slots here and fold
+    /// together by name at harvest time.
+    lookup: Vec<(usize, usize, u32)>,
+    slots: Vec<(&'static str, PhaseStats)>,
+    stack: Vec<Frame>,
+    spans: Vec<HostSpan>,
+    dropped_spans: u64,
+}
+
+impl ThreadProfiler {
+    fn new() -> ThreadProfiler {
+        ThreadProfiler {
+            thread: THREAD_SEQ.fetch_add(1, Ordering::Relaxed),
+            lookup: Vec::new(),
+            slots: Vec::new(),
+            stack: Vec::new(),
+            spans: Vec::new(),
+            dropped_spans: 0,
+        }
+    }
+
+    fn slot(&mut self, name: &'static str) -> u32 {
+        let key = (name.as_ptr() as usize, name.len());
+        match self.lookup.binary_search_by(|&(p, l, _)| (p, l).cmp(&key)) {
+            Ok(i) => self.lookup[i].2,
+            Err(i) => {
+                let slot = u32::try_from(self.slots.len()).expect("fewer than 2^32 phases");
+                self.slots.push((name, PhaseStats::default()));
+                self.lookup.insert(i, (key.0, key.1, slot));
+                slot
+            }
+        }
+    }
+
+    fn exit(&mut self, end: Instant) {
+        let Some(frame) = self.stack.pop() else {
+            return;
+        };
+        let dur = end.saturating_duration_since(frame.start);
+        let ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+        let stats = &mut self.slots[frame.slot as usize].1;
+        stats.calls += 1;
+        stats.total_ns += ns;
+        stats.self_ns += ns.saturating_sub(frame.child_ns);
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_ns += ns;
+        }
+        if spans_on() {
+            if self.spans.len() < MAX_SPANS_PER_THREAD {
+                let epoch = epoch();
+                // Truncate both endpoints to microseconds and derive the
+                // duration from them: truncating start and duration
+                // independently can push a child's end one microsecond
+                // past its parent's, which the Chrome-trace nesting
+                // validator rejects.
+                let ts_us = micros_since(epoch, frame.start);
+                let end_us = micros_since(epoch, end);
+                self.spans.push(HostSpan {
+                    thread: self.thread,
+                    name: self.slots[frame.slot as usize].0,
+                    ts_us,
+                    dur_us: end_us.saturating_sub(ts_us),
+                });
+            } else {
+                self.dropped_spans += 1;
+            }
+        }
+    }
+
+    fn flush_into(&mut self, harvest: &mut Harvest) {
+        for (name, stats) in &mut self.slots {
+            if *stats != PhaseStats::default() {
+                harvest.profile.record(name, *stats);
+                *stats = PhaseStats::default();
+            }
+        }
+        harvest.spans.append(&mut self.spans);
+        harvest.dropped_spans += std::mem::take(&mut self.dropped_spans);
+    }
+}
+
+impl Drop for ThreadProfiler {
+    fn drop(&mut self) {
+        let mut harvest = lock_global();
+        self.flush_into(&mut harvest);
+    }
+}
+
+fn lock_global() -> std::sync::MutexGuard<'static, Harvest> {
+    global().lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadProfiler> = RefCell::new(ThreadProfiler::new());
+}
+
+// --- instrumentation API -------------------------------------------------
+
+/// RAII guard returned by [`enter`]; dropping it exits the scope.
+#[must_use = "the phase is timed until the guard drops"]
+#[derive(Debug)]
+pub struct ScopeGuard {
+    active: bool,
+}
+
+/// Opens a timed hierarchical scope named `name`. Nested scopes charge
+/// their time to the parent's `total` but not its `self`. No-op (one
+/// atomic load) when profiling is off.
+#[inline]
+pub fn enter(name: &'static str) -> ScopeGuard {
+    if !enabled() {
+        return ScopeGuard { active: false };
+    }
+    TLS.with(|tls| {
+        let mut t = tls.borrow_mut();
+        let slot = t.slot(name);
+        t.stack.push(Frame { slot, start: Instant::now(), child_ns: 0 });
+    });
+    ScopeGuard { active: true }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        if let Some((slow_name, micros)) = slow_hook() {
+            let current = TLS.with(|tls| {
+                let t = tls.borrow();
+                t.stack.last().map(|f| t.slots[f.slot as usize].0)
+            });
+            if current == Some(slow_name.as_str()) {
+                // Sleep before reading the exit clock so the synthetic
+                // slowdown lands inside this scope's measured self time.
+                std::thread::sleep(Duration::from_micros(*micros));
+            }
+        }
+        let end = Instant::now();
+        TLS.with(|tls| tls.borrow_mut().exit(end));
+    }
+}
+
+/// Counts one hit of `name` without reading the clock — for per-event
+/// sites too hot to time (ticks, event pops, generated instructions).
+/// The hit appears in the profile with `calls` only; its time stays in
+/// the enclosing scope's self time.
+#[inline]
+pub fn mark(name: &'static str) {
+    if !enabled() {
+        return;
+    }
+    TLS.with(|tls| {
+        let mut t = tls.borrow_mut();
+        let slot = t.slot(name);
+        t.slots[slot as usize].1.calls += 1;
+    });
+}
+
+/// Folds the calling thread's accumulation into the global profile
+/// (worker threads fold automatically when they exit; the main thread
+/// must flush explicitly, which [`take`] does).
+pub fn flush_thread() {
+    TLS.with(|tls| {
+        let mut t = tls.borrow_mut();
+        let mut harvest = lock_global();
+        t.flush_into(&mut harvest);
+    });
+}
+
+/// Flushes the calling thread and returns the accumulated global
+/// profile, resetting it. Flush and swap happen under one lock hold so
+/// a concurrent `take` cannot observe (or steal) a half-flushed
+/// harvest. Open scopes on any thread are not included until they exit.
+pub fn take() -> PhaseProfile {
+    TLS.with(|tls| {
+        let mut t = tls.borrow_mut();
+        let mut harvest = lock_global();
+        t.flush_into(&mut harvest);
+        std::mem::take(&mut harvest.profile)
+    })
+}
+
+/// Flushes the calling thread and returns `(spans, dropped)`: every
+/// recorded host span plus the count that overflowed the per-thread
+/// buffer, resetting both.
+pub fn take_spans() -> (Vec<HostSpan>, u64) {
+    TLS.with(|tls| {
+        let mut t = tls.borrow_mut();
+        let mut harvest = lock_global();
+        t.flush_into(&mut harvest);
+        (std::mem::take(&mut harvest.spans), std::mem::take(&mut harvest.dropped_spans))
+    })
+}
+
+/// Renders host spans as a Chrome trace-event document on one process
+/// track (`pid` 9000, "host profiler"), one thread track per profiler
+/// thread — openable in Perfetto alongside a simulated-time trace
+/// (which uses per-context pids starting at 0). Spans are emitted
+/// sorted by `(thread, ts, -dur)` so parents precede children and the
+/// output is deterministic for a given span set.
+pub fn spans_to_chrome(spans: &[HostSpan]) -> ChromeTrace {
+    const HOST_PID: u64 = 9000;
+    let mut trace = ChromeTrace::new();
+    trace.process_name(HOST_PID, "host profiler");
+    let mut threads: Vec<u64> = spans.iter().map(|s| s.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    for t in &threads {
+        trace.thread_name(HOST_PID, *t, &format!("host thread {t}"));
+    }
+    let mut ordered: Vec<&HostSpan> = spans.iter().collect();
+    ordered.sort_unstable_by_key(|s| (s.thread, s.ts_us, std::cmp::Reverse(s.dur_us), s.name));
+    for s in ordered {
+        trace.span(HOST_PID, s.thread, s.ts_us, s.dur_us, s.name, "host");
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that toggle the global switch or inspect the
+    /// global harvest.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn nested_scopes_split_self_and_total() {
+        let _serial = serial();
+        set_enabled(true);
+        let _ = take();
+        {
+            let _outer = enter("test.outer");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = enter("test.inner");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let profile = take();
+        set_enabled(false);
+        let outer = profile.get("test.outer").expect("outer recorded");
+        let inner = profile.get("test.inner").expect("inner recorded");
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.calls, 1);
+        assert!(inner.total_ns >= 2_000_000, "inner ran 2ms, got {}ns", inner.total_ns);
+        assert!(outer.total_ns >= inner.total_ns + 2_000_000);
+        assert_eq!(inner.total_ns, inner.self_ns, "leaf scope: self == total");
+        assert_eq!(outer.self_ns, outer.total_ns - inner.total_ns);
+    }
+
+    #[test]
+    fn marks_count_without_timing() {
+        let _serial = serial();
+        set_enabled(true);
+        let _ = take();
+        for _ in 0..5 {
+            mark("test.mark");
+        }
+        let profile = take();
+        set_enabled(false);
+        let m = profile.get("test.mark").expect("mark recorded");
+        assert_eq!(m.calls, 5);
+        assert_eq!(m.total_ns, 0);
+        assert_eq!(m.self_ns, 0);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _serial = serial();
+        set_enabled(false);
+        let _ = take();
+        {
+            let _scope = enter("test.disabled");
+            mark("test.disabled.mark");
+        }
+        let profile = take();
+        assert_eq!(profile.get("test.disabled"), None);
+        assert_eq!(profile.get("test.disabled.mark"), None);
+    }
+
+    #[test]
+    fn worker_threads_fold_into_the_harvest() {
+        let _serial = serial();
+        set_enabled(true);
+        let _ = take();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _scope = enter("test.worker");
+                    mark("test.worker.mark");
+                });
+            }
+        });
+        let profile = take();
+        set_enabled(false);
+        assert_eq!(profile.get("test.worker").expect("folded").calls, 4);
+        assert_eq!(profile.get("test.worker.mark").expect("folded").calls, 4);
+    }
+
+    #[test]
+    fn profile_json_round_trips() {
+        let mut p = PhaseProfile::new();
+        p.record("b.phase", PhaseStats { calls: 2, total_ns: 100, self_ns: 60 });
+        p.record("a.phase", PhaseStats { calls: 1, total_ns: 40, self_ns: 40 });
+        p.record("b.phase", PhaseStats { calls: 1, total_ns: 10, self_ns: 10 });
+        let json = p.to_json(0);
+        assert_eq!(json, p.to_json(0), "serialization is deterministic");
+        let back = PhaseProfile::from_json(&json).expect("round trip");
+        assert_eq!(back, p);
+        assert_eq!(back.get("b.phase"), Some(PhaseStats { calls: 3, total_ns: 110, self_ns: 70 }));
+        assert_eq!(back.total_self_ns(), 110);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_entries() {
+        assert!(PhaseProfile::from_json("{}").is_err());
+        assert!(PhaseProfile::from_json(r#"[{"calls": 1}]"#).is_err());
+        let err =
+            PhaseProfile::from_json(r#"[{"name": "x", "calls": 1, "total_ns": 2}]"#).unwrap_err();
+        assert!(err.contains("self_ns"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn spans_export_as_a_valid_chrome_trace() {
+        let spans = [
+            HostSpan { thread: 1, name: "outer", ts_us: 0, dur_us: 10 },
+            HostSpan { thread: 1, name: "inner", ts_us: 2, dur_us: 3 },
+            HostSpan { thread: 0, name: "other", ts_us: 5, dur_us: 1 },
+        ];
+        let doc = spans_to_chrome(&spans).to_json();
+        let summary = crate::chrome::validate(&doc).expect("host trace validates");
+        assert_eq!(summary.spans, 3);
+        assert_eq!(summary.dur_by_name.get("outer"), Some(&10));
+        assert_eq!(summary.spans_by_track.get(&(9000, 1)), Some(&2));
+    }
+
+    #[test]
+    fn recorded_spans_nest_and_validate() {
+        let _serial = serial();
+        set_enabled(true);
+        record_spans(true);
+        let _ = take_spans();
+        let _ = take();
+        {
+            let _outer = enter("test.span.outer");
+            let _inner = enter("test.span.inner");
+        }
+        record_spans(false);
+        set_enabled(false);
+        let (spans, dropped) = take_spans();
+        let _ = take();
+        assert_eq!(dropped, 0);
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"test.span.outer"), "got {names:?}");
+        assert!(names.contains(&"test.span.inner"), "got {names:?}");
+        crate::chrome::validate(&spans_to_chrome(&spans).to_json()).expect("valid");
+    }
+
+    #[test]
+    fn merge_matches_manual_fold() {
+        let mut a = PhaseProfile::new();
+        a.record("x", PhaseStats { calls: 1, total_ns: 5, self_ns: 5 });
+        let mut b = PhaseProfile::new();
+        b.record("x", PhaseStats { calls: 2, total_ns: 7, self_ns: 3 });
+        b.record("y", PhaseStats { calls: 1, total_ns: 1, self_ns: 1 });
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.get("x"), Some(PhaseStats { calls: 3, total_ns: 12, self_ns: 8 }));
+        assert_eq!(ab.len(), 2);
+    }
+}

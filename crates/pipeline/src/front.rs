@@ -203,6 +203,7 @@ impl FrontEnd {
     }
 
     fn squash_where(&mut self, pred: impl Fn(&Slot) -> bool, cause: BubbleCause) -> SquashedSlots {
+        interleave_obs::profile::mark("pipeline.squash");
         let mut squashed = SquashedSlots::new();
         for stage in &mut self.stages {
             if let FrontSlot::Instr(s) = stage {

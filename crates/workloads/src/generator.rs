@@ -428,6 +428,7 @@ impl InstrSource for SyntheticApp {
             }
         }
         self.emitted += 1;
+        interleave_obs::profile::mark("workloads.gen_instr");
         Some(self.gen_instr())
     }
 }

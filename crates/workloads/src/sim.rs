@@ -1,6 +1,6 @@
 use interleave_core::{FetchUnit, ProcConfig, Processor, Scheme, StorePolicy};
 use interleave_mem::{MemConfig, MemStats, UniMemSystem};
-use interleave_obs::{Histogram, Registry};
+use interleave_obs::{profile, Histogram, Registry};
 use interleave_stats::Breakdown;
 
 use crate::mixes::Workload;
@@ -301,7 +301,10 @@ impl MultiprogramSim {
         }
 
         // Warmup, then reset all statistics.
-        cpu.run_cycles(self.warmup_cycles);
+        {
+            let _warmup = profile::enter("uni.warmup");
+            cpu.run_cycles(self.warmup_cycles);
+        }
         check(&cpu);
         cpu.reset_breakdown();
         cpu.port_mut().reset_stats();
@@ -319,12 +322,15 @@ impl MultiprogramSim {
             // Run one slice (checking completion periodically).
             let slice_end = start + (slice + 1) * self.os.slice_cycles;
             let mut all_done = false;
-            while cpu.now() < slice_end {
-                let step = 256.min(slice_end - cpu.now());
-                cpu.run_cycles(step);
-                if self.all_quotas_met(&cpu, &resident, &completed) {
-                    all_done = true;
-                    break;
+            {
+                let _slice = profile::enter("uni.slice");
+                while cpu.now() < slice_end {
+                    let step = 256.min(slice_end - cpu.now());
+                    cpu.run_cycles(step);
+                    if self.all_quotas_met(&cpu, &resident, &completed) {
+                        all_done = true;
+                        break;
+                    }
                 }
             }
             check(&cpu);
@@ -343,6 +349,7 @@ impl MultiprogramSim {
 
             // Scheduler call: rotate at affinity boundaries or when a
             // resident application has completed its quota.
+            let _scheduler = profile::enter("uni.scheduler");
             let rotating = slice.is_multiple_of(self.os.affinity_slices) && n_apps > resident_count;
             let mut switched = 0;
             for (ctx, slot) in resident.iter_mut().enumerate().take(resident_count) {

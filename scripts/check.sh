@@ -74,6 +74,69 @@ fi
 # Regression gate against the checked-in baseline floor.
 scripts/throughput_gate.sh "$tmpdir/BENCH_smoke.json"
 
+# Smoke: the same grid under the host-phase profiler. The PROFILE
+# artifact must land next to BENCH/METRICS, and the profiled run must
+# stay within 5% of the plain wall clock (plus 300ms of slack — these
+# runs are short enough for scheduler noise to matter).
+base_ms="$(grep -o '"wall_ms": [0-9]*' "$tmpdir/BENCH_smoke.json" | head -1 | sed 's/.*: //')"
+mkdir -p "$tmpdir/profiled"
+INTERLEAVE_PROFILE=1 ./target/release/interleave-sim sweep --artifact smoke \
+  --json "$tmpdir/profiled" >/dev/null
+if [ ! -f "$tmpdir/profiled/PROFILE_smoke.json" ]; then
+  echo "check.sh: profiled sweep did not write PROFILE_smoke.json" >&2
+  exit 1
+fi
+cp "$tmpdir/profiled/PROFILE_smoke.json" "$tmpdir/PROFILE_smoke.json"
+prof_ms="$(grep -o '"wall_ms": [0-9]*' "$tmpdir/profiled/BENCH_smoke.json" | head -1 | sed 's/.*: //')"
+if [ -z "$base_ms" ] || [ -z "$prof_ms" ]; then
+  echo "check.sh: smoke artifacts are missing wall_ms" >&2
+  exit 1
+fi
+budget=$((base_ms + base_ms / 20 + 300))
+if [ "$prof_ms" -gt "$budget" ]; then
+  echo "check.sh: profiler overhead exceeds budget (${prof_ms}ms vs ${base_ms}ms base, budget ${budget}ms)" >&2
+  exit 1
+fi
+echo "check.sh: profiler overhead ${prof_ms}ms vs ${base_ms}ms base (budget ${budget}ms)"
+
+# With the profiler disabled (the default) a re-run must land in the
+# same budget: the instrumentation sites compile to a relaxed load and
+# a branch, so any measurable delta here is a regression.
+mkdir -p "$tmpdir/unprofiled"
+./target/release/interleave-sim sweep --artifact smoke --json "$tmpdir/unprofiled" >/dev/null
+off_ms="$(grep -o '"wall_ms": [0-9]*' "$tmpdir/unprofiled/BENCH_smoke.json" | head -1 | sed 's/.*: //')"
+if [ -z "$off_ms" ] || [ "$off_ms" -gt "$budget" ]; then
+  echo "check.sh: disabled-profiler run off budget (${off_ms:-?}ms vs ${base_ms}ms base, budget ${budget}ms)" >&2
+  exit 1
+fi
+
+# The profiled run must also clear the throughput floor, with the phase
+# documents wired in so a failure would be attributed.
+scripts/throughput_gate.sh "$tmpdir/profiled/BENCH_smoke.json" \
+  ci/baseline_smoke.json sim_cycles_per_sec \
+  "$tmpdir/profiled/PROFILE_smoke.json" ci/baseline_phases.json
+
+# Self-test of the phase attribution: synthetically slow one phase via
+# the test hook and check the gate fails naming that phase.
+mkdir -p "$tmpdir/slow"
+INTERLEAVE_PROFILE=1 INTERLEAVE_PROFILE_SLOW=runner.cell:400000 \
+  ./target/release/interleave-sim sweep --artifact smoke --json "$tmpdir/slow" >/dev/null
+if gate_out="$(scripts/throughput_gate.sh "$tmpdir/slow/BENCH_smoke.json" \
+    "$tmpdir/profiled/BENCH_smoke.json" sim_cycles_per_sec \
+    "$tmpdir/slow/PROFILE_smoke.json" "$tmpdir/profiled/PROFILE_smoke.json" 2>&1)"; then
+  echo "check.sh: slowed-phase gate unexpectedly passed:" >&2
+  echo "$gate_out" >&2
+  exit 1
+fi
+case "$gate_out" in
+  *"runner.cell"*) echo "check.sh: slowed-phase gate correctly blamed runner.cell" ;;
+  *)
+    echo "check.sh: slowed-phase gate failed without naming runner.cell:" >&2
+    echo "$gate_out" >&2
+    exit 1
+    ;;
+esac
+
 if [ "$validate" -eq 1 ]; then
   # Overhead budget: the same smoke grid with every checker enabled
   # must stay under 2x the plain wall-clock (plus 500ms of slack —

@@ -4,11 +4,19 @@
 # against the checked-in baseline and fails on a >30% regression.
 #
 #   scripts/throughput_gate.sh <current BENCH json> [<baseline json>] [<baseline key>]
+#                              [<current PROFILE json>] [<baseline phases json>]
 #
 # The optional third argument names the baseline-file key to compare
 # against (default `sim_cycles_per_sec`, the uniprocessor smoke rate;
 # the nightly MP tier passes `table10_sim_cycles_per_sec` to gate the
 # multiprocessor loop against the same baseline file).
+#
+# The optional fourth/fifth arguments attribute a failure to a host
+# phase: both are `interleave-profile-v1` documents (as written by
+# `interleave-sim profile --json` or a sweep under INTERLEAVE_PROFILE=1),
+# and on a rate failure the gate names the phase whose share of the wall
+# clock grew the most against the baseline profile (default
+# `ci/baseline_phases.json`).
 #
 # A missing or malformed rate on either side is a hard failure — an
 # artifact without the key means the instrumentation came unwired, which
@@ -16,9 +24,11 @@
 # version of check.sh passed silently in that case).
 set -euo pipefail
 
-current_json="${1:?usage: scripts/throughput_gate.sh <current BENCH json> [<baseline json>] [<baseline key>]}"
+current_json="${1:?usage: scripts/throughput_gate.sh <current BENCH json> [<baseline json>] [<baseline key>] [<current PROFILE json>] [<baseline phases json>]}"
 baseline_json="${2:-$(dirname "$0")/../ci/baseline_smoke.json}"
 baseline_key="${3:-sim_cycles_per_sec}"
+current_profile="${4:-}"
+baseline_phases="${5:-$(dirname "$0")/../ci/baseline_phases.json}"
 
 extract_rate() {
   # Prints the first top-level occurrence of the key, or fails loudly.
@@ -35,6 +45,35 @@ extract_rate() {
   printf '%s\n' "$val"
 }
 
+# Names the phase whose self-time share of the wall clock grew the most
+# from the baseline profile to the current one. Relies on the
+# interleave-profile-v1 layout: one `{"name": ..., "self_ns": ...}`
+# object per line, plus a top-level `"wall_ns"` scalar.
+attribute_phase() {
+  local base="$1" cur="$2"
+  awk '
+    FNR == 1 { file++ }
+    /"wall_ns":/ { w = $2; gsub(/[^0-9]/, "", w); wall[file] = w + 0 }
+    /"name":/ {
+      line = $0
+      name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+      self = line; sub(/.*"self_ns": /, "", self); sub(/[^0-9].*/, "", self)
+      if (wall[file] > 0) share[file "," name] = (self + 0) / wall[file]
+      names[name] = 1
+    }
+    END {
+      worst = ""; growth = 0
+      for (n in names) {
+        d = share[2 "," n] - share[1 "," n]
+        if (d > growth) { growth = d; worst = n }
+      }
+      if (worst != "")
+        printf "%s (+%.1fpp of wall: %.1f%% -> %.1f%%)\n", \
+          worst, growth * 100, share[1 "," worst] * 100, share[2 "," worst] * 100
+    }
+  ' "$base" "$cur"
+}
+
 current="$(extract_rate "$current_json" sim_cycles_per_sec)"
 baseline="$(extract_rate "$baseline_json" "$baseline_key")"
 
@@ -45,6 +84,14 @@ if awk -v cur="$current" -v base="$baseline" \
   echo "throughput_gate: ok ($current cycles/sec vs baseline $baseline_key=$baseline, floor $(awk -v b="$baseline" 'BEGIN { printf "%.1f", b * 0.7 }'))"
 else
   echo "throughput_gate: FAIL — $current cycles/sec is more than 30% below the baseline $baseline_key=$baseline" >&2
+  if [ -n "$current_profile" ] && [ -f "$current_profile" ] && [ -f "$baseline_phases" ]; then
+    culprit="$(attribute_phase "$baseline_phases" "$current_profile" || true)"
+    if [ -n "$culprit" ]; then
+      echo "throughput_gate: phase with the largest share growth: $culprit" >&2
+    else
+      echo "throughput_gate: no phase grew its share of wall vs $baseline_phases" >&2
+    fi
+  fi
   echo "throughput_gate: if this is an accepted slowdown, re-baseline ci/baseline_smoke.json (see EXPERIMENTS.md)" >&2
   exit 1
 fi

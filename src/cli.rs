@@ -1,8 +1,10 @@
 //! Argument parsing and report rendering for the `interleave-sim` binary.
 //!
 //! Hand-rolled (no external dependencies): subcommands `uni`, `mp`,
-//! `sweep`, `trace`, `metrics`, and `list`, each with `--flag value`
-//! options (plus the bare `--progress` switch on `sweep`).
+//! `sweep`, `profile`, `watch`, `trace`, `metrics`, and `list`, each
+//! with `--flag value` options (plus bare switches such as `--progress`
+//! and `--once`); `watch` additionally takes a positional status-file
+//! path.
 
 use crate::bench::{ExperimentSpec, Runner, Scale};
 use crate::core::Scheme;
@@ -68,6 +70,33 @@ pub enum Command {
         adaptive: Option<bool>,
         /// Print a per-second completion heartbeat to stderr.
         progress: bool,
+    },
+    /// Run an experiment grid under the host-phase profiler and print
+    /// a sorted phase table.
+    Profile {
+        /// Grid to run (same names as `sweep`).
+        artifact: String,
+        /// Worker threads (`None` = `INTERLEAVE_JOBS` / machine).
+        jobs: Option<usize>,
+        /// Problem scale (`None` = `INTERLEAVE_FULL`).
+        scale: Option<Scale>,
+        /// Directory for `BENCH_*`/`METRICS_*`/`PROFILE_*` artifacts.
+        json: Option<String>,
+        /// Explicit stream seed (`None` = the sims' defaults).
+        seed: Option<u64>,
+        /// Where to write a Chrome trace of the recorded host spans.
+        trace_out: Option<String>,
+    },
+    /// Tail a `STATUS_*.json` file written by a concurrent sweep.
+    Watch {
+        /// Status file to poll (positional argument).
+        file: String,
+        /// Render the current snapshot once and exit.
+        once: bool,
+        /// Poll interval in milliseconds.
+        interval_ms: u64,
+        /// Give up after this many seconds (`None` = wait forever).
+        timeout_secs: Option<u64>,
     },
     /// Run with per-cycle tracing and export a Chrome trace-event JSON.
     Trace {
@@ -223,6 +252,10 @@ USAGE:
   interleave-sim sweep --artifact table7|table10|smoke [--jobs N] [--mp-jobs N]
                        [--adaptive on|off] [--scale ci|full] [--json DIR]
                        [--seed N] [--progress]
+  interleave-sim profile --artifact table7|table10|smoke [--jobs N]
+                       [--scale ci|full] [--json DIR] [--seed N]
+                       [--trace-out PATH]
+  interleave-sim watch STATUS_FILE [--once] [--interval-ms N] [--timeout-secs N]
   interleave-sim trace [--file PATH] [--workload W] [--scheme S] [--contexts N]
                        [--max-cycles N] [--seed N] [--out PATH]
   interleave-sim metrics [--workload W] [--scheme S] [--contexts N] [--quota N]
@@ -242,6 +275,20 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let Some(sub) = args.first() else {
         return Ok(Command::Help);
     };
+    // `watch` takes its status file as a positional argument, so it is
+    // parsed before the generic `--flag value` loop.
+    if sub == "watch" {
+        let Some(file) = args.get(1).filter(|a| !a.starts_with("--")) else {
+            return Err(CliError("watch requires a status-file path".into()));
+        };
+        let flags = Flags::parse(&args[2..], &["once"])?;
+        return Ok(Command::Watch {
+            file: file.clone(),
+            once: flags.switch("once"),
+            interval_ms: flags.num("interval-ms", 250)?,
+            timeout_secs: flags.opt_num("timeout-secs")?,
+        });
+    }
     let flags = Flags::parse(&args[1..], &["progress"])?;
     match sub.as_str() {
         "uni" => Ok(Command::Uni {
@@ -271,6 +318,17 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             mp_jobs: flags.opt_num("mp-jobs")?.map(|n| n as usize),
             adaptive: flags.on_off("adaptive")?,
             progress: flags.switch("progress"),
+        }),
+        "profile" => Ok(Command::Profile {
+            artifact: flags
+                .get("artifact")
+                .ok_or_else(|| CliError("profile requires --artifact table7|table10|smoke".into()))?
+                .to_string(),
+            jobs: flags.opt_num("jobs")?.map(|n| n as usize),
+            scale: flags.scale()?,
+            json: flags.get("json").map(str::to_string),
+            seed: flags.opt_num("seed")?,
+            trace_out: flags.get("trace-out").map(str::to_string),
         }),
         "trace" => Ok(Command::Trace {
             file: flags.get("file").map(str::to_string),
@@ -307,6 +365,91 @@ fn find_app(name: &str) -> Result<SplashProfile, CliError> {
         .into_iter()
         .find(|a| a.name.eq_ignore_ascii_case(name))
         .ok_or_else(|| CliError(format!("unknown application `{name}` (try `list`)")))
+}
+
+/// Builds the experiment grid behind an artifact name. Shared by the
+/// `sweep` and `profile` subcommands so both run identical cells.
+fn artifact_spec(artifact: &str, scale: Scale) -> Result<ExperimentSpec, CliError> {
+    match artifact {
+        "table7" => {
+            let mut spec = ExperimentSpec::new("table7", scale).contexts([2, 4]);
+            for w in mixes::all() {
+                spec = spec.uni(w);
+            }
+            Ok(spec)
+        }
+        "table10" => {
+            let mut spec = ExperimentSpec::new("table10", scale).contexts([2, 4, 8]);
+            for app in splash_suite() {
+                spec = spec.mp(app);
+            }
+            Ok(spec)
+        }
+        // A seconds-long single-workload grid for CI throughput checks
+        // (`scripts/check.sh` reads the cycles/sec rates from its BENCH
+        // json).
+        "smoke" => Ok(ExperimentSpec::new("smoke", scale)
+            .uni(mixes::fp())
+            .contexts([2])
+            .quota(2_000)
+            .warmup(500)),
+        other => Err(CliError(format!(
+            "unknown artifact `{other}` (expected table7, table10, or smoke)"
+        ))),
+    }
+}
+
+/// Renders a host-phase profile as a table sorted by self time, with
+/// each phase's share of the sweep's wall clock.
+fn phase_table(
+    artifact: &str,
+    profile: &crate::obs::profile::PhaseProfile,
+    wall: std::time::Duration,
+) -> Table {
+    let wall_ns = (wall.as_nanos().max(1)) as f64;
+    let mut phases: Vec<_> = profile.iter().collect();
+    phases.sort_by(|a, b| b.1.self_ns.cmp(&a.1.self_ns).then_with(|| a.0.cmp(b.0)));
+    let mut t = Table::new(format!("host phases — {artifact}"));
+    t.headers(["phase", "calls", "total ms", "self ms", "% of wall"]);
+    for (name, s) in phases {
+        t.row([
+            name.to_string(),
+            s.calls.to_string(),
+            format!("{:.2}", s.total_ns as f64 / 1e6),
+            format!("{:.2}", s.self_ns as f64 / 1e6),
+            format!("{:.1}%", s.self_ns as f64 / wall_ns * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Renders one `interleave-status-v1` snapshot as a progress line.
+/// `None` when the document is not such a snapshot.
+fn render_status(doc: &crate::obs::json::Value) -> Option<String> {
+    if doc.get("schema")?.as_str()? != "interleave-status-v1" {
+        return None;
+    }
+    let artifact = doc.get("artifact")?.as_str()?;
+    let scale = doc.get("scale")?.as_str()?;
+    let done = doc.get("done")?.as_u64()?;
+    let total = doc.get("total")?.as_u64()?;
+    let cells_per_sec = doc.get("cells_per_sec")?.as_f64()?;
+    let sim_rate = doc.get("sim_cycles_per_sec")?.as_f64()?;
+    if doc.get("finished")?.as_bool()? {
+        let wall_ms = doc.get("wall_ms")?.as_u64()?;
+        return Some(format!(
+            "{artifact} [{scale}]: finished {done}/{total} cells in {:.2}s \
+             ({cells_per_sec:.2} cells/s, {sim_rate:.2e} sim cycles/s)",
+            wall_ms as f64 / 1e3
+        ));
+    }
+    let eta = doc.get("eta_secs")?.as_f64()?;
+    let last = doc.get("last_cell")?.as_str()?;
+    let tail = if last.is_empty() { String::new() } else { format!(" — {last}") };
+    Some(format!(
+        "{artifact} [{scale}]: {done}/{total} cells, {cells_per_sec:.2} cells/s, \
+         {sim_rate:.2e} sim cycles/s, ETA {eta:.0}s{tail}"
+    ))
 }
 
 fn breakdown_report(title: &str, b: &crate::stats::Breakdown) -> Table {
@@ -397,35 +540,7 @@ pub fn run(command: Command) -> Result<(), CliError> {
         }
         Command::Sweep { artifact, jobs, scale, json, seed, mp_jobs, adaptive, progress } => {
             let scale = scale.unwrap_or_else(Scale::from_env);
-            let mut spec = match artifact.as_str() {
-                "table7" => {
-                    let mut spec = ExperimentSpec::new("table7", scale).contexts([2, 4]);
-                    for w in mixes::all() {
-                        spec = spec.uni(w);
-                    }
-                    spec
-                }
-                "table10" => {
-                    let mut spec = ExperimentSpec::new("table10", scale).contexts([2, 4, 8]);
-                    for app in splash_suite() {
-                        spec = spec.mp(app);
-                    }
-                    spec
-                }
-                // A seconds-long single-workload grid for CI throughput
-                // checks (`scripts/check.sh` reads the cycles/sec rates
-                // from its BENCH json).
-                "smoke" => ExperimentSpec::new("smoke", scale)
-                    .uni(mixes::fp())
-                    .contexts([2])
-                    .quota(2_000)
-                    .warmup(500),
-                other => {
-                    return Err(CliError(format!(
-                        "unknown artifact `{other}` (expected table7, table10, or smoke)"
-                    )))
-                }
-            };
+            let mut spec = artifact_spec(&artifact, scale)?;
             if let Some(seed) = seed {
                 spec = spec.seeds([seed]);
             }
@@ -435,7 +550,12 @@ pub fn run(command: Command) -> Result<(), CliError> {
             if let Some(adaptive) = adaptive {
                 spec = spec.adaptive(adaptive);
             }
-            let mut runner = jobs.map(Runner::new).unwrap_or_else(Runner::from_env);
+            // `from_env` first so `INTERLEAVE_PROGRESS` / `INTERLEAVE_STATUS`
+            // apply even when `--jobs` overrides the thread count.
+            let mut runner = Runner::from_env();
+            if let Some(jobs) = jobs {
+                runner = runner.with_jobs(jobs);
+            }
             if progress {
                 runner = runner.progress(true);
             }
@@ -457,8 +577,118 @@ pub fn run(command: Command) -> Result<(), CliError> {
                         })?;
                         println!("wrote {}", path.display());
                     }
+                    // Present only when the sweep ran under the host
+                    // profiler (INTERLEAVE_PROFILE=1 / --features profile).
+                    match sweep.write_profile_json(dir) {
+                        Ok(Some(path)) => println!("wrote {}", path.display()),
+                        Ok(None) => {}
+                        Err(e) => {
+                            return Err(CliError(format!(
+                                "cannot write JSON into `{}`: {e}",
+                                dir.display()
+                            )))
+                        }
+                    }
                 }
                 None => sweep.maybe_emit_json(),
+            }
+        }
+        Command::Profile { artifact, jobs, scale, json, seed, trace_out } => {
+            let scale = scale.unwrap_or_else(Scale::from_env);
+            let mut spec = artifact_spec(&artifact, scale)?;
+            if let Some(seed) = seed {
+                spec = spec.seeds([seed]);
+            }
+            crate::obs::profile::set_enabled(true);
+            if trace_out.is_some() {
+                crate::obs::profile::record_spans(true);
+            }
+            let mut runner = Runner::from_env();
+            if let Some(jobs) = jobs {
+                runner = runner.with_jobs(jobs);
+            }
+            let sweep = runner.run(&spec);
+            let profile = sweep
+                .profile
+                .clone()
+                .filter(|p| !p.is_empty())
+                .ok_or_else(|| CliError("profiler recorded no phases".into()))?;
+            println!("{}", phase_table(&artifact, &profile, sweep.wall));
+            let wall_ns = (sweep.wall.as_nanos().max(1)) as f64;
+            println!(
+                "{} cells, {} jobs, {:.2?} wall, {} scale; phase self-times cover {:.1}% \
+                 of wall",
+                sweep.cells.len(),
+                sweep.jobs,
+                sweep.wall,
+                sweep.scale.name(),
+                profile.total_self_ns() as f64 / wall_ns * 100.0
+            );
+            if let Some(dir) = json {
+                let dir = std::path::Path::new(&dir);
+                let written = [
+                    sweep.write_json(dir),
+                    sweep.write_metrics_json(dir),
+                    sweep.write_profile_json(dir).map(|p| p.expect("sweep was profiled")),
+                ];
+                for path in written {
+                    let path = path.map_err(|e| {
+                        CliError(format!("cannot write JSON into `{}`: {e}", dir.display()))
+                    })?;
+                    println!("wrote {}", path.display());
+                }
+            }
+            if let Some(out) = trace_out {
+                let (spans, dropped) = crate::obs::profile::take_spans();
+                if dropped > 0 {
+                    eprintln!("warning: dropped {dropped} host spans (per-thread cap)");
+                }
+                let doc = crate::obs::profile::spans_to_chrome(&spans).to_json();
+                let summary = crate::obs::chrome::validate(&doc)
+                    .map_err(|e| CliError(format!("host trace failed validation: {e}")))?;
+                std::fs::write(&out, &doc)
+                    .map_err(|e| CliError(format!("cannot write `{out}`: {e}")))?;
+                println!(
+                    "wrote {out} ({} spans on {} tracks)",
+                    summary.spans,
+                    summary.spans_by_track.len()
+                );
+            }
+        }
+        Command::Watch { file, once, interval_ms, timeout_secs } => {
+            let deadline =
+                timeout_secs.map(|s| std::time::Instant::now() + std::time::Duration::from_secs(s));
+            let interval = std::time::Duration::from_millis(interval_ms.max(1));
+            let mut last_line = String::new();
+            loop {
+                match std::fs::read_to_string(&file) {
+                    Ok(text) => {
+                        // The writer replaces the file atomically, so a
+                        // successful read is always a complete document.
+                        let doc = crate::obs::json::parse(&text)
+                            .map_err(|e| CliError(format!("`{file}` is not valid JSON: {e}")))?;
+                        let line = render_status(&doc).ok_or_else(|| {
+                            CliError(format!("`{file}` is not an interleave-status-v1 document"))
+                        })?;
+                        if line != last_line {
+                            println!("{line}");
+                            last_line = line;
+                        }
+                        let finished =
+                            doc.get("finished").and_then(|v| v.as_bool()).unwrap_or(false);
+                        if finished || once {
+                            break;
+                        }
+                    }
+                    // Not created yet: keep waiting for the sweep to
+                    // publish its first snapshot.
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound && !once => {}
+                    Err(e) => return Err(CliError(format!("cannot read `{file}`: {e}"))),
+                }
+                if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                    return Err(CliError(format!("timed out waiting on `{file}`")));
+                }
+                std::thread::sleep(interval);
             }
         }
         Command::Trace { file, workload, scheme, contexts, max_cycles, seed, out } => {
@@ -678,6 +908,148 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_profile() {
+        let cmd = parse(&argv(
+            "profile --artifact smoke --jobs 2 --scale ci --json out --seed 7 --trace-out h.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Profile {
+                artifact: "smoke".into(),
+                jobs: Some(2),
+                scale: Some(Scale::Ci),
+                json: Some("out".into()),
+                seed: Some(7),
+                trace_out: Some("h.json".into()),
+            }
+        );
+        assert!(parse(&argv("profile")).is_err());
+        assert!(parse(&argv("profile --artifact smoke --scale huge")).is_err());
+    }
+
+    #[test]
+    fn parses_watch() {
+        let cmd =
+            parse(&argv("watch STATUS_t.json --once --interval-ms 50 --timeout-secs 2")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Watch {
+                file: "STATUS_t.json".into(),
+                once: true,
+                interval_ms: 50,
+                timeout_secs: Some(2),
+            }
+        );
+        assert_eq!(
+            parse(&argv("watch s.json")).unwrap(),
+            Command::Watch {
+                file: "s.json".into(),
+                once: false,
+                interval_ms: 250,
+                timeout_secs: None,
+            }
+        );
+        // The status file is positional and required.
+        assert!(parse(&argv("watch")).is_err());
+        assert!(parse(&argv("watch --once")).is_err());
+    }
+
+    #[test]
+    fn render_status_covers_running_and_finished() {
+        let running = crate::obs::json::parse(
+            r#"{"artifact": "smoke", "schema": "interleave-status-v1", "scale": "ci",
+                "done": 1, "total": 4, "finished": false, "wall_ms": 500,
+                "cells_per_sec": 2.0, "eta_secs": 1.5, "sim_cycles": 9,
+                "sim_cycles_per_sec": 18.0, "last_cell": "FP Interleaved x2",
+                "metrics": {}}"#,
+        )
+        .unwrap();
+        let line = render_status(&running).unwrap();
+        assert!(line.contains("smoke [ci]: 1/4 cells"), "{line}");
+        assert!(line.contains("ETA 2s") || line.contains("ETA 1.5"), "{line}");
+        assert!(line.contains("FP Interleaved x2"), "{line}");
+
+        let finished = crate::obs::json::parse(
+            r#"{"artifact": "smoke", "schema": "interleave-status-v1", "scale": "ci",
+                "done": 4, "total": 4, "finished": true, "wall_ms": 2000,
+                "cells_per_sec": 2.0, "eta_secs": 0.0, "sim_cycles": 9,
+                "sim_cycles_per_sec": 18.0, "last_cell": "FP Interleaved x2",
+                "metrics": {}}"#,
+        )
+        .unwrap();
+        let line = render_status(&finished).unwrap();
+        assert!(line.contains("finished 4/4 cells in 2.00s"), "{line}");
+
+        let wrong = crate::obs::json::parse(r#"{"schema": "other"}"#).unwrap();
+        assert!(render_status(&wrong).is_none());
+    }
+
+    #[test]
+    fn watch_once_renders_a_status_file() {
+        let path = std::env::temp_dir().join(format!("ilv_watch_{}.json", std::process::id()));
+        std::fs::write(
+            &path,
+            "{\"artifact\": \"smoke\", \"schema\": \"interleave-status-v1\", \
+             \"scale\": \"ci\", \"done\": 0, \"total\": 1, \"finished\": false, \
+             \"wall_ms\": 0, \"cells_per_sec\": 0.0, \"eta_secs\": 0.0, \
+             \"sim_cycles\": 0, \"sim_cycles_per_sec\": 0.0, \"last_cell\": \"\", \
+             \"metrics\": {}}",
+        )
+        .unwrap();
+        run(Command::Watch {
+            file: path.to_string_lossy().into_owned(),
+            once: true,
+            interval_ms: 10,
+            timeout_secs: Some(5),
+        })
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        // A missing file with `--once` is an error, not a wait.
+        let err = run(Command::Watch {
+            file: "/nonexistent/ilv_watch_missing.json".into(),
+            once: true,
+            interval_ms: 10,
+            timeout_secs: Some(1),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn profile_smoke_emits_phase_artifacts() {
+        let dir = std::env::temp_dir().join(format!("ilv_profile_{}", std::process::id()));
+        let trace = dir.join("host_trace.json");
+        std::fs::create_dir_all(&dir).unwrap();
+        run(Command::Profile {
+            artifact: "smoke".into(),
+            jobs: Some(1),
+            scale: Some(Scale::Ci),
+            json: Some(dir.to_string_lossy().into_owned()),
+            seed: None,
+            trace_out: Some(trace.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        // The acceptance bar: the phase self-times in the emitted
+        // PROFILE document cover at least 90% of the measured wall.
+        let doc = std::fs::read_to_string(dir.join("PROFILE_smoke.json")).unwrap();
+        let doc = crate::obs::json::parse(&doc).unwrap();
+        let wall_ns = doc.get("wall_ns").unwrap().as_u64().unwrap();
+        let phases =
+            crate::obs::profile::PhaseProfile::from_value(doc.get("phases").unwrap()).unwrap();
+        assert!(phases.get("runner.cell").is_some());
+        assert!(
+            phases.total_self_ns() as f64 >= wall_ns as f64 * 0.9,
+            "self {} vs wall {wall_ns}",
+            phases.total_self_ns()
+        );
+        // The host-span trace is a structurally valid Chrome trace.
+        let trace_doc = std::fs::read_to_string(&trace).unwrap();
+        crate::obs::chrome::validate(&trace_doc).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
