@@ -93,58 +93,89 @@ pub(crate) enum CtxState {
     Waiting { reason: WaitReason, until: Option<u64> },
 }
 
-/// Bookkeeping for one hardware context.
+/// Per-context scheduling state in struct-of-arrays layout: one
+/// fixed-capacity, arena-backed column per field, indexed by context id.
+///
+/// The processor's hot loops scan one field across every context (the
+/// select scan reads `state`, the idle bound reads `state` and `done`,
+/// metrics sum `retired`); laying each field out contiguously keeps
+/// those scans on a handful of cache lines instead of striding over
+/// whole per-context records. Columns are allocated once at
+/// construction (`Box<[_]>`, no spare capacity) and never resized —
+/// context count is a hardware parameter.
 #[derive(Debug)]
-pub(crate) struct Context {
-    pub state: CtxState,
+pub(crate) struct ContextTable {
+    /// Availability of each context.
+    pub state: Box<[CtxState]>,
     /// Set while fetching down a mispredicted path.
-    pub wrong_path: bool,
+    pub wrong_path: Box<[bool]>,
     /// Bumped on every squash; pending events carry the epoch at which they
     /// were scheduled and are dropped if stale.
-    pub epoch: u64,
+    pub epoch: Box<[u64]>,
     /// A backoff/switch instruction has been fetched but not yet issued:
     /// fetch from this context is suppressed (the hardware detects these
     /// at decode, Table 4).
-    pub pending_backoff: bool,
-    /// Miss fills bound to this context's re-executed accesses: the
+    pub pending_backoff: Box<[bool]>,
+    /// Miss fills bound to each context's re-executed accesses: the
     /// lockup-free cache's MSHRs deliver the data directly, so when the
     /// instruction at a bound fetch index re-executes it completes without
     /// re-probing the cache (guarantees forward progress under conflict
     /// eviction). One entry per outstanding fill, capped at the MSHR
     /// count.
-    pub bound_fills: FillRing,
+    pub bound_fills: Box<[FillRing]>,
     /// An instruction fetch bound to an outstanding I-fill: when fetch
     /// resumes at this cursor index, the instruction is delivered without
     /// re-probing the I-cache (forward progress under I-TLB/I-cache
     /// conflict eviction by other contexts).
-    pub bound_ifetch: Option<u64>,
+    pub bound_ifetch: Box<[Option<u64>]>,
     /// Retired instruction count (resettable).
-    pub retired: u64,
+    pub retired: Box<[u64]>,
     /// Whether a stream is attached.
-    pub attached: bool,
+    pub attached: Box<[bool]>,
     /// Latched when the context's fetch unit completes (stream exhausted,
     /// everything retired); maintained incrementally so the run loops can
     /// test completion in O(1) instead of scanning every unit per cycle.
-    pub done: bool,
+    pub done: Box<[bool]>,
 }
 
-impl Context {
-    pub fn new() -> Context {
-        Context {
-            state: CtxState::Ready,
-            wrong_path: false,
-            epoch: 0,
-            pending_backoff: false,
-            bound_fills: FillRing::new(),
-            bound_ifetch: None,
-            retired: 0,
-            attached: false,
-            done: false,
+impl ContextTable {
+    pub fn new(contexts: usize) -> ContextTable {
+        ContextTable {
+            state: vec![CtxState::Ready; contexts].into_boxed_slice(),
+            wrong_path: vec![false; contexts].into_boxed_slice(),
+            epoch: vec![0; contexts].into_boxed_slice(),
+            pending_backoff: vec![false; contexts].into_boxed_slice(),
+            bound_fills: vec![FillRing::new(); contexts].into_boxed_slice(),
+            bound_ifetch: vec![None; contexts].into_boxed_slice(),
+            retired: vec![0; contexts].into_boxed_slice(),
+            attached: vec![false; contexts].into_boxed_slice(),
+            done: vec![false; contexts].into_boxed_slice(),
         }
     }
 
-    pub fn is_ready(&self) -> bool {
-        matches!(self.state, CtxState::Ready)
+    /// Number of hardware contexts.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    #[inline]
+    pub fn is_ready(&self, ctx: usize) -> bool {
+        matches!(self.state[ctx], CtxState::Ready)
+    }
+
+    /// Read-only snapshot of one context's scheduling state.
+    pub fn view(&self, ctx: usize) -> CtxView {
+        let (waiting_on, resumes_at) = match self.state[ctx] {
+            CtxState::Ready => (None, None),
+            CtxState::Waiting { reason, until } => (Some(reason), until),
+        };
+        CtxView {
+            ready: self.is_ready(ctx),
+            waiting_on,
+            resumes_at,
+            retired: self.retired[ctx],
+            attached: self.attached[ctx],
+        }
     }
 }
 
@@ -164,45 +195,33 @@ pub struct CtxView {
     pub attached: bool,
 }
 
-impl Context {
-    pub fn view(&self) -> CtxView {
-        let (waiting_on, resumes_at) = match self.state {
-            CtxState::Ready => (None, None),
-            CtxState::Waiting { reason, until } => (Some(reason), until),
-        };
-        CtxView {
-            ready: self.is_ready(),
-            waiting_on,
-            resumes_at,
-            retired: self.retired,
-            attached: self.attached,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn new_context_is_ready() {
-        let c = Context::new();
-        assert!(c.is_ready());
-        let v = c.view();
-        assert!(v.ready);
-        assert_eq!(v.waiting_on, None);
-        assert_eq!(v.retired, 0);
-        assert!(!v.attached);
+    fn new_contexts_are_ready() {
+        let t = ContextTable::new(2);
+        assert_eq!(t.len(), 2);
+        for ctx in 0..2 {
+            assert!(t.is_ready(ctx));
+            let v = t.view(ctx);
+            assert!(v.ready);
+            assert_eq!(v.waiting_on, None);
+            assert_eq!(v.retired, 0);
+            assert!(!v.attached);
+        }
     }
 
     #[test]
     fn waiting_view() {
-        let mut c = Context::new();
-        c.state = CtxState::Waiting { reason: WaitReason::Data, until: Some(42) };
-        let v = c.view();
+        let mut t = ContextTable::new(2);
+        t.state[1] = CtxState::Waiting { reason: WaitReason::Data, until: Some(42) };
+        let v = t.view(1);
         assert!(!v.ready);
         assert_eq!(v.waiting_on, Some(WaitReason::Data));
         assert_eq!(v.resumes_at, Some(42));
+        assert!(t.view(0).ready, "columns are per-context");
     }
 
     #[test]
@@ -234,9 +253,9 @@ mod tests {
 
     #[test]
     fn sync_wait_has_no_resume_cycle() {
-        let mut c = Context::new();
-        c.state = CtxState::Waiting { reason: WaitReason::Sync, until: None };
-        assert_eq!(c.view().resumes_at, None);
-        assert_eq!(c.view().waiting_on, Some(WaitReason::Sync));
+        let mut t = ContextTable::new(1);
+        t.state[0] = CtxState::Waiting { reason: WaitReason::Sync, until: None };
+        assert_eq!(t.view(0).resumes_at, None);
+        assert_eq!(t.view(0).waiting_on, Some(WaitReason::Sync));
     }
 }

@@ -17,6 +17,30 @@ pub trait InstrSource: Send {
     /// Produces the next instruction in program order, or `None` at end of
     /// stream.
     fn next_instr(&mut self) -> Option<Instr>;
+
+    /// Appends up to `max` further instructions of the stream to `out`
+    /// (program order, nothing cleared) and returns how many were
+    /// produced. Fewer than `max` — including zero — means end of
+    /// stream.
+    ///
+    /// The default loops [`InstrSource::next_instr`]; batch-aware
+    /// sources (the synthetic generator) override it to amortize
+    /// per-call bookkeeping across a whole run. Implementations must
+    /// produce the identical stream either way: a caller may freely mix
+    /// call granularities.
+    fn next_run(&mut self, out: &mut Vec<Instr>, max: usize) -> usize {
+        let mut produced = 0;
+        while produced < max {
+            match self.next_instr() {
+                Some(instr) => {
+                    out.push(instr);
+                    produced += 1;
+                }
+                None => break,
+            }
+        }
+        produced
+    }
 }
 
 /// An [`InstrSource`] backed by a fixed vector — handy for tests and the
@@ -77,9 +101,17 @@ pub struct FetchUnit {
     cursor: u64,
     /// Out-of-order retired indices not yet absorbed into `base`.
     retired: BTreeSet<u64>,
-    /// Set once the source returns `None`.
+    /// Set once the source reports end of stream.
     exhausted: bool,
+    /// Reused staging area for batched refills.
+    scratch: Vec<Instr>,
 }
+
+/// Instructions pulled per source round-trip when the buffer runs dry.
+/// Sized to a typical basic-block run so the generator amortizes its
+/// per-batch bookkeeping without buffering far past what a squash window
+/// ever needs.
+const REFILL_RUN: usize = 32;
 
 impl fmt::Debug for FetchUnit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -102,6 +134,7 @@ impl FetchUnit {
             cursor: 0,
             retired: BTreeSet::new(),
             exhausted: false,
+            scratch: Vec::with_capacity(REFILL_RUN),
         };
         unit.normalize();
         unit
@@ -120,9 +153,18 @@ impl FetchUnit {
             self.cursor += 1;
         }
         while !self.exhausted && self.base + self.buffer.len() as u64 <= self.cursor {
-            match self.source.next_instr() {
-                Some(instr) => self.buffer.push_back(instr),
-                None => self.exhausted = true,
+            // Pull a whole run per source round-trip: sources are
+            // self-contained deterministic generators, so buffering past
+            // the cursor never changes the stream, and batch-aware
+            // sources amortize their per-batch bookkeeping across the
+            // run.
+            let need = (self.cursor + 1 - (self.base + self.buffer.len() as u64)) as usize;
+            let want = need.max(REFILL_RUN);
+            self.scratch.clear();
+            let got = self.source.next_run(&mut self.scratch, want);
+            self.buffer.extend(self.scratch.drain(..));
+            if got < want {
+                self.exhausted = true;
             }
         }
     }

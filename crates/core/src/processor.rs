@@ -9,7 +9,7 @@ use interleave_pipeline::{
 };
 use interleave_stats::{Breakdown, Category};
 
-use crate::context::{Context, CtxState};
+use crate::context::{ContextTable, CtxState};
 use crate::events::{Event, EventQueue};
 use crate::{
     CtxView, DataOutcome, FetchUnit, InstOutcome, InstrSource, ProcConfig, Scheme, StorePolicy,
@@ -122,7 +122,10 @@ pub struct Processor<P: SystemPort> {
     scoreboard: Scoreboard,
     btb: Btb,
     units: Vec<Option<FetchUnit>>,
-    ctx: Vec<Context>,
+    /// Per-context scheduling state in struct-of-arrays layout: the
+    /// hot scans (context select, idle bound, metrics) each stride one
+    /// contiguous column instead of whole per-context records.
+    ctx: ContextTable,
     events: EventQueue,
     now: u64,
     /// Round-robin fetch pointer (interleaved scheme).
@@ -171,7 +174,7 @@ impl<P: SystemPort> Processor<P> {
             scoreboard: Scoreboard::new(cfg.contexts),
             btb: Btb::new(cfg.btb_entries),
             units: (0..cfg.contexts).map(|_| None).collect(),
-            ctx: (0..cfg.contexts).map(|_| Context::new()).collect(),
+            ctx: ContextTable::new(cfg.contexts),
             events: EventQueue::new(),
             now: 0,
             rr: 0,
@@ -206,10 +209,10 @@ impl<P: SystemPort> Processor<P> {
         let unit = FetchUnit::new(source);
         let done = unit.is_done();
         self.units[ctx] = Some(unit);
-        self.ctx[ctx].attached = true;
-        self.ctx[ctx].state = CtxState::Ready;
+        self.ctx.attached[ctx] = true;
+        self.ctx.state[ctx] = CtxState::Ready;
         self.attached_units += 1;
-        self.ctx[ctx].done = done;
+        self.ctx.done[ctx] = done;
         if done {
             self.done_units += 1;
         }
@@ -225,17 +228,17 @@ impl<P: SystemPort> Processor<P> {
     pub fn swap_unit(&mut self, ctx: usize, incoming: FetchUnit) -> FetchUnit {
         assert!(self.units[ctx].is_some(), "context {ctx} has no unit to swap");
         self.squash_context(ctx);
-        if self.ctx[ctx].done {
-            self.ctx[ctx].done = false;
+        if self.ctx.done[ctx] {
+            self.ctx.done[ctx] = false;
             self.done_units -= 1;
         }
         let mut outgoing = self.units[ctx].replace(incoming).expect("checked above");
         // Re-fetch everything unretired when this unit runs again.
         outgoing.rollback_to_base();
-        self.ctx[ctx].state = CtxState::Ready;
-        self.ctx[ctx].retired = 0;
+        self.ctx.state[ctx] = CtxState::Ready;
+        self.ctx.retired[ctx] = 0;
         if self.units[ctx].as_ref().expect("just replaced").is_done() {
-            self.ctx[ctx].done = true;
+            self.ctx.done[ctx] = true;
             self.done_units += 1;
         }
         outgoing
@@ -293,12 +296,12 @@ impl<P: SystemPort> Processor<P> {
 
     /// Instructions retired by context `ctx`.
     pub fn retired(&self, ctx: usize) -> u64 {
-        self.ctx[ctx].retired
+        self.ctx.retired[ctx]
     }
 
     /// Resets `ctx`'s retired-instruction counter (per-slice accounting).
     pub fn reset_retired(&mut self, ctx: usize) {
-        self.ctx[ctx].retired = 0;
+        self.ctx.retired[ctx] = 0;
     }
 
     /// Clears the accumulated breakdown, drained-cycle count, and trace
@@ -326,7 +329,7 @@ impl<P: SystemPort> Processor<P> {
             reg.counter(&format!("cycles.{}", metric_name(category)), self.breakdown.get(category));
         }
         reg.counter("cycles.drained", self.drained_cycles);
-        reg.counter("instructions.retired", self.ctx.iter().map(|c| c.retired).sum());
+        reg.counter("instructions.retired", self.ctx.retired.iter().sum());
         self.btb.collect_metrics(reg);
         self.window.collect_metrics(reg);
         self.front.collect_metrics(reg);
@@ -386,7 +389,7 @@ impl<P: SystemPort> Processor<P> {
 
     /// Snapshot of a context's scheduling state.
     pub fn ctx_view(&self, ctx: usize) -> CtxView {
-        self.ctx[ctx].view()
+        self.ctx.view(ctx)
     }
 
     /// Immutable access to the memory system.
@@ -405,9 +408,9 @@ impl<P: SystemPort> Processor<P> {
     ///
     /// Panics if the context is not sync-waiting.
     pub fn wake_context(&mut self, ctx: usize) {
-        match self.ctx[ctx].state {
+        match self.ctx.state[ctx] {
             CtxState::Waiting { reason: WaitReason::Sync, .. } => {
-                self.ctx[ctx].state = CtxState::Ready;
+                self.ctx.state[ctx] = CtxState::Ready;
             }
             other => panic!("context {ctx} not sync-waiting (state {other:?})"),
         }
@@ -457,7 +460,7 @@ impl<P: SystemPort> Processor<P> {
     /// the pipe (debug aid).
     pub fn check_lost_work(&self) -> Option<usize> {
         for c in 0..self.cfg.contexts {
-            if !self.ctx[c].attached || !self.ctx[c].is_ready() {
+            if !self.ctx.attached[c] || !self.ctx.is_ready(c) {
                 continue;
             }
             let in_pipe = self.window.count_ctx(c) + self.front.count_ctx(c);
@@ -500,10 +503,10 @@ impl<P: SystemPort> Processor<P> {
         }
         let mut latched = 0;
         for c in 0..self.cfg.contexts {
-            if !self.ctx[c].attached {
+            if !self.ctx.attached[c] {
                 continue;
             }
-            if self.ctx[c].done {
+            if self.ctx.done[c] {
                 latched += 1;
                 if !self.unit(c).is_done() {
                     return Err(Violation::new(
@@ -590,11 +593,11 @@ impl<P: SystemPort> Processor<P> {
         if stalled {
             bound = Some(bound.map_or(self.fetch_stall_until, |b| b.min(self.fetch_stall_until)));
         }
-        for c in &self.ctx {
-            if !c.attached {
+        for c in 0..self.ctx.len() {
+            if !self.ctx.attached[c] {
                 continue;
             }
-            match c.state {
+            match self.ctx.state[c] {
                 CtxState::Waiting { until: Some(t), .. } => {
                     bound = Some(bound.map_or(t, |b| b.min(t)));
                 }
@@ -604,7 +607,11 @@ impl<P: SystemPort> Processor<P> {
                     // once its stream is done (wrong-path or
                     // pending-backoff contexts still fetch or hold fetch
                     // slots).
-                    if !stalled && (!c.done || c.wrong_path || c.pending_backoff) {
+                    if !stalled
+                        && (!self.ctx.done[c]
+                            || self.ctx.wrong_path[c]
+                            || self.ctx.pending_backoff[c])
+                    {
                         return None;
                     }
                 }
@@ -701,15 +708,15 @@ impl<P: SystemPort> Processor<P> {
             self.fetch_stall_until,
             self.front.rf(),
         );
-        for (i, c) in self.ctx.iter().enumerate() {
+        for i in 0..self.ctx.len() {
             s += &format!(
                 "  ctx{i}: state={:?} wp={} pend_bo={} epoch={} bound={:?} bifetch={:?} win={} front={}\n",
-                c.state,
-                c.wrong_path,
-                c.pending_backoff,
-                c.epoch,
-                c.bound_fills,
-                c.bound_ifetch,
+                self.ctx.state[i],
+                self.ctx.wrong_path[i],
+                self.ctx.pending_backoff[i],
+                self.ctx.epoch[i],
+                self.ctx.bound_fills[i],
+                self.ctx.bound_ifetch[i],
                 self.window.count_ctx(i),
                 self.front.count_ctx(i),
             );
@@ -734,11 +741,11 @@ impl<P: SystemPort> Processor<P> {
         for r in &retired {
             let unit = self.units[r.ctx].as_mut().expect("retiring context has a unit");
             unit.retire(r.fetch_index);
-            self.ctx[r.ctx].retired += 1;
+            self.ctx.retired[r.ctx] += 1;
             // Retirement is the only place a unit can become done (eager
             // normalization discovers stream exhaustion here).
-            if !self.ctx[r.ctx].done && unit.is_done() {
-                self.ctx[r.ctx].done = true;
+            if !self.ctx.done[r.ctx] && unit.is_done() {
+                self.ctx.done[r.ctx] = true;
                 self.done_units += 1;
             }
         }
@@ -763,10 +770,10 @@ impl<P: SystemPort> Processor<P> {
                     self.on_miss_detect(now, ctx, epoch, fetch_index, ready_at, addr);
                 }
                 Event::BranchResolve { ctx, epoch, pc, taken, target, .. } => {
-                    if self.ctx[ctx].epoch == epoch {
+                    if self.ctx.epoch[ctx] == epoch {
                         self.btb.update(pc, taken, target);
                         self.front.squash_wrong_path(ctx);
-                        self.ctx[ctx].wrong_path = false;
+                        self.ctx.wrong_path[ctx] = false;
                     }
                 }
             }
@@ -782,14 +789,14 @@ impl<P: SystemPort> Processor<P> {
         ready_at: u64,
         addr: u64,
     ) {
-        if self.ctx[ctx].epoch != epoch {
+        if self.ctx.epoch[ctx] != epoch {
             return; // squashed in the meantime; the re-executed access re-reports
         }
         self.switches.data.inc();
         self.end_run(ctx);
         // The fill is delivered to this context by the MSHR; its
         // re-executed access completes without re-probing the cache.
-        let bounds = &mut self.ctx[ctx].bound_fills;
+        let bounds = &mut self.ctx.bound_fills[ctx];
         if !bounds.contains((fetch_index, addr)) {
             bounds.push_evicting((fetch_index, addr));
         }
@@ -814,11 +821,11 @@ impl<P: SystemPort> Processor<P> {
                 // Front slots of this context are younger than everything
                 // in the window, so the window minimum covers them.
                 self.unit_mut(ctx).rollback(min_index);
-                self.ctx[ctx].state =
+                self.ctx.state[ctx] =
                     CtxState::Waiting { reason: WaitReason::Data, until: Some(ready_at) };
-                self.ctx[ctx].epoch += 1;
-                self.ctx[ctx].wrong_path = false;
-                self.ctx[ctx].pending_backoff = false;
+                self.ctx.epoch[ctx] += 1;
+                self.ctx.wrong_path[ctx] = false;
+                self.ctx.pending_backoff[ctx] = false;
             }
             Scheme::Blocked => {
                 // Full pipeline flush: every context's in-flight work dies,
@@ -851,12 +858,12 @@ impl<P: SystemPort> Processor<P> {
                         self.checked_cleared(c, now);
                     }
                     self.unit_mut(c).rollback(min_index);
-                    self.ctx[c].epoch += 1;
-                    self.ctx[c].wrong_path = false;
-                    self.ctx[c].pending_backoff = false;
+                    self.ctx.epoch[c] += 1;
+                    self.ctx.wrong_path[c] = false;
+                    self.ctx.pending_backoff[c] = false;
                 }
                 self.mins_scratch = mins;
-                self.ctx[ctx].state =
+                self.ctx.state[ctx] =
                     CtxState::Waiting { reason: WaitReason::Data, until: Some(ready_at) };
                 self.pick_next_current(ctx);
             }
@@ -864,10 +871,10 @@ impl<P: SystemPort> Processor<P> {
     }
 
     fn wake_contexts(&mut self, now: u64) {
-        for c in &mut self.ctx {
-            if let CtxState::Waiting { until: Some(t), .. } = c.state {
+        for state in self.ctx.state.iter_mut() {
+            if let CtxState::Waiting { until: Some(t), .. } = *state {
                 if t <= now {
-                    c.state = CtxState::Ready;
+                    *state = CtxState::Ready;
                 }
             }
         }
@@ -967,7 +974,7 @@ impl<P: SystemPort> Processor<P> {
                 self.events.push(Event::BranchResolve {
                     due: ex,
                     ctx: slot.ctx,
-                    epoch: self.ctx[slot.ctx].epoch,
+                    epoch: self.ctx.epoch[slot.ctx],
                     pc: slot.instr.pc,
                     taken: branch.taken,
                     target: branch.target,
@@ -989,7 +996,7 @@ impl<P: SystemPort> Processor<P> {
         }
         // A re-executed access whose fill was bound by the MSHR completes
         // without re-probing the cache.
-        if self.ctx[slot.ctx].bound_fills.take((slot.fetch_index, addr)) {
+        if self.ctx.bound_fills[slot.ctx].take((slot.fetch_index, addr)) {
             return;
         }
         let lookup = ex + 1; // DF1
@@ -1016,7 +1023,7 @@ impl<P: SystemPort> Processor<P> {
                     self.events.push(Event::MissDetect {
                         due: ex + INT_ISSUE_TO_RETIRE,
                         ctx: slot.ctx,
-                        epoch: self.ctx[slot.ctx].epoch,
+                        epoch: self.ctx.epoch[slot.ctx],
                         fetch_index: slot.fetch_index,
                         ready_at,
                         addr,
@@ -1045,10 +1052,10 @@ impl<P: SystemPort> Processor<P> {
                 if self.cfg.validate {
                     self.checked_cleared(ctx, now);
                 }
-                self.ctx[ctx].state = CtxState::Waiting { reason: WaitReason::Sync, until: None };
-                self.ctx[ctx].epoch += 1;
-                self.ctx[ctx].wrong_path = false;
-                self.ctx[ctx].pending_backoff = false;
+                self.ctx.state[ctx] = CtxState::Waiting { reason: WaitReason::Sync, until: None };
+                self.ctx.epoch[ctx] += 1;
+                self.ctx.wrong_path[ctx] = false;
+                self.ctx.pending_backoff[ctx] = false;
                 if self.cfg.scheme == Scheme::Blocked {
                     self.pick_next_current(ctx);
                 }
@@ -1101,10 +1108,10 @@ impl<P: SystemPort> Processor<P> {
         });
         self.front.squash_ctx(ctx);
         let duration = u64::from(slot.instr.backoff.max(1));
-        self.ctx[ctx].state =
+        self.ctx.state[ctx] =
             CtxState::Waiting { reason: WaitReason::Backoff, until: Some(now + duration) };
-        self.ctx[ctx].wrong_path = false;
-        self.ctx[ctx].pending_backoff = false;
+        self.ctx.wrong_path[ctx] = false;
+        self.ctx.pending_backoff[ctx] = false;
         self.advance_front(now);
     }
 
@@ -1169,7 +1176,7 @@ impl<P: SystemPort> Processor<P> {
         // yet) — the two bubbles of the three-cycle cost in Table 4.
         if self.cfg.scheme == Scheme::Blocked {
             if let Some(c) = self.current {
-                if self.ctx[c].is_ready() && self.ctx[c].pending_backoff {
+                if self.ctx.is_ready(c) && self.ctx.pending_backoff[c] {
                     return FrontSlot::Bubble(BubbleCause::Switch);
                 }
             }
@@ -1178,7 +1185,7 @@ impl<P: SystemPort> Processor<P> {
             return FrontSlot::Bubble(self.no_context_cause());
         };
 
-        if self.ctx[ctx].wrong_path {
+        if self.ctx.wrong_path[ctx] {
             let index = self.unit(ctx).cursor();
             return FrontSlot::Instr(Slot {
                 ctx,
@@ -1191,16 +1198,16 @@ impl<P: SystemPort> Processor<P> {
 
         let instr = self.unit(ctx).peek().expect("select_context verified the stream is non-empty");
         let cursor = self.unit(ctx).cursor();
-        if self.ctx[ctx].bound_ifetch == Some(cursor) {
+        if self.ctx.bound_ifetch[ctx] == Some(cursor) {
             // The outstanding I-fill delivers this fetch directly.
-            self.ctx[ctx].bound_ifetch = None;
+            self.ctx.bound_ifetch[ctx] = None;
         } else {
-            self.ctx[ctx].bound_ifetch = None; // any older binding is stale
+            self.ctx.bound_ifetch[ctx] = None; // any older binding is stale
             match self.port.inst(now, instr.pc) {
                 InstOutcome::Hit => {}
                 InstOutcome::Stall { ready_at } => {
                     self.fetch_stall_until = ready_at;
-                    self.ctx[ctx].bound_ifetch = Some(cursor);
+                    self.ctx.bound_ifetch[ctx] = Some(cursor);
                     return FrontSlot::Bubble(BubbleCause::InstMem);
                 }
             }
@@ -1211,12 +1218,12 @@ impl<P: SystemPort> Processor<P> {
             if !self.btb.check(instr.pc, branch.taken, branch.target) {
                 // The prediction is bound at fetch: the shared BTB may be
                 // retrained by other contexts before this branch issues.
-                self.ctx[ctx].wrong_path = true;
+                self.ctx.wrong_path[ctx] = true;
                 mispredicted = true;
             }
         }
         if matches!(instr.op, Op::Backoff | Op::SwitchHint) && self.cfg.scheme != Scheme::Single {
-            self.ctx[ctx].pending_backoff = true;
+            self.ctx.pending_backoff[ctx] = true;
         }
 
         let fetch_index = self.unit(ctx).cursor();
@@ -1260,7 +1267,7 @@ impl<P: SystemPort> Processor<P> {
     }
 
     fn fetchable(&self, ctx: usize) -> bool {
-        if !self.ctx[ctx].attached || !self.ctx[ctx].is_ready() || self.ctx[ctx].pending_backoff {
+        if !self.ctx.attached[ctx] || !self.ctx.is_ready(ctx) || self.ctx.pending_backoff[ctx] {
             return false;
         }
         // The fine-grained (HEP-like) pipeline has no interlocks: a
@@ -1270,7 +1277,7 @@ impl<P: SystemPort> Processor<P> {
         {
             return false;
         }
-        if self.ctx[ctx].wrong_path {
+        if self.ctx.wrong_path[ctx] {
             return true;
         }
         self.unit(ctx).peek().is_some()
@@ -1282,7 +1289,7 @@ impl<P: SystemPort> Processor<P> {
         let n = self.cfg.contexts;
         for offset in 1..=n {
             let c = (exclude + offset) % n;
-            if c != exclude && self.ctx[c].attached && self.ctx[c].is_ready() {
+            if c != exclude && self.ctx.attached[c] && self.ctx.is_ready(c) {
                 self.current = Some(c);
                 return;
             }
@@ -1294,11 +1301,11 @@ impl<P: SystemPort> Processor<P> {
     /// that resumes soonest (sync waits count as farthest).
     fn no_context_cause(&self) -> BubbleCause {
         let mut best: Option<(u64, WaitReason)> = None;
-        for c in &self.ctx {
-            if !c.attached {
+        for c in 0..self.ctx.len() {
+            if !self.ctx.attached[c] {
                 continue;
             }
-            if let CtxState::Waiting { reason, until } = c.state {
+            if let CtxState::Waiting { reason, until } = self.ctx.state[c] {
                 let at = until.unwrap_or(u64::MAX);
                 if best.is_none_or(|(b, _)| at < b) {
                     best = Some((at, reason));
@@ -1312,7 +1319,10 @@ impl<P: SystemPort> Processor<P> {
             // No context is waiting: either every ready context has a
             // decoded backoff in flight (switch overhead) or the streams
             // are exhausted (drained, uncharged).
-            None if self.ctx.iter().any(|c| c.attached && c.is_ready() && c.pending_backoff) => {
+            None if (0..self.ctx.len()).any(|c| {
+                self.ctx.attached[c] && self.ctx.is_ready(c) && self.ctx.pending_backoff[c]
+            }) =>
+            {
                 BubbleCause::Switch
             }
             None => BubbleCause::Drained,
@@ -1337,10 +1347,10 @@ impl<P: SystemPort> Processor<P> {
         if self.cfg.validate {
             self.checked_cleared(ctx, self.now);
         }
-        self.ctx[ctx].epoch += 1;
-        self.ctx[ctx].wrong_path = false;
-        self.ctx[ctx].pending_backoff = false;
-        self.ctx[ctx].bound_fills.clear();
+        self.ctx.epoch[ctx] += 1;
+        self.ctx.wrong_path[ctx] = false;
+        self.ctx.pending_backoff[ctx] = false;
+        self.ctx.bound_fills[ctx].clear();
     }
 }
 

@@ -18,6 +18,10 @@
 //! * [`Inbox`] and [`Msg`] — the deterministic cross-shard router:
 //!   messages totally ordered by `(due cycle, source lane, per-lane
 //!   sequence)` keys and delivered in exactly that order.
+//! * [`rand64`] — stateless keyed sampling: a draw is a pure function
+//!   of `(seed, lane, index)`, so concurrent consumers sample identical
+//!   values no matter how the host schedules them. The latency model
+//!   and the synthetic workload generator both key off it.
 //! * [`QuantumSchedule`] and [`run_sharded`] — the conservative
 //!   quantum-barrier driver: quanta of at most one lookahead, clipped to
 //!   warmup and validation-chunk boundaries, executed serially or on
@@ -40,6 +44,7 @@
 
 mod driver;
 mod queue;
+pub mod rand64;
 mod router;
 mod time;
 

@@ -1,3 +1,4 @@
+use interleave_engine::rand64;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -61,27 +62,17 @@ impl LatencyModel {
     }
 
     /// Samples a latency for one miss class without shared generator
-    /// state: the draw is a pure hash of `(seed, node, draw)`, so
-    /// concurrent shards sample identical sequences no matter how the
-    /// host schedules them — the property that makes `--mp-jobs`
-    /// bit-invisible.
+    /// state: the draw is a pure hash of `(seed, node, draw)` via
+    /// [`interleave_engine::rand64`], so concurrent shards sample
+    /// identical sequences no matter how the host schedules them — the
+    /// property that makes `--mp-jobs` bit-invisible.
     pub fn sample_hashed(&self, range: (u64, u64), seed: u64, node: usize, draw: u64) -> u64 {
         if range.0 == range.1 {
             return range.0;
         }
         let span = range.1 - range.0 + 1;
-        let key = splitmix64(seed ^ splitmix64(((node as u64) << 40) ^ draw));
-        range.0 + key % span
+        range.0 + rand64::bounded(rand64::hashed(seed, node as u64, draw), span)
     }
-}
-
-/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer used to
-/// derive order-independent latency draws.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 impl Default for LatencyModel {

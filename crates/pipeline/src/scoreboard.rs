@@ -56,11 +56,13 @@ struct FuState {
 #[derive(Debug, Clone)]
 pub struct Scoreboard {
     contexts: usize,
-    /// `contexts * Reg::COUNT` ready cycles.
-    reg_ready: Vec<u64>,
+    /// `contexts * Reg::COUNT` ready cycles. Boxed slices: sized once at
+    /// construction (context count is a hardware parameter), no spare
+    /// capacity, contiguous per-context index ranges.
+    reg_ready: Box<[u64]>,
     /// Whether the pending value comes from an outstanding memory operation
     /// (drives data-stall vs pipeline-stall attribution).
-    mem_pending: Vec<bool>,
+    mem_pending: Box<[bool]>,
     fu: [FuState; FU_COUNT],
 }
 
@@ -75,8 +77,8 @@ impl Scoreboard {
         assert!(contexts > 0, "need at least one context");
         Scoreboard {
             contexts,
-            reg_ready: vec![0; contexts * Reg::COUNT],
-            mem_pending: vec![false; contexts * Reg::COUNT],
+            reg_ready: vec![0; contexts * Reg::COUNT].into_boxed_slice(),
+            mem_pending: vec![false; contexts * Reg::COUNT].into_boxed_slice(),
             fu: [FuState { free_at: 0, owner: usize::MAX, prev_free_at: 0 }; FU_COUNT],
         }
     }

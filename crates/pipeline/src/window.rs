@@ -23,6 +23,12 @@ pub struct InFlight {
 /// scheme squashes only the missing context's entries (1–4 cycles with four
 /// contexts) — the contrast of paper Figure 2.
 ///
+/// Stored in struct-of-arrays layout: the per-cycle retirement scan reads
+/// only the `retires_at` column and the fine-grained scheme's occupancy
+/// check reads only `ctx`, so each hot scan touches one small contiguous
+/// array instead of striding over whole [`InFlight`] records. The public
+/// interface still speaks `InFlight`; rows are gathered on the way out.
+///
 /// # Examples
 ///
 /// ```
@@ -36,7 +42,11 @@ pub struct InFlight {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct IssueWindow {
-    items: Vec<InFlight>,
+    ctx: Vec<usize>,
+    fetch_index: Vec<u64>,
+    instr: Vec<Instr>,
+    issued_at: Vec<u64>,
+    retires_at: Vec<u64>,
     stats: WindowStats,
 }
 
@@ -55,6 +65,36 @@ impl IssueWindow {
         IssueWindow::default()
     }
 
+    /// Gathers row `i` back into an [`InFlight`] record.
+    fn row(&self, i: usize) -> InFlight {
+        InFlight {
+            ctx: self.ctx[i],
+            fetch_index: self.fetch_index[i],
+            instr: self.instr[i],
+            issued_at: self.issued_at[i],
+            retires_at: self.retires_at[i],
+        }
+    }
+
+    /// Copies row `from` over row `to` in every column (compaction step).
+    fn copy_row(&mut self, from: usize, to: usize) {
+        if from != to {
+            self.ctx[to] = self.ctx[from];
+            self.fetch_index[to] = self.fetch_index[from];
+            self.instr[to] = self.instr[from];
+            self.issued_at[to] = self.issued_at[from];
+            self.retires_at[to] = self.retires_at[from];
+        }
+    }
+
+    fn truncate(&mut self, len: usize) {
+        self.ctx.truncate(len);
+        self.fetch_index.truncate(len);
+        self.instr.truncate(len);
+        self.issued_at.truncate(len);
+        self.retires_at.truncate(len);
+    }
+
     /// Records an issued instruction.
     ///
     /// # Panics
@@ -63,10 +103,14 @@ impl IssueWindow {
     /// least one cycle in flight) or if issue order is violated.
     pub fn issue(&mut self, inflight: InFlight) {
         assert!(inflight.retires_at >= inflight.issued_at, "retire before issue");
-        if let Some(last) = self.items.last() {
-            assert!(last.issued_at <= inflight.issued_at, "issue order violated");
+        if let Some(last) = self.issued_at.last() {
+            assert!(*last <= inflight.issued_at, "issue order violated");
         }
-        self.items.push(inflight);
+        self.ctx.push(inflight.ctx);
+        self.fetch_index.push(inflight.fetch_index);
+        self.instr.push(inflight.instr);
+        self.issued_at.push(inflight.issued_at);
+        self.retires_at.push(inflight.retires_at);
     }
 
     /// Moves the instructions retiring at or before `now` into `out`
@@ -79,14 +123,16 @@ impl IssueWindow {
     /// so completed work is never re-executed).
     pub fn retire_due_into(&mut self, now: u64, out: &mut Vec<InFlight>) {
         out.clear();
-        self.items.retain(|i| {
-            if i.retires_at <= now {
-                out.push(*i);
-                false
+        let mut write = 0;
+        for read in 0..self.retires_at.len() {
+            if self.retires_at[read] <= now {
+                out.push(self.row(read));
             } else {
-                true
+                self.copy_row(read, write);
+                write += 1;
             }
-        });
+        }
+        self.truncate(write);
     }
 
     /// Removes and returns the instructions retiring at or before `now`.
@@ -115,14 +161,16 @@ impl IssueWindow {
     /// by CID at the detection point.
     pub fn squash_ctx_from_into(&mut self, ctx: usize, from: u64, out: &mut Vec<InFlight>) {
         out.clear();
-        self.items.retain(|i| {
-            if i.ctx == ctx && i.fetch_index >= from {
-                out.push(*i);
-                false
+        let mut write = 0;
+        for read in 0..self.ctx.len() {
+            if self.ctx[read] == ctx && self.fetch_index[read] >= from {
+                out.push(self.row(read));
             } else {
-                true
+                self.copy_row(read, write);
+                write += 1;
             }
-        });
+        }
+        self.truncate(write);
         self.note_squash(out.len());
     }
 
@@ -138,7 +186,10 @@ impl IssueWindow {
     /// the blocked scheme's full flush.
     pub fn squash_all_into(&mut self, out: &mut Vec<InFlight>) {
         out.clear();
-        out.append(&mut self.items);
+        for i in 0..self.ctx.len() {
+            out.push(self.row(i));
+        }
+        self.truncate(0);
         self.note_squash(out.len());
     }
 
@@ -174,17 +225,17 @@ impl IssueWindow {
 
     /// Number of in-flight instructions belonging to `ctx`.
     pub fn count_ctx(&self, ctx: usize) -> usize {
-        self.items.iter().filter(|i| i.ctx == ctx).count()
+        self.ctx.iter().filter(|&&c| c == ctx).count()
     }
 
     /// Total in-flight instructions.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.ctx.len()
     }
 
     /// Whether nothing is in flight.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.ctx.is_empty()
     }
 }
 

@@ -1,9 +1,9 @@
 use std::collections::VecDeque;
 
 use interleave_core::InstrSource;
+use interleave_engine::rand64::{bounded, coin, hashed, unit_f64};
 use interleave_isa::{Instr, Op, Reg};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use interleave_obs::{profile, Histogram};
 
 use crate::AppProfile;
 
@@ -14,6 +14,14 @@ use crate::AppProfile;
 /// BTB behaviour emerge from the control flow), emits the profile's
 /// operation mix with configurable dependency distances, and touches a
 /// data footprint with hot/cold, streaming, and strided components.
+///
+/// Sampling is stateless: every random decision is a pure function of
+/// `(app key, draw site, instruction index)` via
+/// [`interleave_engine::rand64`], so instruction `i` of a stream is
+/// identical no matter how the stream is pulled — one instruction at a
+/// time, in batches of any size, or interleaved with other streams.
+/// There is no generator object to advance and no draw-order coupling
+/// between instructions.
 ///
 /// When the profile carries `latency_hints`, divides are followed by a
 /// backoff instruction covering the divide latency before the dependent
@@ -35,7 +43,8 @@ use crate::AppProfile;
 /// ```
 pub struct SyntheticApp {
     profile: AppProfile,
-    rng: SmallRng,
+    /// Keyed-sampling seed: every draw is `hashed(key, site, emitted)`.
+    key: u64,
     code_base: u64,
     data_base: u64,
     pc: u64,
@@ -66,6 +75,9 @@ pub struct SyntheticApp {
     due_consumer: Option<(Reg, u8)>,
     emitted: u64,
     limit: Option<u64>,
+    /// Distribution of run lengths handed out per [`InstrSource::next_run`]
+    /// call (and the 1-instruction runs of `next_instr`).
+    batch_lens: Histogram,
 }
 
 const INT_POOL_BASE: u8 = 8;
@@ -74,6 +86,54 @@ const POOL_LEN: u8 = 16;
 /// Base register used for addressing; never written, so address
 /// generation does not serialize on data results.
 const ADDR_REG: u8 = 29;
+
+/// Draw-site lanes for stateless sampling: each random decision the
+/// generator makes per instruction owns a lane, so one `(site, index)`
+/// pair is never drawn for two purposes. Sites needing both a coin and a
+/// small pick share one draw — the coin reads bits 11..64, the pick the
+/// low bits (independence property-tested in `engine::rand64`).
+mod site {
+    /// Operation-class selector (the mix accumulator walk).
+    pub const OP_CLASS: u64 = 1;
+    /// Whether a load destination is FP.
+    pub const LOAD_DST: u64 = 2;
+    /// Whether a load's result gets a scheduled near consumer.
+    pub const CONSUME: u64 = 3;
+    /// Streaming-vs-resident selector for a data reference.
+    pub const ADDR_CLASS: u64 = 4;
+    /// Hot-subset coin for non-streaming references.
+    pub const ADDR_LOC: u64 = 5;
+    /// Offset within the hot subset.
+    pub const ADDR_HOT: u64 = 6;
+    /// Cold-window drift coin.
+    pub const ADDR_STEP: u64 = 7;
+    /// Offset within the cold window.
+    pub const ADDR_OFF: u64 = 8;
+    /// First source operand: near-dependence coin + pool pick (one draw).
+    pub const SRC_A: u64 = 9;
+    /// Second source operand: near-dependence coin + pool pick (one draw).
+    pub const SRC_B: u64 = 10;
+    /// Phase-change coin for a branch.
+    pub const BR_PHASE: u64 = 11;
+    /// Working-set drift coin on a phase change.
+    pub const BR_DRIFT: u64 = 12;
+    /// Which region drifts into the active set.
+    pub const BR_PICK: u64 = 13;
+    /// Active-set slot the new region replaces.
+    pub const BR_SLOT_NEW: u64 = 14;
+    /// Active-set slot a phase change jumps to.
+    pub const BR_SLOT: u64 = 15;
+    /// Taken/not-taken outcome of a conditional branch.
+    pub const BR_TAKEN: u64 = 16;
+    /// FP-divide coin within the FP class.
+    pub const FP_DIV: u64 = 17;
+    /// Single-vs-double precision of an FP divide.
+    pub const FP_DOUBLE: u64 = 18;
+    /// Which non-divide FP operation.
+    pub const FP_OP: u64 = 19;
+    /// Jittered basic-block length.
+    pub const BLOCK_LEN: u64 = 20;
+}
 
 fn mix_hash(mut x: u64) -> u64 {
     x ^= x >> 33;
@@ -99,9 +159,9 @@ impl SyntheticApp {
         // instead of aliasing perfectly.
         let code_base = 0x4000_0000 + app_slot as u64 * 0x0211_3000;
         let data_base = 0x1_0000_0000 + app_slot as u64 * 0x1039_7000;
-        let mixed = seed ^ mix_hash(app_slot as u64 + 1) ^ mix_hash(profile.name.len() as u64);
+        let key = seed ^ mix_hash(app_slot as u64 + 1) ^ mix_hash(profile.name.len() as u64);
         SyntheticApp {
-            rng: SmallRng::seed_from_u64(mixed),
+            key,
             code_base,
             data_base,
             pc: code_base,
@@ -119,6 +179,7 @@ impl SyntheticApp {
             due_consumer: None,
             emitted: 0,
             limit: None,
+            batch_lens: Histogram::new(),
             profile,
         }
     }
@@ -132,6 +193,20 @@ impl SyntheticApp {
     /// The profile this stream was built from.
     pub fn profile(&self) -> &AppProfile {
         &self.profile
+    }
+
+    /// Distribution of run lengths produced per source round-trip:
+    /// `next_run` records the run it hands out, `next_instr` records a
+    /// run of one. The mean is the generator's batching amortization
+    /// factor.
+    pub fn batch_lens(&self) -> &Histogram {
+        &self.batch_lens
+    }
+
+    /// The keyed draw for `site` at the current instruction index.
+    #[inline]
+    fn draw(&self, site: u64) -> u64 {
+        hashed(self.key, site, self.emitted)
     }
 
     fn next_int_dst(&mut self) -> Reg {
@@ -148,20 +223,24 @@ impl SyntheticApp {
         reg
     }
 
-    fn int_src(&mut self) -> Reg {
-        let reg = if self.rng.gen_bool(self.profile.dep_near) {
+    /// One draw decides near-dependence (high bits) and the pool pick
+    /// (low bits); `site` distinguishes the two operand positions.
+    fn int_src(&mut self, site: u64) -> Reg {
+        let d = self.draw(site);
+        let reg = if coin(d, self.profile.dep_near) {
             self.last_int
         } else {
-            Reg::int(INT_POOL_BASE + self.rng.gen_range(0..POOL_LEN))
+            Reg::int(INT_POOL_BASE + bounded(d, u64::from(POOL_LEN)) as u8)
         };
         self.scheduled(reg)
     }
 
-    fn fp_src(&mut self) -> Reg {
-        let reg = if self.rng.gen_bool(self.profile.dep_near) {
+    fn fp_src(&mut self, site: u64) -> Reg {
+        let d = self.draw(site);
+        let reg = if coin(d, self.profile.dep_near) {
             self.last_fp
         } else {
-            Reg::fp(FP_POOL_BASE + self.rng.gen_range(0..POOL_LEN))
+            Reg::fp(FP_POOL_BASE + bounded(d, u64::from(POOL_LEN)) as u8)
         };
         self.scheduled(reg)
     }
@@ -205,9 +284,8 @@ impl SyntheticApp {
     }
 
     fn data_addr(&mut self) -> u64 {
-        let p = &self.profile;
-        let draw: f64 = self.rng.gen();
-        let offset = if draw < p.streaming {
+        let p = self.profile;
+        let offset = if unit_f64(self.draw(site::ADDR_CLASS)) < p.streaming {
             self.stream_pos = (self.stream_pos + p.stream_stride) % p.data_footprint;
             if p.software_prefetch {
                 // Prefetch the next stream element so its line is (mostly)
@@ -221,22 +299,22 @@ impl SyntheticApp {
                 ));
             }
             self.stream_pos
-        } else if self.rng.gen_bool(p.locality) {
+        } else if coin(self.draw(site::ADDR_LOC), p.locality) {
             // The hot subset is what the application keeps in its primary
             // cache; clamp it to cache scale so `locality` really means
             // "re-references recently used data".
             let hot = ((p.data_footprint as f64 * p.hot_fraction) as u64).clamp(64, 12 * 1024);
-            self.rng.gen_range(0..hot)
+            bounded(self.draw(site::ADDR_HOT), hot)
         } else {
             // Cold references fall in a window that drifts slowly through
             // the footprint (working-set behaviour), not uniformly over
             // the whole data segment.
             let window = (32 * 1024).min(p.data_footprint);
-            if self.rng.gen_bool(0.002) {
+            if coin(self.draw(site::ADDR_STEP), 0.002) {
                 let step = window / 4;
                 self.data_window = (self.data_window + step) % p.data_footprint;
             }
-            (self.data_window + self.rng.gen_range(0..window)) % p.data_footprint
+            (self.data_window + bounded(self.draw(site::ADDR_OFF), window)) % p.data_footprint
         };
         self.data_base + (offset & !3)
     }
@@ -250,16 +328,16 @@ impl SyntheticApp {
         // program): jump to a new hot region. These look like indirect
         // jumps to the BTB — their targets vary — and are the source of
         // I-cache pressure proportional to the code footprint.
-        if self.rng.gen_bool(0.015) {
+        if coin(self.draw(site::BR_PHASE), 0.015) {
             let regions = (p.code_footprint / self.region_bytes()).max(1);
-            if self.rng.gen_bool(0.05) {
+            if coin(self.draw(site::BR_DRIFT), 0.05) {
                 // Working-set drift: bring a new region into the active set.
-                let pick = self.rng.gen_range(0..regions);
-                let slot = self.rng.gen_range(0..self.active_regions.len());
-                self.active_regions[slot] = self.code_base + pick * self.region_bytes();
+                let pick = bounded(self.draw(site::BR_PICK), regions);
+                let slot = bounded(self.draw(site::BR_SLOT_NEW), self.active_regions.len() as u64);
+                self.active_regions[slot as usize] = self.code_base + pick * self.region_bytes();
             }
-            let slot = self.rng.gen_range(0..self.active_regions.len());
-            self.region_base = self.active_regions[slot];
+            let slot = bounded(self.draw(site::BR_SLOT), self.active_regions.len() as u64);
+            self.region_base = self.active_regions[slot as usize];
             self.pc = self.region_base;
             let cond = self.scheduled(self.last_int);
             return Instr::branch(pc, Some(cond), true, self.region_base);
@@ -279,7 +357,7 @@ impl SyntheticApp {
             let fwd = block_bytes * (1 + (h >> 10) % 2);
             (0.5, self.wrap_region(pc + fwd))
         };
-        let taken = self.rng.gen_bool(taken_prob);
+        let taken = coin(self.draw(site::BR_TAKEN), taken_prob);
         if taken {
             self.pc = target;
         }
@@ -292,15 +370,15 @@ impl SyntheticApp {
     fn gen_divide(&mut self, pc: u64, op: Op) -> Instr {
         let (dst, src, latency) = match op {
             Op::IntDiv => {
-                let src = self.int_src();
+                let src = self.int_src(site::SRC_A);
                 (self.next_int_dst(), src, 35u32)
             }
             Op::FpDivSingle => {
-                let src = self.fp_src();
+                let src = self.fp_src(site::SRC_A);
                 (self.next_fp_dst(), src, 31)
             }
             Op::FpDivDouble => {
-                let src = self.fp_src();
+                let src = self.fp_src(site::SRC_A);
                 (self.next_fp_dst(), src, 61)
             }
             _ => unreachable!("gen_divide only handles divides"),
@@ -356,80 +434,114 @@ impl SyntheticApp {
         let pc = self.step_pc();
 
         let p = self.profile;
-        let draw: f64 = self.rng.gen();
+        let class = unit_f64(self.draw(site::OP_CLASS));
         let mut acc = p.frac_load;
-        if draw < acc {
-            let dst =
-                if self.rng.gen_bool(p.frac_fp) { self.next_fp_dst() } else { self.next_int_dst() };
+        if class < acc {
+            let dst = if coin(self.draw(site::LOAD_DST), p.frac_fp) {
+                self.next_fp_dst()
+            } else {
+                self.next_int_dst()
+            };
             let addr = self.data_addr();
             self.recent_loads = [Some((dst, self.emitted)), self.recent_loads[0]];
-            if self.due_consumer.is_none() && self.rng.gen_bool(0.85) {
+            if self.due_consumer.is_none() && coin(self.draw(site::CONSUME), 0.85) {
                 self.due_consumer = Some((dst, 2));
             }
             return Instr::load(pc, dst, Reg::int(ADDR_REG), addr);
         }
         acc += p.frac_store;
-        if draw < acc {
-            let src = self.int_src();
+        if class < acc {
+            let src = self.int_src(site::SRC_A);
             let addr = self.data_addr();
             return Instr::store(pc, src, Reg::int(ADDR_REG), addr);
         }
         acc += p.frac_branch;
-        if draw < acc {
+        if class < acc {
             return self.gen_branch(pc);
         }
         acc += p.frac_fp;
-        if draw < acc {
-            if self.rng.gen_bool(p.fp_div_frac) {
-                let op = if self.rng.gen_bool(p.fp_double_frac) {
+        if class < acc {
+            if coin(self.draw(site::FP_DIV), p.fp_div_frac) {
+                let op = if coin(self.draw(site::FP_DOUBLE), p.fp_double_frac) {
                     Op::FpDivDouble
                 } else {
                     Op::FpDivSingle
                 };
                 return self.gen_divide(pc, op);
             }
-            let op = match self.rng.gen_range(0..3) {
+            let op = match bounded(self.draw(site::FP_OP), 3) {
                 0 => Op::FpAdd,
                 1 => Op::FpMul,
                 _ => Op::FpConv,
             };
-            let (s1, s2) = (self.fp_src(), self.fp_src());
+            let (s1, s2) = (self.fp_src(site::SRC_A), self.fp_src(site::SRC_B));
             return Instr::arith(pc, op, Some(self.next_fp_dst()), Some(s1), Some(s2));
         }
         acc += p.frac_shift;
-        if draw < acc {
-            let src = self.int_src();
+        if class < acc {
+            let src = self.int_src(site::SRC_A);
             return Instr::arith(pc, Op::Shift, Some(self.next_int_dst()), Some(src), None);
         }
         acc += p.frac_int_mul;
-        if draw < acc {
-            let (s1, s2) = (self.int_src(), self.int_src());
+        if class < acc {
+            let (s1, s2) = (self.int_src(site::SRC_A), self.int_src(site::SRC_B));
             return Instr::arith(pc, Op::IntMul, Some(self.next_int_dst()), Some(s1), Some(s2));
         }
         acc += p.frac_int_div;
-        if draw < acc {
+        if class < acc {
             return self.gen_divide(pc, Op::IntDiv);
         }
-        let (s1, s2) = (self.int_src(), self.int_src());
+        let (s1, s2) = (self.int_src(site::SRC_A), self.int_src(site::SRC_B));
         Instr::alu(pc, Some(self.next_int_dst()), Some(s1), Some(s2))
     }
 
     fn jittered_block_len(&mut self) -> u32 {
         let mean = self.profile.block_len;
-        self.rng.gen_range(mean.saturating_sub(mean / 2).max(1)..=mean + mean / 2)
+        let lo = mean.saturating_sub(mean / 2).max(1);
+        let hi = mean + mean / 2;
+        lo + bounded(self.draw(site::BLOCK_LEN), u64::from(hi - lo + 1)) as u32
     }
-}
 
-impl InstrSource for SyntheticApp {
-    fn next_instr(&mut self) -> Option<Instr> {
+    /// Generates the next instruction of the stream, or `None` past the
+    /// limit. Shared by both pull granularities so the stream is
+    /// identical no matter how it is batched.
+    fn produce(&mut self) -> Option<Instr> {
         if let Some(limit) = self.limit {
             if self.emitted >= limit {
                 return None;
             }
         }
         self.emitted += 1;
-        interleave_obs::profile::mark("workloads.gen_instr");
         Some(self.gen_instr())
+    }
+}
+
+impl InstrSource for SyntheticApp {
+    fn next_instr(&mut self) -> Option<Instr> {
+        let instr = self.produce()?;
+        profile::mark("workloads.gen_batch");
+        profile::mark_n("workloads.gen_instrs", 1);
+        self.batch_lens.record(1);
+        Some(instr)
+    }
+
+    fn next_run(&mut self, out: &mut Vec<Instr>, max: usize) -> usize {
+        let mut produced = 0;
+        while produced < max {
+            match self.produce() {
+                Some(instr) => {
+                    out.push(instr);
+                    produced += 1;
+                }
+                None => break,
+            }
+        }
+        if produced > 0 {
+            profile::mark("workloads.gen_batch");
+            profile::mark_n("workloads.gen_instrs", produced as u64);
+            self.batch_lens.record(produced as u64);
+        }
+        produced
     }
 }
 
@@ -445,6 +557,7 @@ impl std::fmt::Debug for SyntheticApp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn take(profile: AppProfile, n: usize) -> Vec<Instr> {
         let mut app = SyntheticApp::new(profile, 0, 7);
@@ -607,6 +720,16 @@ mod tests {
     }
 
     #[test]
+    fn limit_caps_batched_stream() {
+        let mut app = SyntheticApp::new(AppProfile::base("lim"), 0, 9).with_limit(10);
+        let mut out = Vec::new();
+        assert_eq!(app.next_run(&mut out, 7), 7);
+        assert_eq!(app.next_run(&mut out, 7), 3, "run truncates at the limit");
+        assert_eq!(app.next_run(&mut out, 7), 0);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
     fn most_branch_sites_are_consistent() {
         // Site PCs keep fixed targets (so the BTB can learn), except the
         // few phase-change branches, which behave like indirect jumps.
@@ -638,5 +761,51 @@ mod tests {
         let instrs = take(p, 60_000);
         let regions: std::collections::HashSet<u64> = instrs.iter().map(|i| i.pc >> 12).collect();
         assert!(regions.len() >= 3, "phase changes should spread over the code");
+    }
+
+    #[test]
+    fn batch_len_histogram_records_runs() {
+        let mut app = SyntheticApp::new(AppProfile::base("h"), 0, 3);
+        let mut out = Vec::new();
+        app.next_run(&mut out, 32);
+        app.next_run(&mut out, 32);
+        app.next_instr().unwrap();
+        let h = app.batch_lens();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 65);
+        assert_eq!(h.max(), 32);
+        assert_eq!(h.min(), 1);
+    }
+
+    /// Pulls `total` instructions using a deterministic mix of call
+    /// granularities derived from `plan`.
+    fn take_batched(profile: AppProfile, total: usize, plan: &[usize]) -> Vec<Instr> {
+        let mut app = SyntheticApp::new(profile, 0, 7);
+        let mut out = Vec::new();
+        let mut k = 0;
+        while out.len() < total {
+            let want = plan[k % plan.len()];
+            k += 1;
+            if want == 0 {
+                out.push(app.next_instr().expect("unbounded stream"));
+            } else {
+                let room = total - out.len();
+                app.next_run(&mut out, want.min(room));
+            }
+        }
+        out
+    }
+
+    proptest! {
+        /// The tentpole invariant: instruction `i` of a stream is
+        /// identical regardless of batch size or call interleaving —
+        /// sampling is a pure function of (key, site, index), and the
+        /// state walk is shared by both pull granularities.
+        #[test]
+        fn stream_is_invariant_under_batching(plan in proptest::collection::vec(0usize..97, 1..8)) {
+            let one_by_one = take(AppProfile::base("inv"), 600);
+            let batched = take_batched(AppProfile::base("inv"), 600, &plan);
+            prop_assert_eq!(one_by_one, batched);
+        }
     }
 }

@@ -116,6 +116,30 @@ scripts/throughput_gate.sh "$tmpdir/profiled/BENCH_smoke.json" \
   ci/baseline_smoke.json sim_cycles_per_sec \
   "$tmpdir/profiled/PROFILE_smoke.json" ci/baseline_phases.json
 
+# De-batching guard: workload generation must stay batched. The
+# per-instruction mark ("workloads.gen_instr") was retired when the
+# generator went batched (DESIGN.md, "Hot path v2"): its reappearance,
+# or a per-batch mark rate anywhere near one call per instruction,
+# means the fetch path stopped pulling runs. The budget (0.08 source
+# round-trips per simulated cycle) is ~3x the measured batched rate and
+# ~4x under the old per-instruction rate.
+profile_json="$tmpdir/profiled/PROFILE_smoke.json"
+if grep -q '"name": "workloads.gen_instr"' "$profile_json"; then
+  echo "check.sh: per-instruction workloads.gen_instr mark is back — generation de-batched?" >&2
+  exit 1
+fi
+batches="$(grep -o '"name": "workloads.gen_batch", "calls": [0-9]*' "$profile_json" | sed 's/.*: //')"
+sim_cycles="$(grep -o '"total_sim_cycles": [0-9]*' "$profile_json" | head -1 | sed 's/.*: //')"
+if [ -z "$batches" ] || [ -z "$sim_cycles" ] || [ "$sim_cycles" -eq 0 ]; then
+  echo "check.sh: PROFILE_smoke.json is missing workloads.gen_batch or total_sim_cycles" >&2
+  exit 1
+fi
+if ! awk -v b="$batches" -v c="$sim_cycles" 'BEGIN { exit (b / c <= 0.08) ? 0 : 1 }'; then
+  echo "check.sh: workloads.gen_batch rate $batches calls / $sim_cycles sim-cycles exceeds the 0.08/cycle batched budget" >&2
+  exit 1
+fi
+echo "check.sh: generation stayed batched ($batches source round-trips over $sim_cycles sim-cycles)"
+
 # Self-test of the phase attribution: synthetically slow one phase via
 # the test hook and check the gate fails naming that phase.
 mkdir -p "$tmpdir/slow"

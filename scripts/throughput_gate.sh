@@ -11,12 +11,14 @@
 # the nightly MP tier passes `table10_sim_cycles_per_sec` to gate the
 # multiprocessor loop against the same baseline file).
 #
-# The optional fourth/fifth arguments attribute a failure to a host
-# phase: both are `interleave-profile-v1` documents (as written by
-# `interleave-sim profile --json` or a sweep under INTERLEAVE_PROFILE=1),
-# and on a rate failure the gate names the phase whose share of the wall
+# The optional fourth/fifth arguments attribute the verdict to host
+# phases: both are `interleave-profile-v1` documents (as written by
+# `interleave-sim profile --json` or a sweep under INTERLEAVE_PROFILE=1).
+# On a rate failure the gate names the phase whose share of the wall
 # clock grew the most against the baseline profile (default
-# `ci/baseline_phases.json`).
+# `ci/baseline_phases.json`); on a pass it prints the current phase
+# table (share of wall, calls) so CI logs always carry the attribution
+# data a later regression hunt needs.
 #
 # A missing or malformed rate on either side is a hard failure — an
 # artifact without the key means the instrumentation came unwired, which
@@ -74,6 +76,24 @@ attribute_phase() {
   ' "$base" "$cur"
 }
 
+# Prints the current profile's phases as a table: self share of wall,
+# self ms, and call count, largest share first.
+phase_table() {
+  local cur="$1"
+  awk '
+    /"wall_ns":/ { w = $2; gsub(/[^0-9]/, "", w); wall = w + 0 }
+    /"name":/ {
+      line = $0
+      name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+      self = line; sub(/.*"self_ns": /, "", self); sub(/[^0-9].*/, "", self)
+      calls = line; sub(/.*"calls": /, "", calls); sub(/[^0-9].*/, "", calls)
+      if (wall > 0)
+        printf "%7.2f%% %10.1fms %10d  %s\n", \
+          (self + 0) / wall * 100, (self + 0) / 1e6, calls + 0, name
+    }
+  ' "$cur" | sort -rn
+}
+
 current="$(extract_rate "$current_json" sim_cycles_per_sec)"
 baseline="$(extract_rate "$baseline_json" "$baseline_key")"
 
@@ -82,6 +102,10 @@ baseline="$(extract_rate "$baseline_json" "$baseline_key")"
 if awk -v cur="$current" -v base="$baseline" \
     'BEGIN { exit (cur + 0 >= base * 0.7) ? 0 : 1 }'; then
   echo "throughput_gate: ok ($current cycles/sec vs baseline $baseline_key=$baseline, floor $(awk -v b="$baseline" 'BEGIN { printf "%.1f", b * 0.7 }'))"
+  if [ -n "$current_profile" ] && [ -f "$current_profile" ]; then
+    echo "throughput_gate: phase table (self share of wall / self ms / calls):"
+    phase_table "$current_profile"
+  fi
 else
   echo "throughput_gate: FAIL — $current cycles/sec is more than 30% below the baseline $baseline_key=$baseline" >&2
   if [ -n "$current_profile" ] && [ -f "$current_profile" ] && [ -f "$baseline_phases" ]; then

@@ -25,6 +25,12 @@ fn assert_breakdown(what: &str, got: &Breakdown, golden: [u64; 7]) {
 /// The uniprocessor hot loop now drains the engine's typed event queue.
 /// Golden values captured from the seed implementation must survive the
 /// port unchanged.
+///
+/// Re-goldened once when the synthetic generator moved from a vendored
+/// SmallRng to the keyed `engine::rand64` counter scheme (see DESIGN.md,
+/// "Hot path v2"): the RNG stream changed, so fixed-seed values shifted,
+/// while every distribution-level oracle (paper-claim tolerances, litmus
+/// differentials, idle-skip and --jobs invariance) held unchanged.
 #[test]
 fn engine_backed_uni_driver_reproduces_seed_goldens() {
     let fp = MultiprogramSim::builder(mixes::fp())
@@ -34,12 +40,12 @@ fn engine_backed_uni_driver_reproduces_seed_goldens() {
         .warmup(500)
         .build()
         .run();
-    assert_eq!(fp.cycles, 79_968);
-    assert_eq!(fp.instructions, 29_343);
+    assert_eq!(fp.cycles, 78_944);
+    assert_eq!(fp.instructions, 28_303);
     assert_breakdown(
         "uni fp/interleaved/2",
         &fp.breakdown,
-        [29_181, 13_726, 1_367, 8_951, 16_485, 0, 10_258],
+        [28_137, 13_165, 1_708, 9_848, 15_998, 0, 10_088],
     );
 
     let ic = MultiprogramSim::builder(mixes::ic())
@@ -49,9 +55,9 @@ fn engine_backed_uni_driver_reproduces_seed_goldens() {
         .warmup(500)
         .build()
         .run();
-    assert_eq!(ic.cycles, 29_440);
-    assert_eq!(ic.instructions, 8_945);
-    assert_breakdown("uni ic/blocked/4", &ic.breakdown, [8_916, 5_951, 42, 7_353, 1_117, 0, 6_061]);
+    assert_eq!(ic.cycles, 27_392);
+    assert_eq!(ic.instructions, 9_370);
+    assert_breakdown("uni ic/blocked/4", &ic.breakdown, [9_343, 5_766, 50, 5_053, 1_049, 0, 6_131]);
 }
 
 /// The multiprocessor lockstep loop now runs on the engine's
@@ -74,11 +80,11 @@ fn engine_backed_mp_driver_reproduces_seed_goldens() {
             .run()
     };
     let fixed = run(false, 1);
-    assert_eq!(fixed.cycles, 28_800);
+    assert_eq!(fixed.cycles, 28_160);
     assert_breakdown(
         "mp splash0/interleaved/4x2",
         &fixed.breakdown,
-        [12_491, 6_172, 2_016, 0, 83_514, 0, 11_007],
+        [12_626, 5_983, 1_460, 0, 81_550, 0, 11_021],
     );
     for adaptive in [false, true] {
         for jobs in [1, 2, 4] {
