@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
+pub mod merge;
 pub mod runner;
 
 use interleave_core::Scheme;
@@ -25,7 +27,8 @@ use interleave_stats::{Breakdown, Category, Table};
 use interleave_workloads::mixes::Workload;
 use interleave_workloads::MultiprogramResult;
 
-pub use runner::{Cell, CellResult, ExperimentSpec, Runner, Scale, SweepResult, Target};
+pub use merge::{MergeError, MergedSweep};
+pub use runner::{Cell, CellResult, ExperimentSpec, Runner, Scale, Shard, SweepResult, Target};
 
 /// Runs the uniprocessor grid for one workload: the single-context
 /// baseline plus blocked/interleaved at the given context counts.

@@ -16,6 +16,8 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::checkpoint;
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -117,6 +119,79 @@ impl Scale {
             Scale::Ci => 20_000,
             Scale::Full => 100_000,
         }
+    }
+}
+
+/// One disjoint slice of an experiment grid: shard `index` of `count`
+/// (1-based, as written on the command line: `--shard 2/4`).
+///
+/// Shard `k` of `n` owns the cells whose canonical grid index `i`
+/// satisfies `i % n == k - 1` (round-robin). The assignment is a pure
+/// function of the spec and the shard coordinates — never of execution
+/// — so for any `n` the `n` slices are disjoint, cover the grid, and
+/// are stable across invocations and machines (pinned by a property
+/// test in `tests/sweep_determinism.rs`). Round-robin also spreads each
+/// target's cheap baseline cells and expensive high-context cells
+/// evenly across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    index: usize,
+    count: usize,
+}
+
+impl Shard {
+    /// Shard `index` of `count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= index <= count`.
+    pub fn new(index: usize, count: usize) -> Shard {
+        assert!((1..=count).contains(&index), "shard index must be in 1..={count}, got {index}");
+        Shard { index, count }
+    }
+
+    /// Parses the command-line form `K/N` (e.g. `2/4`). `None` for
+    /// anything malformed or out of range.
+    pub fn parse(s: &str) -> Option<Shard> {
+        let (k, n) = s.split_once('/')?;
+        let index = k.trim().parse::<usize>().ok()?;
+        let count = n.trim().parse::<usize>().ok()?;
+        (1..=count).contains(&index).then_some(Shard { index, count })
+    }
+
+    /// The `INTERLEAVE_SHARD=K/N` fallback for runners that do not set
+    /// a shard explicitly. A malformed value is reported on stderr and
+    /// ignored rather than silently running the full grid as if it were
+    /// a slice — the resulting unstamped artifacts would then fail the
+    /// merge step loudly instead of corrupting it quietly.
+    pub fn from_env() -> Option<Shard> {
+        let raw = std::env::var("INTERLEAVE_SHARD").ok()?;
+        let shard = Shard::parse(&raw);
+        if shard.is_none() {
+            eprintln!("warning: ignoring malformed INTERLEAVE_SHARD={raw:?} (expected K/N)");
+        }
+        shard
+    }
+
+    /// 1-based shard index.
+    pub fn index(self) -> usize {
+        self.index
+    }
+
+    /// Total number of shards.
+    pub fn count(self) -> usize {
+        self.count
+    }
+
+    /// Artifact-name suffix (`shard2of4`), kept free of `/` so shard
+    /// uploads from a CI matrix never collide or nest.
+    pub fn label(self) -> String {
+        format!("shard{}of{}", self.index, self.count)
+    }
+
+    /// The canonical grid indices this shard owns, in ascending order.
+    pub fn indices(self, grid_cells: usize) -> impl Iterator<Item = usize> {
+        (self.index - 1..grid_cells).step_by(self.count.max(1))
     }
 }
 
@@ -483,6 +558,49 @@ impl ExperimentSpec {
             }
         }
     }
+
+    /// Canonical description of everything that determines a cell's
+    /// simulated result: the resolved (not merely overridden)
+    /// result-affecting configuration plus the cell coordinates, salted
+    /// with the crate version. This string is what the checkpoint key
+    /// hashes, so two cells share a checkpoint exactly when they are
+    /// guaranteed to produce identical results.
+    ///
+    /// Host-throughput-only knobs (`idle_skip`, `adaptive`, `mp_jobs`,
+    /// and the runner's `jobs`) are deliberately excluded: they are
+    /// proven bit-invisible, so checkpoints stay valid across them.
+    pub fn cell_descriptor(&self, cell: &Cell) -> String {
+        let ov = &self.overrides;
+        match &cell.target {
+            Target::Uni(w) => format!(
+                "interleave-cell-v1 crate={} uni target={:?} scheme={} contexts={} seed={:?} \
+                 quota={} warmup={} os={:?} btb={:?} store={:?}",
+                env!("CARGO_PKG_VERSION"),
+                w,
+                cell.scheme.name(),
+                cell.contexts,
+                cell.seed,
+                ov.quota.unwrap_or_else(|| self.scale.uni_quota()),
+                ov.warmup.unwrap_or_else(|| self.scale.uni_warmup()),
+                ov.os.clone().unwrap_or_else(|| self.scale.os_model()),
+                ov.btb_entries,
+                ov.store_policy,
+            ),
+            Target::Mp(app) => format!(
+                "interleave-cell-v1 crate={} mp target={:?} scheme={} contexts={} seed={:?} \
+                 nodes={} work={} warmup={} latency={:?}",
+                env!("CARGO_PKG_VERSION"),
+                app,
+                cell.scheme.name(),
+                cell.contexts,
+                cell.seed,
+                ov.nodes.unwrap_or_else(|| self.scale.mp_nodes()),
+                ov.work.unwrap_or_else(|| self.scale.mp_work()),
+                ov.warmup.unwrap_or_else(|| self.scale.mp_warmup()),
+                ov.latency,
+            ),
+        }
+    }
 }
 
 /// Executes an [`ExperimentSpec`]'s cells, optionally across OS threads.
@@ -504,6 +622,8 @@ pub struct Runner {
     jobs: usize,
     progress: bool,
     status_dir: Option<PathBuf>,
+    shard: Option<Shard>,
+    checkpoint_dir: Option<PathBuf>,
     bus: Watch<Snapshot>,
 }
 
@@ -578,7 +698,7 @@ fn heartbeat_due(done: usize, total: usize, since_last: Duration) -> bool {
 /// readers never observe a partial document), and prints the
 /// rate-limited stderr heartbeat when progress reporting is on.
 struct SweepTelemetry<'a> {
-    artifact: &'a str,
+    artifact: String,
     scale: Scale,
     total: usize,
     started: Instant,
@@ -598,17 +718,23 @@ struct TelemetryState {
 impl<'a> SweepTelemetry<'a> {
     fn new(runner: &'a Runner, spec: &'a ExperimentSpec, total: usize) -> SweepTelemetry<'a> {
         let now = Instant::now();
+        // Shard identity is part of the telemetry artifact stem so
+        // concurrent shards of one spec never clobber each other's
+        // status files.
+        let artifact = match runner.shard {
+            Some(shard) => format!("{}.{}", spec.name(), shard.label()),
+            None => spec.name().to_string(),
+        };
+        let status_path =
+            runner.status_dir.as_ref().map(|dir| dir.join(format!("STATUS_{artifact}.json")));
         SweepTelemetry {
-            artifact: spec.name(),
+            artifact,
             scale: spec.scale(),
             total,
             started: now,
             heartbeat: runner.progress,
             bus: &runner.bus,
-            status_path: runner
-                .status_dir
-                .as_ref()
-                .map(|dir| dir.join(format!("STATUS_{}.json", spec.name()))),
+            status_path,
             state: Mutex::new(TelemetryState {
                 done: 0,
                 sim_cycles: 0,
@@ -705,7 +831,14 @@ fn write_status(path: &Path, snapshot: &Snapshot) -> std::io::Result<()> {
 impl Runner {
     /// A runner using `jobs` worker threads (clamped to at least 1).
     pub fn new(jobs: usize) -> Runner {
-        Runner { jobs: jobs.max(1), progress: false, status_dir: None, bus: Watch::new() }
+        Runner {
+            jobs: jobs.max(1),
+            progress: false,
+            status_dir: None,
+            shard: None,
+            checkpoint_dir: None,
+            bus: Watch::new(),
+        }
     }
 
     /// A single-threaded runner.
@@ -726,6 +859,12 @@ impl Runner {
             .progress(matches!(std::env::var("INTERLEAVE_PROGRESS"), Ok(v) if v == "1"));
         if let Ok(dir) = std::env::var("INTERLEAVE_STATUS") {
             runner = runner.status_dir(dir);
+        }
+        if let Some(shard) = Shard::from_env() {
+            runner = runner.shard(shard);
+        }
+        if let Ok(dir) = std::env::var("INTERLEAVE_CHECKPOINT_DIR") {
+            runner = runner.checkpoint_dir(dir);
         }
         runner
     }
@@ -752,6 +891,29 @@ impl Runner {
         self
     }
 
+    /// Restricts the sweep to one disjoint slice of the grid (see
+    /// [`Shard`]). Shard identity is stamped into the sweep's artifact
+    /// names and JSON headers so a later `interleave-sim merge` can fold
+    /// the slices back into the canonical single-process documents.
+    pub fn shard(mut self, shard: Shard) -> Runner {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Enables per-cell checkpointing under `dir`: every freshly
+    /// computed cell is serialized to `CELL_<key>.json` (written to a
+    /// temp file, then renamed, so a killed sweep never leaves a torn
+    /// checkpoint), and cells whose checkpoint already exists are
+    /// restored instead of recomputed. The key is a canonical hash of
+    /// the resolved result-affecting configuration plus the cell
+    /// coordinates (see [`crate::checkpoint`]), so stale checkpoints
+    /// from a different spec, seed, or code version are ignored — a
+    /// resumed sweep is byte-identical to an uninterrupted one.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Runner {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
     /// Subscribes to the runner's live telemetry bus. Snapshots are
     /// latest-wins: a subscriber polling [`Subscriber::latest`] (or
     /// blocking on [`Subscriber::changed`]) always sees the newest
@@ -765,9 +927,16 @@ impl Runner {
         self.jobs
     }
 
-    /// Runs every cell of `spec` and returns the aggregated sweep.
+    /// Runs every cell of `spec` (or, when a shard is configured, the
+    /// shard's slice of the grid) and returns the aggregated sweep.
     pub fn run(&self, spec: &ExperimentSpec) -> SweepResult {
-        let cells = spec.cells();
+        let grid = spec.cells();
+        let grid_cells = grid.len();
+        let grid_indices: Vec<usize> = match self.shard {
+            Some(shard) => shard.indices(grid_cells).collect(),
+            None => (0..grid_cells).collect(),
+        };
+        let cells: Vec<Cell> = grid_indices.iter().map(|&i| grid[i].clone()).collect();
         let started = Instant::now();
         // Scope the host-phase profile to this sweep: discard anything
         // accumulated before it, harvest after the workers are done.
@@ -783,12 +952,56 @@ impl Runner {
         let telemetry = SweepTelemetry::new(self, spec, cells.len());
         telemetry.begin();
         let telemetry = &telemetry;
+        let checkpoints = self.checkpoint_dir.as_deref();
+        let resumed_cells = AtomicUsize::new(0);
+        let fresh_cells = AtomicUsize::new(0);
+        // Test hook: exit after n freshly computed cells, checkpoints
+        // already flushed, so the resume smoke in scripts/check.sh can
+        // kill a sweep mid-grid deterministically.
+        let kill_after =
+            std::env::var("INTERLEAVE_SWEEP_KILL_AFTER").ok().and_then(|v| v.parse::<usize>().ok());
         let timed_cell = |c: &Cell| {
             let _cell = profile::enter("runner.cell");
             let cell_start = Instant::now();
-            let result = spec.run_cell(c);
+            let restored = checkpoints.and_then(|dir| checkpoint::load(dir, spec, c));
+            let fresh = restored.is_none();
+            let result = restored.unwrap_or_else(|| {
+                let result = spec.run_cell(c);
+                if let Some(dir) = checkpoints {
+                    if let Err(e) = checkpoint::store(dir, spec, c, &result) {
+                        eprintln!(
+                            "warning: could not checkpoint {} {} x{}: {e}",
+                            c.target.name(),
+                            c.scheme.name(),
+                            c.contexts
+                        );
+                    }
+                }
+                result
+            });
+            if !fresh {
+                resumed_cells.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "sweep {}: resumed {} {} x{} from checkpoint",
+                    telemetry.artifact,
+                    c.target.name(),
+                    c.scheme.name(),
+                    c.contexts
+                );
+            }
             let wall = cell_start.elapsed();
             telemetry.cell_finished(c, &result);
+            if fresh {
+                let done = fresh_cells.fetch_add(1, Ordering::SeqCst) + 1;
+                if kill_after.is_some_and(|n| done >= n) {
+                    eprintln!(
+                        "sweep {}: INTERLEAVE_SWEEP_KILL_AFTER={} reached, exiting",
+                        telemetry.artifact,
+                        kill_after.unwrap_or(0)
+                    );
+                    std::process::exit(86);
+                }
+            }
             (result, wall)
         };
         let results: Vec<(CellResult, Duration)> = if self.jobs == 1 || cells.len() <= 1 {
@@ -823,6 +1036,10 @@ impl Runner {
             name: spec.name.clone(),
             scale: spec.scale,
             jobs: self.jobs,
+            shard: self.shard,
+            grid_cells,
+            grid_indices,
+            resumed: resumed_cells.load(Ordering::Relaxed),
             wall,
             cell_walls,
             cells: cells.into_iter().zip(results).collect(),
@@ -834,12 +1051,22 @@ impl Runner {
 /// The aggregated outcome of running an [`ExperimentSpec`].
 #[derive(Debug, Clone)]
 pub struct SweepResult {
-    /// Spec name (JSON artifact stem).
+    /// Spec name (JSON artifact stem; sharded sweeps append the shard
+    /// label — see [`SweepResult::artifact_stem`]).
     pub name: String,
     /// Scale the sweep ran at.
     pub scale: Scale,
     /// Worker threads used.
     pub jobs: usize,
+    /// The grid slice this sweep ran, or `None` for the whole grid.
+    pub shard: Option<Shard>,
+    /// Total cells in the spec's canonical grid (across all shards).
+    pub grid_cells: usize,
+    /// Canonical grid index of each entry of `cells`, index-aligned.
+    /// Without a shard this is simply `0..grid_cells`.
+    pub grid_indices: Vec<usize>,
+    /// Cells restored from checkpoints instead of recomputed.
+    pub resumed: usize,
     /// Wall-clock duration of the sweep.
     pub wall: Duration,
     /// Per-cell wall-clock durations, index-aligned with `cells`. Host
@@ -916,6 +1143,14 @@ impl SweepResult {
         out.push_str(&format!("  \"artifact\": {},\n", json_str(&self.name)));
         out.push_str(&format!("  \"unix_timestamp\": {timestamp},\n"));
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale.name()));
+        out.push_str(&format!("  \"grid_cells\": {},\n", self.grid_cells));
+        if let Some(shard) = self.shard {
+            out.push_str(&format!(
+                "  \"shard\": {{\"index\": {}, \"count\": {}}},\n",
+                shard.index(),
+                shard.count()
+            ));
+        }
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         out.push_str(&format!("  \"wall_ms\": {},\n", self.wall.as_millis()));
         let total_sim_cycles: u64 = self.cells.iter().map(|(_, r)| r.cycles()).sum();
@@ -929,9 +1164,10 @@ impl SweepResult {
             let seed = cell.seed.map(|s| s.to_string()).unwrap_or_else(|| "null".into());
             let cell_wall = self.cell_walls.get(i).copied().unwrap_or_default();
             let common = format!(
-                "\"target\": {}, \"scheme\": \"{}\", \"contexts\": {}, \"seed\": {seed}, \
-                 \"cycles\": {}, \"utilization\": {:.6}, \"wall_ms\": {}, \
+                "\"grid_index\": {}, \"target\": {}, \"scheme\": \"{}\", \"contexts\": {}, \
+                 \"seed\": {seed}, \"cycles\": {}, \"utilization\": {:.6}, \"wall_ms\": {}, \
                  \"sim_cycles_per_sec\": {:.1}",
+                self.grid_indices.get(i).copied().unwrap_or(i),
                 json_str(cell.target.name()),
                 cell.scheme.name(),
                 cell.contexts,
@@ -970,35 +1206,59 @@ impl SweepResult {
         out.push_str("{\n");
         out.push_str(&format!("  \"artifact\": {},\n", json_str(&self.name)));
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale.name()));
+        out.push_str(&format!("  \"grid_cells\": {},\n", self.grid_cells));
+        if let Some(shard) = self.shard {
+            out.push_str(&format!(
+                "  \"shard\": {{\"index\": {}, \"count\": {}}},\n",
+                shard.index(),
+                shard.count()
+            ));
+        }
         out.push_str("  \"cells\": [\n");
+        // One line per cell (single-line registry serialization): shard
+        // merge reassembles the canonical document by splicing these
+        // exact lines in grid order, so byte-identity with a
+        // single-process sweep holds by construction.
         for (i, (cell, result)) in self.cells.iter().enumerate() {
             let seed = cell.seed.map(|s| s.to_string()).unwrap_or_else(|| "null".into());
             let comma = if i + 1 < self.cells.len() { "," } else { "" };
             out.push_str(&format!(
-                "    {{\"target\": {}, \"scheme\": \"{}\", \"contexts\": {}, \"seed\": {seed}, \
-                 \"metrics\": {}}}{comma}\n",
+                "    {{\"grid_index\": {}, \"target\": {}, \"scheme\": \"{}\", \
+                 \"contexts\": {}, \"seed\": {seed}, \"metrics\": {}}}{comma}\n",
+                self.grid_indices.get(i).copied().unwrap_or(i),
                 json_str(cell.target.name()),
                 cell.scheme.name(),
                 cell.contexts,
-                result.metrics().to_json(4),
+                result.metrics().to_json_line(),
             ));
         }
         out.push_str("  ]\n}\n");
         out
     }
 
-    /// Writes `BENCH_<name>.json` into `dir`.
+    /// File-name stem for the sweep's artifacts: the spec name, with
+    /// the shard label appended (`table7.shard2of4`) when the sweep ran
+    /// one slice — so N shard processes sharing an artifact directory
+    /// (or a CI artifact namespace) never collide.
+    pub fn artifact_stem(&self) -> String {
+        match self.shard {
+            Some(shard) => format!("{}.{}", self.name, shard.label()),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Writes `BENCH_<stem>.json` into `dir`.
     pub fn write_json(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let path = dir.join(format!("BENCH_{}.json", self.artifact_stem()));
         std::fs::write(&path, self.to_json())?;
         Ok(path)
     }
 
-    /// Writes `METRICS_<name>.json` into `dir`.
+    /// Writes `METRICS_<stem>.json` into `dir`.
     pub fn write_metrics_json(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("METRICS_{}.json", self.name));
+        let path = dir.join(format!("METRICS_{}.json", self.artifact_stem()));
         std::fs::write(&path, self.metrics_json())?;
         Ok(path)
     }
@@ -1014,6 +1274,14 @@ impl SweepResult {
         out.push_str(&format!("  \"artifact\": {},\n", json_str(&self.name)));
         out.push_str("  \"schema\": \"interleave-profile-v1\",\n");
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale.name()));
+        out.push_str(&format!("  \"grid_cells\": {},\n", self.grid_cells));
+        if let Some(shard) = self.shard {
+            out.push_str(&format!(
+                "  \"shard\": {{\"index\": {}, \"count\": {}}},\n",
+                shard.index(),
+                shard.count()
+            ));
+        }
         out.push_str(&format!("  \"wall_ns\": {},\n", wall_ns(self.wall)));
         let total_sim_cycles: u64 = self.cells.iter().map(|(_, r)| r.cycles()).sum();
         out.push_str(&format!("  \"total_sim_cycles\": {total_sim_cycles},\n"));
@@ -1032,7 +1300,7 @@ impl SweepResult {
             return Ok(None);
         };
         std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("PROFILE_{}.json", self.name));
+        let path = dir.join(format!("PROFILE_{}.json", self.artifact_stem()));
         std::fs::write(&path, doc)?;
         Ok(Some(path))
     }
@@ -1048,16 +1316,22 @@ impl SweepResult {
         let dir = std::path::Path::new(&dir);
         match self.write_json(dir) {
             Ok(path) => eprintln!("wrote {}", path.display()),
-            Err(e) => eprintln!("warning: could not write BENCH_{}.json: {e}", self.name),
+            Err(e) => {
+                eprintln!("warning: could not write BENCH_{}.json: {e}", self.artifact_stem())
+            }
         }
         match self.write_metrics_json(dir) {
             Ok(path) => eprintln!("wrote {}", path.display()),
-            Err(e) => eprintln!("warning: could not write METRICS_{}.json: {e}", self.name),
+            Err(e) => {
+                eprintln!("warning: could not write METRICS_{}.json: {e}", self.artifact_stem())
+            }
         }
         match self.write_profile_json(dir) {
             Ok(Some(path)) => eprintln!("wrote {}", path.display()),
             Ok(None) => {}
-            Err(e) => eprintln!("warning: could not write PROFILE_{}.json: {e}", self.name),
+            Err(e) => {
+                eprintln!("warning: could not write PROFILE_{}.json: {e}", self.artifact_stem())
+            }
         }
     }
 }
@@ -1236,6 +1510,18 @@ mod tests {
         assert_eq!(mp_jobs_from_env(), None);
         assert_eq!(idle_skip_from_env(), None);
         assert_eq!(adaptive_from_env(), None);
+        std::env::set_var("INTERLEAVE_SHARD", "3/4");
+        assert_eq!(Shard::from_env(), Some(Shard::new(3, 4)));
+        // Malformed shard values are ignored (with a warning), never
+        // silently reinterpreted.
+        std::env::set_var("INTERLEAVE_SHARD", "4/3");
+        assert_eq!(Shard::from_env(), None);
+        std::env::remove_var("INTERLEAVE_SHARD");
+        assert_eq!(Shard::from_env(), None);
+        std::env::set_var("INTERLEAVE_CHECKPOINT_DIR", "/tmp/ckpt");
+        assert_eq!(Runner::from_env().checkpoint_dir.as_deref(), Some(Path::new("/tmp/ckpt")));
+        std::env::remove_var("INTERLEAVE_CHECKPOINT_DIR");
+        assert_eq!(Runner::from_env().checkpoint_dir, None);
     }
 
     #[test]
@@ -1376,6 +1662,71 @@ mod tests {
         assert!(sweep.baseline("IC").is_some());
         assert!(sweep.get("IC", Scheme::Interleaved, 2).is_some());
         assert!(sweep.get("IC", Scheme::Interleaved, 64).is_none());
+    }
+
+    #[test]
+    fn shard_parse_accepts_k_of_n_only() {
+        assert_eq!(Shard::parse("2/4"), Some(Shard::new(2, 4)));
+        assert_eq!(Shard::parse("1/1"), Some(Shard::new(1, 1)));
+        for bad in ["0/4", "5/4", "4", "a/b", "2/0", "", "1/2/3", "-1/4"] {
+            assert_eq!(Shard::parse(bad), None, "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn shard_slices_are_disjoint_and_covering() {
+        for total in [0usize, 1, 5, 6, 17] {
+            for count in 1..=5 {
+                let mut seen = vec![0usize; total];
+                for index in 1..=count {
+                    for i in Shard::new(index, count).indices(total) {
+                        seen[i] += 1;
+                    }
+                }
+                assert!(seen.iter().all(|&n| n == 1), "grid {total} over {count} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_runs_its_slice_and_stamps_artifacts() {
+        let spec = tiny_spec();
+        let full = Runner::serial().run(&spec);
+        let shard = Shard::new(2, 3);
+        let slice = Runner::serial().shard(shard).run(&spec);
+        assert_eq!(slice.grid_cells, 6);
+        assert_eq!(slice.grid_indices, vec![1, 4]);
+        assert_eq!(slice.cells.len(), 2);
+        assert_eq!(slice.artifact_stem(), "tiny.shard2of3");
+        // The slice's results equal the corresponding full-grid cells.
+        for (&gi, (cell, result)) in slice.grid_indices.iter().zip(&slice.cells) {
+            let (full_cell, full_result) = &full.cells[gi];
+            assert_eq!(cell.target.name(), full_cell.target.name());
+            assert_eq!(cell.scheme, full_cell.scheme);
+            assert_eq!(cell.contexts, full_cell.contexts);
+            assert_eq!(result, full_result);
+        }
+        let json = slice.to_json();
+        assert!(json.contains("\"shard\": {\"index\": 2, \"count\": 3}"));
+        assert!(json.contains("\"grid_cells\": 6"));
+        assert!(json.contains("\"grid_index\": 4"));
+        let metrics = slice.metrics_json();
+        assert!(metrics.contains("\"shard\": {\"index\": 2, \"count\": 3}"));
+        // Unsharded artifacts carry the grid header but no shard key.
+        assert!(!full.to_json().contains("\"shard\""));
+        assert!(full.metrics_json().contains("\"grid_cells\": 6"));
+        assert_eq!(full.artifact_stem(), "tiny");
+    }
+
+    /// Every METRICS cell row is a single line, so shard merge can
+    /// splice rows byte-exactly (the merge module depends on this).
+    #[test]
+    fn metrics_cells_are_single_lines() {
+        let sweep = Runner::serial().run(&tiny_spec());
+        let doc = sweep.metrics_json();
+        let cell_lines: Vec<&str> =
+            doc.lines().filter(|l| l.trim_start().starts_with("{\"grid_index\":")).collect();
+        assert_eq!(cell_lines.len(), sweep.cells.len());
     }
 
     #[test]

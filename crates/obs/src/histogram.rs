@@ -1,5 +1,7 @@
 //! Power-of-two bucketed histogram.
 
+use crate::json::Value;
+
 /// Number of buckets: one for the value 0 plus one per power of two.
 const BUCKETS: usize = 65;
 
@@ -139,6 +141,32 @@ impl Histogram {
     /// state).
     pub fn reset(&mut self) {
         *self = Histogram::default();
+    }
+
+    /// Reconstructs a histogram from its serialized JSON object (the
+    /// `{"count","sum","min","max","mean","buckets"}` shape written by
+    /// [`crate::Registry::to_json`]). The reconstruction is exact — the
+    /// same buckets, count, sum, min, and max — which is what lets
+    /// sweep checkpoints and shard merges reproduce byte-identical
+    /// artifacts. Returns `None` if the value is not such an object.
+    pub fn from_value(v: &Value) -> Option<Histogram> {
+        let count = v.get("count")?.as_u64()?;
+        let mut h = Histogram {
+            buckets: [0; BUCKETS],
+            count,
+            sum: v.get("sum")?.as_u64()?,
+            // `to_json` writes the *observed* min, which reads as 0 for
+            // an empty histogram; restore the internal sentinel so a
+            // later `merge`/`record` keeps tracking the true minimum.
+            min: if count == 0 { u64::MAX } else { v.get("min")?.as_u64()? },
+            max: v.get("max")?.as_u64()?,
+        };
+        for b in v.get("buckets")?.as_arr()? {
+            let lo = b.get("lo")?.as_u64()?;
+            let n = b.get("n")?.as_u64()?;
+            h.buckets[bucket_of(lo)] += n;
+        }
+        Some(h)
     }
 }
 

@@ -153,6 +153,67 @@ impl Registry {
         let _ = write!(out, "{pad}}}");
         out
     }
+
+    /// Serialize as a single-line JSON object (same per-metric shapes as
+    /// [`Registry::to_json`], no newlines). Sweep `METRICS_*.json`
+    /// artifacts embed one registry per cell line so that shard merging
+    /// and checkpoint resume can splice cells byte-exactly.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, metric)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match metric {
+                Metric::Counter(v) => {
+                    let _ = write!(out, "{}: {v}", json::escape(name));
+                }
+                Metric::Histogram(h) => {
+                    let buckets: Vec<String> = h
+                        .nonzero_buckets()
+                        .map(|(lo, hi, n)| format!("{{\"lo\": {lo}, \"hi\": {hi}, \"n\": {n}}}"))
+                        .collect();
+                    let _ = write!(
+                        out,
+                        "{}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                         \"mean\": {:.4}, \"buckets\": [{}]}}",
+                        json::escape(name),
+                        h.count(),
+                        h.sum(),
+                        h.min(),
+                        h.max(),
+                        h.mean(),
+                        buckets.join(", ")
+                    );
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Reconstructs a registry from its serialized JSON object: bare
+    /// numbers become counters, histogram-shaped objects become
+    /// histograms (see [`Histogram::from_value`]). The reconstruction
+    /// is exact, so re-serializing yields the original bytes — the
+    /// property sweep checkpoints and shard merges rely on. Returns
+    /// `None` if the value is not such an object.
+    pub fn from_value(v: &json::Value) -> Option<Registry> {
+        let json::Value::Obj(map) = v else {
+            return None;
+        };
+        let mut reg = Registry::new();
+        // BTreeMap iterates in ascending key order, matching the
+        // registry's own name-sorted invariant.
+        for (name, val) in map {
+            match val {
+                json::Value::Num(_) => reg.counter(name, val.as_u64()?),
+                json::Value::Obj(_) => reg.histogram(name, &Histogram::from_value(val)?),
+                _ => return None,
+            }
+        }
+        Some(reg)
+    }
 }
 
 #[cfg(test)]
@@ -222,5 +283,33 @@ mod tests {
         let mut r = Registry::new();
         r.counter("x", 1);
         r.histogram("x", &Histogram::new());
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut r = Registry::new();
+        let mut h = Histogram::new();
+        for v in [0, 1, 3, 900, 7_000_000] {
+            h.record(v);
+        }
+        r.histogram("core.run_length", &h);
+        r.histogram("mp.empty", &Histogram::new());
+        r.counter("mem.l1d.misses", 17);
+        r.counter("big", 1 << 50);
+        for doc in [r.to_json(0), r.to_json_line()] {
+            let v = json::parse(&doc).expect("registry json parses");
+            let back = Registry::from_value(&v).expect("registry round-trips");
+            assert_eq!(back, r);
+        }
+        // Single-line and indented forms agree after a round trip.
+        assert!(!r.to_json_line().contains('\n'));
+    }
+
+    #[test]
+    fn from_value_rejects_non_registry_shapes() {
+        for doc in ["[1]", "3", "{\"x\": \"str\"}", "{\"h\": {\"count\": 1}}"] {
+            let v = json::parse(doc).unwrap();
+            assert!(Registry::from_value(&v).is_none(), "{doc} should not parse as a registry");
+        }
     }
 }

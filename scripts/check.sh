@@ -161,6 +161,43 @@ case "$gate_out" in
     ;;
 esac
 
+# Resume smoke: a sweep killed mid-grid must pick up from its per-cell
+# checkpoints and produce artifacts byte-identical to an uninterrupted
+# run, skipping the cells already computed. INTERLEAVE_SWEEP_KILL_AFTER
+# is the deterministic kill hook: the process exits 86 after that many
+# freshly computed cells have flushed their checkpoints.
+mkdir -p "$tmpdir/resume" "$tmpdir/resume_ckpt"
+set +e
+INTERLEAVE_SWEEP_KILL_AFTER=1 ./target/release/interleave-sim sweep --artifact smoke \
+  --jobs 1 --checkpoint-dir "$tmpdir/resume_ckpt" --json "$tmpdir/resume" >/dev/null 2>&1
+kill_status=$?
+set -e
+if [ "$kill_status" -ne 86 ]; then
+  echo "check.sh: mid-grid kill hook did not fire (exit $kill_status, expected 86)" >&2
+  exit 1
+fi
+resume_log="$tmpdir/resume.log"
+./target/release/interleave-sim sweep --artifact smoke --jobs 1 \
+  --checkpoint-dir "$tmpdir/resume_ckpt" --json "$tmpdir/resume" >/dev/null 2>"$resume_log"
+resumed="$(grep -c 'from checkpoint' "$resume_log" || true)"
+if [ "$resumed" -lt 1 ]; then
+  echo "check.sh: resumed run did not skip any checkpointed cells:" >&2
+  cat "$resume_log" >&2
+  exit 1
+fi
+scripts/determinism_gate.sh "$tmpdir/resume" "$tmpdir/unprofiled"
+echo "check.sh: resume smoke ok ($resumed cells skipped after the mid-grid kill)"
+
+# Shard smoke: a 2-way sharded run of the same grid, folded with the
+# merge subcommand, must byte-match the single-process artifacts
+# (METRICS strict, BENCH with volatile host keys stripped).
+mkdir -p "$tmpdir/shards" "$tmpdir/merged"
+./target/release/interleave-sim sweep --artifact smoke --shard 1/2 --json "$tmpdir/shards" >/dev/null
+./target/release/interleave-sim sweep --artifact smoke --shard 2/2 --json "$tmpdir/shards" >/dev/null
+./target/release/interleave-sim merge --out "$tmpdir/merged" "$tmpdir/shards"
+scripts/determinism_gate.sh "$tmpdir/merged" "$tmpdir/unprofiled"
+echo "check.sh: shard smoke ok (2-way shard set merged byte-identical)"
+
 if [ "$validate" -eq 1 ]; then
   # Overhead budget: the same smoke grid with every checker enabled
   # must stay under 2x the plain wall-clock (plus 500ms of slack —

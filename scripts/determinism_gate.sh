@@ -2,19 +2,32 @@
 # Nightly determinism gate: the parallel multiprocessor driver
 # (`--mp-jobs`) is a pure host optimization, so two sweep runs that
 # differ only in that knob must produce identical simulated artifacts.
+# The same contract covers distributed sweeps: `interleave-sim merge`
+# of a full `--shard K/N` set must reproduce the single-process output.
 #
 #   scripts/determinism_gate.sh <dir A> <dir B>
+#   scripts/determinism_gate.sh <merged artifact file> <reference file or dir>
 #
-# Compares every METRICS_*.json present in dir A byte-for-byte against
-# dir B, and every BENCH_*.json with the host-side volatile keys
-# (unix_timestamp, jobs, wall_ms, sim_cycles_per_sec) stripped — those
-# describe the machine that ran the sweep, not the simulated results.
-# A file present on one side but not the other is a failure, as is an
-# empty directory (nothing compared must not read as success).
+# Directory mode compares every METRICS_*.json present in dir A
+# byte-for-byte against dir B, and every BENCH_*.json with the
+# host-side volatile keys (unix_timestamp, jobs, wall_ms,
+# sim_cycles_per_sec) stripped — those describe the machine that ran
+# the sweep, not the simulated results. A file present on one side but
+# not the other is a failure, as is an empty directory (nothing
+# compared must not read as success).
+#
+# Merged-artifact mode (first argument is a file, e.g. the
+# BENCH/METRICS output of `interleave-sim merge`) compares just that
+# artifact against the reference — a file, or a directory holding a
+# file of the same name.
+#
+# Unmerged shard slices (`*.shard<K>of<N>.json`) are partial grids and
+# can never byte-match a full run; if any are present the gate fails
+# immediately and tells you to merge first.
 set -euo pipefail
 
-dir_a="${1:?usage: scripts/determinism_gate.sh <dir A> <dir B>}"
-dir_b="${2:?usage: scripts/determinism_gate.sh <dir A> <dir B>}"
+side_a="${1:?usage: scripts/determinism_gate.sh <dir A|merged artifact> <dir B|reference>}"
+side_b="${2:?usage: scripts/determinism_gate.sh <dir A|merged artifact> <dir B|reference>}"
 
 # Removes the volatile host-side keys from a BENCH json: the top-level
 # unix_timestamp/jobs/wall_ms/sim_cycles_per_sec lines, and the inline
@@ -29,17 +42,42 @@ strip_volatile() {
       "$1"
 }
 
+# Hard-fails when a path (or a directory containing one) is an
+# unmerged per-shard slice: comparing a slice against a full grid can
+# only ever fail confusingly, so name the actual fix instead.
+reject_shards() {
+  local side="$1" found=()
+  if [ -d "$side" ]; then
+    local f
+    for f in "$side"/BENCH_*.shard*of*.json "$side"/METRICS_*.shard*of*.json \
+             "$side"/PROFILE_*.shard*of*.json; do
+      [ -e "$f" ] && found+=("$f")
+    done
+  else
+    case "$(basename "$side")" in
+      *.shard*of*.json) found+=("$side") ;;
+    esac
+  fi
+  if [ "${#found[@]}" -gt 0 ]; then
+    echo "determinism_gate: FAIL — unmerged shard artifacts present:" >&2
+    printf '  %s\n' "${found[@]}" >&2
+    echo "determinism_gate: a shard slice is a partial grid and cannot match a full run;" >&2
+    echo "determinism_gate: fold the shard set first: interleave-sim merge --out <dir> <shard dir>" >&2
+    exit 1
+  fi
+}
+
 compared=0
 fail=0
 
-for a in "$dir_a"/METRICS_*.json "$dir_a"/BENCH_*.json; do
-  [ -e "$a" ] || continue
-  name="$(basename "$a")"
-  b="$dir_b/$name"
+# Compares one artifact pair; METRICS strictly, BENCH after stripping
+# the volatile host keys.
+compare_one() {
+  local a="$1" b="$2" name="$3"
   if [ ! -f "$b" ]; then
-    echo "determinism_gate: $name exists in $dir_a but not in $dir_b" >&2
+    echo "determinism_gate: $name exists at $a but reference $b is missing" >&2
     fail=1
-    continue
+    return
   fi
   case "$name" in
     METRICS_*)
@@ -56,16 +94,39 @@ for a in "$dir_a"/METRICS_*.json "$dir_a"/BENCH_*.json; do
         fail=1
       fi
       ;;
+    *)
+      echo "determinism_gate: $name is neither a BENCH_* nor a METRICS_* artifact" >&2
+      fail=1
+      ;;
   esac
   compared=$((compared + 1))
-done
+}
+
+reject_shards "$side_a"
+reject_shards "$side_b"
+
+if [ -f "$side_a" ]; then
+  # Merged-artifact mode: one file against a reference file or dir.
+  name="$(basename "$side_a")"
+  if [ -d "$side_b" ]; then
+    compare_one "$side_a" "$side_b/$name" "$name"
+  else
+    compare_one "$side_a" "$side_b" "$name"
+  fi
+else
+  for a in "$side_a"/METRICS_*.json "$side_a"/BENCH_*.json; do
+    [ -e "$a" ] || continue
+    name="$(basename "$a")"
+    compare_one "$a" "$side_b/$name" "$name"
+  done
+fi
 
 if [ "$compared" -eq 0 ]; then
-  echo "determinism_gate: no BENCH_*/METRICS_* artifacts found in $dir_a" >&2
+  echo "determinism_gate: no BENCH_*/METRICS_* artifacts found in $side_a" >&2
   exit 1
 fi
 if [ "$fail" -ne 0 ]; then
-  echo "determinism_gate: FAIL — simulated results changed with the host worker count" >&2
+  echo "determinism_gate: FAIL — simulated results differ between the two runs" >&2
   exit 1
 fi
 echo "determinism_gate: ok ($compared artifacts identical across the two runs)"

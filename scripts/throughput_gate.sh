@@ -3,8 +3,15 @@
 # rate (`sim_cycles_per_sec`) of a freshly produced BENCH artifact
 # against the checked-in baseline and fails on a >30% regression.
 #
-#   scripts/throughput_gate.sh <current BENCH json> [<baseline json>] [<baseline key>]
-#                              [<current PROFILE json>] [<baseline phases json>]
+#   scripts/throughput_gate.sh <current BENCH json | artifact dir> [<baseline json>]
+#                              [<baseline key>] [<current PROFILE json>]
+#                              [<baseline phases json>]
+#
+# The first argument may be a directory, in which case the gate
+# resolves the single BENCH_*.json inside it explicitly. Zero or
+# multiple candidates are a hard failure — in particular, per-shard
+# slices (`BENCH_*.shard<K>of<N>.json`) rate only part of the grid and
+# must be folded with `interleave-sim merge` before gating.
 #
 # The optional third argument names the baseline-file key to compare
 # against (default `sim_cycles_per_sec`, the uniprocessor smoke rate;
@@ -31,6 +38,43 @@ baseline_json="${2:-$(dirname "$0")/../ci/baseline_smoke.json}"
 baseline_key="${3:-sim_cycles_per_sec}"
 current_profile="${4:-}"
 baseline_phases="${5:-$(dirname "$0")/../ci/baseline_phases.json}"
+
+# Resolve a directory argument to the one full-grid BENCH artifact it
+# holds. Explicit globbing: zero matches, several matches, and
+# unmerged shard slices each fail with a message naming the fix,
+# instead of `head -1`-style silent arbitration.
+if [ -d "$current_json" ]; then
+  dir="$current_json"
+  shards=()
+  for f in "$dir"/BENCH_*.shard*of*.json; do [ -e "$f" ] && shards+=("$f"); done
+  if [ "${#shards[@]}" -gt 0 ]; then
+    echo "throughput_gate: FAIL — $dir holds unmerged per-shard slices:" >&2
+    printf '  %s\n' "${shards[@]}" >&2
+    echo "throughput_gate: a shard slice rates only part of the grid; fold the set first" >&2
+    echo "throughput_gate: (interleave-sim merge --out <dir> $dir) and gate the merged BENCH" >&2
+    exit 1
+  fi
+  benches=()
+  for f in "$dir"/BENCH_*.json; do [ -e "$f" ] && benches+=("$f"); done
+  if [ "${#benches[@]}" -eq 0 ]; then
+    echo "throughput_gate: no BENCH_*.json artifact in $dir" >&2
+    exit 1
+  fi
+  if [ "${#benches[@]}" -gt 1 ]; then
+    echo "throughput_gate: FAIL — $dir holds ${#benches[@]} BENCH artifacts; pass the one to gate explicitly:" >&2
+    printf '  %s\n' "${benches[@]}" >&2
+    exit 1
+  fi
+  current_json="${benches[0]}"
+else
+  case "$(basename "$current_json")" in
+    *.shard*of*.json)
+      echo "throughput_gate: FAIL — $current_json is a per-shard slice, not a full run;" >&2
+      echo "throughput_gate: fold the shard set first (interleave-sim merge) and gate the merged BENCH" >&2
+      exit 1
+      ;;
+  esac
+fi
 
 extract_rate() {
   # Prints the first top-level occurrence of the key, or fails loudly.

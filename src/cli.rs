@@ -6,7 +6,7 @@
 //! and `--once`); `watch` additionally takes a positional status-file
 //! path.
 
-use crate::bench::{ExperimentSpec, Runner, Scale};
+use crate::bench::{merge, ExperimentSpec, Runner, Scale, Shard};
 use crate::core::Scheme;
 use crate::mp::{splash_suite, MpSim, SplashProfile};
 use crate::obs::Metric;
@@ -68,8 +68,26 @@ pub enum Command {
         /// = `INTERLEAVE_ADAPTIVE` / on). Purely a host-side knob:
         /// results are bit-identical either way.
         adaptive: Option<bool>,
+        /// Run only one disjoint slice of the grid (`--shard K/N`;
+        /// `None` = `INTERLEAVE_SHARD` / whole grid). Shard identity is
+        /// stamped into the artifact names and headers for `merge`.
+        shard: Option<Shard>,
+        /// Per-cell checkpoint directory (`None` =
+        /// `INTERLEAVE_CHECKPOINT_DIR` / no checkpointing). An
+        /// interrupted sweep rerun with the same directory resumes its
+        /// completed cells.
+        checkpoint_dir: Option<String>,
         /// Print a per-second completion heartbeat to stderr.
         progress: bool,
+    },
+    /// Fold shard sweep artifacts back into the canonical
+    /// single-process `BENCH_*`/`METRICS_*` documents.
+    Merge {
+        /// Output directory for the merged artifacts.
+        out: String,
+        /// Directories holding `BENCH_*.shard<K>of<N>.json` (and their
+        /// `METRICS_*` counterparts); positional, at least one.
+        dirs: Vec<String>,
     },
     /// Run an experiment grid under the host-phase profiler and print
     /// a sorted phase table.
@@ -238,6 +256,15 @@ impl<'a> Flags<'a> {
             Some(v) => Err(CliError(format!("--{name} expects `on` or `off`, got `{v}`"))),
         }
     }
+
+    fn shard(&self) -> Result<Option<Shard>, CliError> {
+        match self.get("shard") {
+            None => Ok(None),
+            Some(v) => Shard::parse(v).map(Some).ok_or_else(|| {
+                CliError(format!("--shard expects K/N with 1 <= K <= N, got `{v}`"))
+            }),
+        }
+    }
 }
 
 /// Usage text.
@@ -251,7 +278,9 @@ USAGE:
                        [--work N] [--seed N]
   interleave-sim sweep --artifact table7|table10|smoke [--jobs N] [--mp-jobs N]
                        [--adaptive on|off] [--scale ci|full] [--json DIR]
-                       [--seed N] [--progress]
+                       [--seed N] [--shard K/N] [--checkpoint-dir DIR]
+                       [--progress]
+  interleave-sim merge --out DIR SHARD_DIR [SHARD_DIR ...]
   interleave-sim profile --artifact table7|table10|smoke [--jobs N]
                        [--scale ci|full] [--json DIR] [--seed N]
                        [--trace-out PATH]
@@ -289,6 +318,30 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             timeout_secs: flags.opt_num("timeout-secs")?,
         });
     }
+    // `merge` takes its shard directories as positional arguments, so
+    // it is also parsed before the generic `--flag value` loop.
+    if sub == "merge" {
+        let mut out = None;
+        let mut dirs = Vec::new();
+        let mut it = args[1..].iter();
+        while let Some(arg) = it.next() {
+            if arg == "--out" {
+                out =
+                    Some(it.next().ok_or_else(|| CliError("--out needs a value".into()))?.clone());
+            } else if let Some(flag) = arg.strip_prefix("--") {
+                return Err(CliError(format!("merge does not take --{flag}")));
+            } else {
+                dirs.push(arg.clone());
+            }
+        }
+        if dirs.is_empty() {
+            return Err(CliError(
+                "merge requires at least one shard-artifact directory (and --out DIR)".into(),
+            ));
+        }
+        let out = out.ok_or_else(|| CliError("merge requires --out DIR".into()))?;
+        return Ok(Command::Merge { out, dirs });
+    }
     let flags = Flags::parse(&args[1..], &["progress"])?;
     match sub.as_str() {
         "uni" => Ok(Command::Uni {
@@ -317,6 +370,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             seed: flags.opt_num("seed")?,
             mp_jobs: flags.opt_num("mp-jobs")?.map(|n| n as usize),
             adaptive: flags.on_off("adaptive")?,
+            shard: flags.shard()?,
+            checkpoint_dir: flags.get("checkpoint-dir").map(str::to_string),
             progress: flags.switch("progress"),
         }),
         "profile" => Ok(Command::Profile {
@@ -538,7 +593,18 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 d.local, d.remote, d.remote_cache, d.upgrades, d.invalidations
             );
         }
-        Command::Sweep { artifact, jobs, scale, json, seed, mp_jobs, adaptive, progress } => {
+        Command::Sweep {
+            artifact,
+            jobs,
+            scale,
+            json,
+            seed,
+            mp_jobs,
+            adaptive,
+            shard,
+            checkpoint_dir,
+            progress,
+        } => {
             let scale = scale.unwrap_or_else(Scale::from_env);
             let mut spec = artifact_spec(&artifact, scale)?;
             if let Some(seed) = seed {
@@ -551,18 +617,36 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 spec = spec.adaptive(adaptive);
             }
             // `from_env` first so `INTERLEAVE_PROGRESS` / `INTERLEAVE_STATUS`
-            // apply even when `--jobs` overrides the thread count.
+            // (and the shard/checkpoint env knobs) apply even when flags
+            // override them.
             let mut runner = Runner::from_env();
             if let Some(jobs) = jobs {
                 runner = runner.with_jobs(jobs);
+            }
+            if let Some(shard) = shard {
+                runner = runner.shard(shard);
+            }
+            if let Some(dir) = checkpoint_dir {
+                runner = runner.checkpoint_dir(dir);
             }
             if progress {
                 runner = runner.progress(true);
             }
             let sweep = runner.run(&spec);
             println!("{}", sweep.to_table());
+            let shard_note = sweep
+                .shard
+                .map(|s| {
+                    format!(" [shard {}/{} of {} cells]", s.index(), s.count(), sweep.grid_cells)
+                })
+                .unwrap_or_default();
+            let resume_note = if sweep.resumed > 0 {
+                format!(" ({} resumed from checkpoints)", sweep.resumed)
+            } else {
+                String::new()
+            };
             println!(
-                "{} cells, {} jobs, {:.2?} wall, {} scale",
+                "{} cells{shard_note}{resume_note}, {} jobs, {:.2?} wall, {} scale",
                 sweep.cells.len(),
                 sweep.jobs,
                 sweep.wall,
@@ -591,6 +675,24 @@ pub fn run(command: Command) -> Result<(), CliError> {
                     }
                 }
                 None => sweep.maybe_emit_json(),
+            }
+        }
+        Command::Merge { out, dirs } => {
+            let dirs: Vec<std::path::PathBuf> = dirs.iter().map(std::path::PathBuf::from).collect();
+            let merged = merge::merge_dirs(&dirs).map_err(|e| CliError(e.to_string()))?;
+            let out = std::path::Path::new(&out);
+            for sweep in &merged {
+                let (bench, metrics) = sweep.write(out).map_err(|e| {
+                    CliError(format!("cannot write merged artifacts into `{}`: {e}", out.display()))
+                })?;
+                println!(
+                    "merged {} ({} shards, {} cells): wrote {} and {}",
+                    sweep.artifact,
+                    sweep.shards,
+                    sweep.grid_cells,
+                    bench.display(),
+                    metrics.display()
+                );
             }
         }
         Command::Profile { artifact, jobs, scale, json, seed, trace_out } => {
@@ -892,11 +994,24 @@ mod tests {
                 seed: Some(9),
                 mp_jobs: Some(2),
                 adaptive: Some(false),
+                shard: None,
+                checkpoint_dir: None,
                 progress: true,
             }
         );
         match parse(&argv("sweep --artifact table10 --adaptive on")).unwrap() {
-            Command::Sweep { artifact, jobs, scale, json, seed, mp_jobs, adaptive, progress } => {
+            Command::Sweep {
+                artifact,
+                jobs,
+                scale,
+                json,
+                seed,
+                mp_jobs,
+                adaptive,
+                shard,
+                checkpoint_dir,
+                progress,
+            } => {
                 assert_eq!(artifact, "table10");
                 assert_eq!(jobs, None);
                 assert_eq!(scale, None);
@@ -904,10 +1019,59 @@ mod tests {
                 assert_eq!(seed, None);
                 assert_eq!(mp_jobs, None);
                 assert_eq!(adaptive, Some(true));
+                assert_eq!(shard, None);
+                assert_eq!(checkpoint_dir, None);
                 assert!(!progress);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_sweep_shard_and_checkpoint() {
+        match parse(&argv("sweep --artifact table7 --shard 2/4 --checkpoint-dir ckpt")).unwrap() {
+            Command::Sweep { shard, checkpoint_dir, .. } => {
+                assert_eq!(shard, Some(Shard::new(2, 4)));
+                assert_eq!(checkpoint_dir.as_deref(), Some("ckpt"));
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in ["0/4", "5/4", "2-4", "x/y", "4"] {
+            assert!(
+                parse(&argv(&format!("sweep --artifact table7 --shard {bad}"))).is_err(),
+                "--shard {bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_merge() {
+        assert_eq!(
+            parse(&argv("merge --out merged shards/a shards/b")).unwrap(),
+            Command::Merge {
+                out: "merged".into(),
+                dirs: vec!["shards/a".into(), "shards/b".into()]
+            }
+        );
+        // Flag order is free; dirs stay positional.
+        assert_eq!(
+            parse(&argv("merge shards --out merged")).unwrap(),
+            Command::Merge { out: "merged".into(), dirs: vec!["shards".into()] }
+        );
+        assert!(parse(&argv("merge --out merged")).is_err(), "needs at least one dir");
+        assert!(parse(&argv("merge shards")).is_err(), "needs --out");
+        assert!(parse(&argv("merge --out")).is_err(), "--out needs a value");
+        assert!(parse(&argv("merge --frob x shards --out o")).is_err(), "unknown flag");
+    }
+
+    #[test]
+    fn merge_of_missing_dir_errors() {
+        let err = run(Command::Merge {
+            out: "/tmp/ilv_merge_out_missing".into(),
+            dirs: vec!["/nonexistent/ilv_shards".into()],
+        })
+        .unwrap_err();
+        assert!(err.0.contains("merge error"), "{err}");
     }
 
     #[test]
@@ -1062,6 +1226,8 @@ mod tests {
             seed: None,
             mp_jobs: None,
             adaptive: None,
+            shard: None,
+            checkpoint_dir: None,
             progress: false,
         })
         .unwrap_err();

@@ -5,11 +5,14 @@
 //! fixed-seed golden tests pin the simulated numbers, and skipping on
 //! vs off must produce byte-identical metrics artifacts.
 
-use interleave::bench::{ExperimentSpec, Runner, Scale};
+use std::path::PathBuf;
+
+use interleave::bench::{checkpoint, merge, ExperimentSpec, Runner, Scale, Shard};
 use interleave::core::Scheme;
 use interleave::mp::{splash_suite, MpSim};
 use interleave::stats::{Breakdown, Category};
 use interleave::workloads::{mixes, MultiprogramSim};
+use proptest::prelude::*;
 
 fn small_grid() -> ExperimentSpec {
     let mut spec = ExperimentSpec::new("determinism", Scale::Ci)
@@ -163,6 +166,136 @@ fn idle_skip_produces_byte_identical_metrics_artifacts() {
         off.metrics_json(),
         "METRICS artifact must be byte-identical with idle skipping on or off"
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The `--shard K/N` partitioner must tile any grid: for every
+    /// shard count the K slices are pairwise disjoint, their union is
+    /// exactly the grid, and recomputing a slice yields the same
+    /// indices (the property the merge gate stands on).
+    #[test]
+    fn shard_slices_partition_any_grid(grid_cells in 0usize..200, count in 1usize..=8) {
+        let mut seen = vec![false; grid_cells];
+        for index in 1..=count {
+            let shard = Shard::new(index, count);
+            let slice: Vec<usize> = shard.indices(grid_cells).collect();
+            prop_assert_eq!(
+                slice.clone(),
+                shard.indices(grid_cells).collect::<Vec<usize>>(),
+                "slice must be stable across invocations"
+            );
+            for i in slice {
+                prop_assert!(i < grid_cells, "index {} outside the grid", i);
+                prop_assert!(!seen[i], "index {} claimed by two shards", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c), "shard union must cover the grid");
+    }
+}
+
+/// The checkpoint key is the resume contract: it must be stable across
+/// processes (same spec + cell -> same file name forever) and distinct
+/// across cells, or a resumed sweep would silently reuse the wrong
+/// result.
+#[test]
+fn checkpoint_keys_are_stable_and_distinct_across_the_grid() {
+    let spec = small_grid();
+    let cells = spec.cells();
+    let keys: Vec<u64> = cells.iter().map(|c| checkpoint::cell_key(&spec, c)).collect();
+    let again: Vec<u64> = cells.iter().map(|c| checkpoint::cell_key(&spec, c)).collect();
+    assert_eq!(keys, again, "checkpoint keys must be stable across invocations");
+    let mut unique = keys.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), cells.len(), "every cell must get a distinct checkpoint key");
+    // A result-affecting knob moves every key.
+    let tightened = small_grid().quota(1_000);
+    assert_ne!(checkpoint::cell_key(&tightened, &cells[0]), keys[0]);
+}
+
+/// Drops the volatile host-side keys from a BENCH document, mirroring
+/// scripts/determinism_gate.sh: the top-level
+/// unix_timestamp/jobs/wall_ms/sim_cycles_per_sec lines and the inline
+/// per-cell wall_ms/sim_cycles_per_sec fields.
+fn strip_volatile(bench: &str) -> String {
+    const TOP_LEVEL: [&str; 4] =
+        ["  \"unix_timestamp\"", "  \"jobs\"", "  \"wall_ms\"", "  \"sim_cycles_per_sec\""];
+    bench
+        .lines()
+        .filter(|line| !TOP_LEVEL.iter().any(|k| line.starts_with(k)))
+        .map(|line| {
+            let mut line = line.to_string();
+            for key in ["\"wall_ms\": ", "\"sim_cycles_per_sec\": "] {
+                while let Some(start) = line.find(key) {
+                    let rest = &line[start..];
+                    let len = rest.find(", ").map(|i| i + 2).unwrap_or(rest.len());
+                    line.replace_range(start..start + len, "");
+                }
+            }
+            line
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ilv_sweep_det_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The tentpole gate: running the grid as K disjoint shard processes
+/// and folding the artifacts with `merge` must reproduce the
+/// single-process `--jobs N` sweep byte-for-byte — METRICS strictly,
+/// BENCH after stripping the volatile host keys.
+#[test]
+fn merge_of_shards_is_byte_identical_to_single_process_sweep() {
+    let spec = small_grid();
+    let reference = Runner::new(4).run(&spec);
+    for count in [2, 3, 5] {
+        let shard_dir = test_dir(&format!("shards{count}"));
+        for index in 1..=count {
+            let sweep = Runner::new(2).shard(Shard::new(index, count)).run(&spec);
+            sweep.write_json(&shard_dir).unwrap();
+            sweep.write_metrics_json(&shard_dir).unwrap();
+        }
+        let merged = merge::merge_dirs(&[shard_dir.clone()]).unwrap();
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].shards, count);
+        assert_eq!(merged[0].grid_cells, 15);
+        assert_eq!(
+            merged[0].metrics,
+            reference.metrics_json(),
+            "{count}-way merged METRICS must match the single-process artifact byte-for-byte"
+        );
+        assert_eq!(
+            strip_volatile(&merged[0].bench),
+            strip_volatile(&reference.to_json()),
+            "{count}-way merged BENCH must match after stripping volatile host keys"
+        );
+        let _ = std::fs::remove_dir_all(&shard_dir);
+    }
+}
+
+/// A sweep resumed from a fully checkpointed directory recomputes
+/// nothing and still renders byte-identical artifacts.
+#[test]
+fn resumed_sweep_skips_cells_and_matches_artifacts() {
+    let spec = small_grid();
+    let ckpt = test_dir("resume");
+    let cold = Runner::new(2).checkpoint_dir(&ckpt).run(&spec);
+    assert_eq!(cold.resumed, 0);
+    let warm = Runner::new(2).checkpoint_dir(&ckpt).run(&spec);
+    assert_eq!(warm.resumed, 15, "every cell must resume from its checkpoint");
+    assert!(cold.results_match(&warm));
+    assert_eq!(cold.metrics_json(), warm.metrics_json());
+    assert_eq!(strip_volatile(&cold.to_json()), strip_volatile(&warm.to_json()));
+    let _ = std::fs::remove_dir_all(&ckpt);
 }
 
 #[test]
