@@ -1,0 +1,140 @@
+//! Content-addressed result cache: the checkpoint store promoted to a
+//! shared, stats-bearing service component.
+//!
+//! [`ResultCache`] wraps the [`crate::checkpoint`] file format — one
+//! `CELL_<fnv64>.json` per cell, keyed by the resolved-configuration
+//! hash (spec × seed × crate version), written atomically — behind a
+//! handle that can be shared across many [`crate::Runner`]s (the
+//! `interleave-sim serve` worker pool hands one `Arc<ResultCache>` to
+//! every job) and counts hits/misses so `GET /stats` can report a cache
+//! hit rate. Because the key hashes only result-affecting configuration,
+//! a cache hit is guaranteed to reproduce the fresh computation
+//! bit-for-bit: a cached response byte-equals a fresh run by
+//! construction.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::checkpoint;
+use crate::runner::{Cell, CellResult, ExperimentSpec};
+
+/// A content-addressed store of per-cell results with hit/miss counters.
+///
+/// Thread-safe: `load`/`store` take `&self`, so one cache can back any
+/// number of concurrent runners (atomicity of the underlying file
+/// writes makes concurrent stores of the same key safe — last rename
+/// wins, and every candidate is bit-identical anyway).
+pub struct ResultCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("dir", &self.dir)
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl ResultCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> ResultCache {
+        ResultCache { dir: dir.into(), hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Restores a cell's result when a valid entry for its resolved
+    /// configuration exists, counting a hit; counts a miss otherwise.
+    pub fn load(&self, spec: &ExperimentSpec, cell: &Cell) -> Option<CellResult> {
+        let result = checkpoint::load(&self.dir, spec, cell);
+        match result {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    /// Stores a freshly computed cell result (write-to-temp + rename).
+    pub fn store(
+        &self,
+        spec: &ExperimentSpec,
+        cell: &Cell,
+        result: &CellResult,
+    ) -> std::io::Result<PathBuf> {
+        checkpoint::store(&self.dir, spec, cell, result)
+    }
+
+    /// Loads served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Loads that had to be computed fresh so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of loads served from the cache (0.0 when nothing has
+    /// been looked up yet).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{Runner, Scale};
+    use interleave_workloads::mixes;
+
+    fn spec() -> ExperimentSpec {
+        ExperimentSpec::new("cache", Scale::Ci).uni(mixes::fp()).contexts([2]).quota(1_000)
+    }
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let dir = std::env::temp_dir().join(format!("ilv_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::new(&dir);
+        let spec = spec();
+        let cell = &spec.cells()[0];
+        assert!(cache.load(&spec, cell).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        assert_eq!(cache.hit_rate(), 0.0);
+        let result = spec.run_cell(cell);
+        cache.store(&spec, cell, &result).unwrap();
+        assert_eq!(cache.load(&spec, cell).as_ref(), Some(&result), "round-trips exactly");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_across_runners_dedupes_work() {
+        let dir = std::env::temp_dir().join(format!("ilv_cache_share_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = std::sync::Arc::new(ResultCache::new(&dir));
+        let spec = spec();
+        let first = Runner::serial().result_cache(std::sync::Arc::clone(&cache)).run(&spec);
+        assert_eq!(first.resumed, 0);
+        let second = Runner::serial().result_cache(std::sync::Arc::clone(&cache)).run(&spec);
+        assert_eq!(second.resumed, second.cells.len(), "second runner hits for every cell");
+        assert!(first.results_match(&second));
+        assert_eq!(cache.hits(), second.cells.len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

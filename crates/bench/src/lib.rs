@@ -17,18 +17,58 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod checkpoint;
 pub mod merge;
 pub mod runner;
 
 use interleave_core::Scheme;
-use interleave_mp::{MpResult, SplashProfile};
+use interleave_mp::{splash_suite, MpResult, SplashProfile};
 use interleave_stats::{Breakdown, Category, Table};
-use interleave_workloads::mixes::Workload;
+use interleave_workloads::mixes::{self, Workload};
 use interleave_workloads::MultiprogramResult;
 
+pub use cache::ResultCache;
 pub use merge::{MergeError, MergedSweep};
-pub use runner::{Cell, CellResult, ExperimentSpec, Runner, Scale, Shard, SweepResult, Target};
+pub use runner::{
+    Cell, CellResult, ExperimentSpec, Runner, Scale, Shard, Snapshot, SweepResult, Target,
+};
+
+/// Builds the experiment grid behind a named artifact — the
+/// library-level entry shared by the `sweep`/`profile` subcommands and
+/// the `interleave-sim serve` daemon, so a spec submitted over the wire
+/// resolves to exactly the grid the CLI would run.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown artifact.
+pub fn artifact_spec(artifact: &str, scale: Scale) -> Result<ExperimentSpec, String> {
+    match artifact {
+        "table7" => {
+            let mut spec = ExperimentSpec::new("table7", scale).contexts([2, 4]);
+            for w in mixes::all() {
+                spec = spec.uni(w);
+            }
+            Ok(spec)
+        }
+        "table10" => {
+            let mut spec = ExperimentSpec::new("table10", scale).contexts([2, 4, 8]);
+            for app in splash_suite() {
+                spec = spec.mp(app);
+            }
+            Ok(spec)
+        }
+        // A seconds-long single-workload grid for CI throughput checks
+        // (`scripts/check.sh` reads the cycles/sec rates from its BENCH
+        // json).
+        "smoke" => Ok(ExperimentSpec::new("smoke", scale)
+            .uni(mixes::fp())
+            .contexts([2])
+            .quota(2_000)
+            .warmup(500)),
+        other => Err(format!("unknown artifact `{other}` (expected table7, table10, or smoke)")),
+    }
+}
 
 /// Runs the uniprocessor grid for one workload: the single-context
 /// baseline plus blocked/interleaved at the given context counts.
@@ -173,6 +213,17 @@ mod tests {
         assert_eq!(breakdown_cells(&b, true).len(), 5);
         assert_eq!(breakdown_cells(&b, false).len(), 6);
         assert_eq!(breakdown_cells(&b, true)[1], "50.0%");
+    }
+
+    #[test]
+    fn artifact_spec_resolves_known_grids() {
+        for name in ["table7", "table10", "smoke"] {
+            let spec = artifact_spec(name, Scale::Ci).unwrap();
+            assert_eq!(spec.name(), name);
+            assert!(!spec.cells().is_empty());
+        }
+        let err = artifact_spec("table99", Scale::Ci).unwrap_err();
+        assert!(err.contains("unknown artifact"), "{err}");
     }
 
     #[test]

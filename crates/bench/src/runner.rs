@@ -17,8 +17,8 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::checkpoint;
-use std::sync::{Mutex, OnceLock};
+use crate::cache::ResultCache;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use interleave_core::{Scheme, StorePolicy};
@@ -623,7 +623,7 @@ pub struct Runner {
     progress: bool,
     status_dir: Option<PathBuf>,
     shard: Option<Shard>,
-    checkpoint_dir: Option<PathBuf>,
+    cache: Option<Arc<ResultCache>>,
     bus: Watch<Snapshot>,
 }
 
@@ -682,6 +682,31 @@ impl Snapshot {
         out.push_str(&format!("  \"metrics\": {}\n", self.metrics.to_json(2)));
         out.push_str("}\n");
         out
+    }
+
+    /// The same `interleave-status-v1` document as [`Snapshot::to_json`]
+    /// on a single line (no trailing newline) — the framing used by the
+    /// serve daemon's `GET /jobs/<id>/events` newline-delimited stream,
+    /// where each line must be one complete document.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"artifact\": {}, \"schema\": \"interleave-status-v1\", \"scale\": \"{}\", \
+             \"done\": {}, \"total\": {}, \"finished\": {}, \"wall_ms\": {}, \
+             \"cells_per_sec\": {:.3}, \"eta_secs\": {:.1}, \"sim_cycles\": {}, \
+             \"sim_cycles_per_sec\": {:.1}, \"last_cell\": {}, \"metrics\": {}}}",
+            json_str(&self.artifact),
+            self.scale,
+            self.done,
+            self.total,
+            self.finished,
+            self.wall_ms,
+            self.cells_per_sec,
+            self.eta_secs,
+            self.sim_cycles,
+            self.sim_cycles_per_sec,
+            json_str(&self.last_cell),
+            self.metrics.to_json_line()
+        )
     }
 }
 
@@ -836,7 +861,7 @@ impl Runner {
             progress: false,
             status_dir: None,
             shard: None,
-            checkpoint_dir: None,
+            cache: None,
             bus: Watch::new(),
         }
     }
@@ -910,7 +935,27 @@ impl Runner {
     /// from a different spec, seed, or code version are ignored — a
     /// resumed sweep is byte-identical to an uninterrupted one.
     pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Runner {
-        self.checkpoint_dir = Some(dir.into());
+        self.cache = Some(Arc::new(ResultCache::new(dir)));
+        self
+    }
+
+    /// Backs the runner with an existing shared [`ResultCache`]
+    /// (the checkpoint store promoted to a service component): cells
+    /// whose entry exists are restored instead of recomputed, fresh
+    /// cells are stored, and the cache's hit/miss counters account for
+    /// both. Sharing one `Arc<ResultCache>` across runners is how
+    /// `interleave-sim serve` dedupes repeated job submissions.
+    pub fn result_cache(mut self, cache: Arc<ResultCache>) -> Runner {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Replaces the runner's telemetry bus with a caller-owned one, so
+    /// subscribers created *before* the runner existed (e.g. a server
+    /// job registered at enqueue time) observe the sweep this runner
+    /// eventually executes.
+    pub fn with_bus(mut self, bus: Watch<Snapshot>) -> Runner {
+        self.bus = bus;
         self
     }
 
@@ -952,7 +997,7 @@ impl Runner {
         let telemetry = SweepTelemetry::new(self, spec, cells.len());
         telemetry.begin();
         let telemetry = &telemetry;
-        let checkpoints = self.checkpoint_dir.as_deref();
+        let checkpoints = self.cache.as_deref();
         let resumed_cells = AtomicUsize::new(0);
         let fresh_cells = AtomicUsize::new(0);
         // Test hook: exit after n freshly computed cells, checkpoints
@@ -963,12 +1008,12 @@ impl Runner {
         let timed_cell = |c: &Cell| {
             let _cell = profile::enter("runner.cell");
             let cell_start = Instant::now();
-            let restored = checkpoints.and_then(|dir| checkpoint::load(dir, spec, c));
+            let restored = checkpoints.and_then(|cache| cache.load(spec, c));
             let fresh = restored.is_none();
             let result = restored.unwrap_or_else(|| {
                 let result = spec.run_cell(c);
-                if let Some(dir) = checkpoints {
-                    if let Err(e) = checkpoint::store(dir, spec, c, &result) {
+                if let Some(cache) = checkpoints {
+                    if let Err(e) = cache.store(spec, c, &result) {
                         eprintln!(
                             "warning: could not checkpoint {} {} x{}: {e}",
                             c.target.name(),
@@ -1519,9 +1564,12 @@ mod tests {
         std::env::remove_var("INTERLEAVE_SHARD");
         assert_eq!(Shard::from_env(), None);
         std::env::set_var("INTERLEAVE_CHECKPOINT_DIR", "/tmp/ckpt");
-        assert_eq!(Runner::from_env().checkpoint_dir.as_deref(), Some(Path::new("/tmp/ckpt")));
+        assert_eq!(
+            Runner::from_env().cache.as_deref().map(ResultCache::dir),
+            Some(Path::new("/tmp/ckpt"))
+        );
         std::env::remove_var("INTERLEAVE_CHECKPOINT_DIR");
-        assert_eq!(Runner::from_env().checkpoint_dir, None);
+        assert!(Runner::from_env().cache.is_none());
     }
 
     #[test]

@@ -90,6 +90,15 @@ pub struct Subscriber<T> {
     seen: u64,
 }
 
+impl<T> Clone for Subscriber<T> {
+    /// Fans out: the clone shares the channel but keeps its own `seen`
+    /// cursor, so N concurrent readers (e.g. N streaming connections to
+    /// the same job) each observe every change independently.
+    fn clone(&self) -> Subscriber<T> {
+        Subscriber { shared: Arc::clone(&self.shared), seen: self.seen }
+    }
+}
+
 impl<T> std::fmt::Debug for Subscriber<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Subscriber").field("seen", &self.seen).finish()
@@ -173,6 +182,23 @@ mod tests {
             assert_eq!(sub.changed(Duration::from_secs(5)), Some(7));
         });
         assert_eq!(sub.changed(Duration::from_millis(10)), None, "already seen");
+    }
+
+    #[test]
+    fn cloned_subscribers_fan_out_independently() {
+        let bus = Watch::new();
+        let mut a = bus.subscribe();
+        bus.publish(1u32);
+        assert_eq!(a.latest(), Some(1));
+        let mut b = a.clone();
+        assert!(!b.has_changed(), "clone inherits the parent's cursor");
+        bus.publish(2);
+        assert_eq!(a.latest(), Some(2));
+        assert!(b.has_changed(), "each clone tracks changes independently");
+        assert_eq!(b.latest(), Some(2));
+        bus.publish(3);
+        assert_eq!(b.changed(Duration::from_secs(1)), Some(3));
+        assert_eq!(a.latest(), Some(3), "reads on one clone do not consume the other's");
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! Job requests and lifecycle state for the serve daemon.
+//!
+//! A `POST /jobs` body is a [`JobRequest`]: the same artifact name and
+//! knobs the `sweep` subcommand resolves, as JSON. It resolves through
+//! [`interleave_bench::artifact_spec`] into exactly the grid the CLI
+//! would run, so a job served over the wire and an offline sweep of the
+//! same spec are the same computation — the foundation of the
+//! byte-identity guarantee the determinism gates enforce.
+
+use std::sync::Mutex;
+
+use interleave_bench::{artifact_spec, ExperimentSpec, Scale, Snapshot};
+use interleave_obs::bus::Watch;
+use interleave_obs::json::{escape, Value};
+use interleave_obs::Registry;
+
+/// Host worker threads a single job may claim (`"jobs"` knob cap): a
+/// queue full of greedy requests must not oversubscribe the machine,
+/// and results are bit-identical at every value anyway.
+pub const MAX_JOBS_PER_REQUEST: usize = 8;
+
+/// A parsed `POST /jobs` body: artifact name plus the optional knobs
+/// the `sweep` subcommand exposes. Knob names match the CLI flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Grid to run (`table7`, `table10`, `smoke`).
+    pub artifact: String,
+    /// Problem scale (`None` = the server's default, [`Scale::Ci`]).
+    pub scale: Option<Scale>,
+    /// Explicit stream seed (result-affecting).
+    pub seed: Option<u64>,
+    /// Host worker threads for this job (bit-invisible; capped at
+    /// [`MAX_JOBS_PER_REQUEST`]).
+    pub jobs: Option<usize>,
+    /// Host threads per multiprocessor cell (bit-invisible).
+    pub mp_jobs: Option<usize>,
+    /// Adaptive lookahead widening (bit-invisible).
+    pub adaptive: Option<bool>,
+}
+
+impl JobRequest {
+    /// Parses a request from its JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field: missing/bad
+    /// `artifact`, a bad knob value, or an unknown key (strict, so a
+    /// typo like `"sede"` fails loudly instead of silently running the
+    /// default).
+    pub fn from_value(doc: &Value) -> Result<JobRequest, String> {
+        let Value::Obj(fields) = doc else {
+            return Err("job spec must be a JSON object".into());
+        };
+        for key in fields.keys() {
+            if !["artifact", "scale", "seed", "jobs", "mp_jobs", "adaptive"].contains(&key.as_str())
+            {
+                return Err(format!("unknown job-spec key `{key}`"));
+            }
+        }
+        let artifact = doc
+            .get("artifact")
+            .and_then(Value::as_str)
+            .ok_or("job spec requires a string `artifact` (table7, table10, or smoke)")?
+            .to_string();
+        let scale =
+            match doc.get("scale") {
+                None => None,
+                Some(v) => {
+                    let name = v.as_str().ok_or("`scale` must be \"ci\" or \"full\"")?;
+                    Some(Scale::parse(name).ok_or_else(|| {
+                        format!("`scale` must be \"ci\" or \"full\", got \"{name}\"")
+                    })?)
+                }
+            };
+        let num = |key: &str| -> Result<Option<u64>, String> {
+            match doc.get(key) {
+                None => Ok(None),
+                Some(v) => {
+                    v.as_u64().map(Some).ok_or(format!("`{key}` must be a non-negative integer"))
+                }
+            }
+        };
+        let adaptive = match doc.get("adaptive") {
+            None => None,
+            Some(v) => Some(v.as_bool().ok_or("`adaptive` must be true or false")?),
+        };
+        Ok(JobRequest {
+            artifact,
+            scale,
+            seed: num("seed")?,
+            jobs: num("jobs")?.map(|n| n as usize),
+            mp_jobs: num("mp_jobs")?.map(|n| n as usize),
+            adaptive,
+        })
+    }
+
+    /// Serializes the request back to its wire shape (used by the
+    /// `submit` subcommand).
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![format!("\"artifact\": {}", escape(&self.artifact))];
+        if let Some(scale) = self.scale {
+            fields.push(format!("\"scale\": \"{}\"", scale.name()));
+        }
+        if let Some(seed) = self.seed {
+            fields.push(format!("\"seed\": {seed}"));
+        }
+        if let Some(jobs) = self.jobs {
+            fields.push(format!("\"jobs\": {jobs}"));
+        }
+        if let Some(mp_jobs) = self.mp_jobs {
+            fields.push(format!("\"mp_jobs\": {mp_jobs}"));
+        }
+        if let Some(adaptive) = self.adaptive {
+            fields.push(format!("\"adaptive\": {adaptive}"));
+        }
+        format!("{{{}}}\n", fields.join(", "))
+    }
+
+    /// Resolves the request into the experiment grid it describes —
+    /// identical to what `sweep --artifact <a> [--seed N ...]` runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown artifact.
+    pub fn to_spec(&self) -> Result<ExperimentSpec, String> {
+        let mut spec = artifact_spec(&self.artifact, self.scale.unwrap_or(Scale::Ci))?;
+        if let Some(seed) = self.seed {
+            spec = spec.seeds([seed]);
+        }
+        if let Some(mp_jobs) = self.mp_jobs {
+            spec = spec.mp_jobs(mp_jobs);
+        }
+        if let Some(adaptive) = self.adaptive {
+            spec = spec.adaptive(adaptive);
+        }
+        Ok(spec)
+    }
+}
+
+/// A finished job's artifacts and accounting.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// The `BENCH_*` document a `sweep --json` of this spec writes.
+    pub bench_json: String,
+    /// The `METRICS_*` document (deterministic, byte-stable).
+    pub metrics_json: String,
+    /// Cells in the grid.
+    pub cells: usize,
+    /// Cells served from the result cache instead of recomputed.
+    pub cached_cells: usize,
+    /// Wall-clock milliseconds the sweep took on the worker.
+    pub wall_ms: u64,
+    /// Simulated cycles summed over the grid.
+    pub sim_cycles: u64,
+}
+
+/// Lifecycle phase of a job.
+#[derive(Debug, Clone)]
+pub enum JobPhase {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is sweeping the grid.
+    Running,
+    /// Finished; artifacts are ready to fetch.
+    Done(Box<JobOutput>),
+    /// The sweep did not complete.
+    Failed(String),
+}
+
+impl JobPhase {
+    /// The wire name of the phase.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done(_) => "done",
+            JobPhase::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One admitted job: its request, resolved spec, telemetry bus, and
+/// lifecycle phase. Shared between the accept loop, the worker pool,
+/// and any number of streaming subscribers via `Arc`.
+#[derive(Debug)]
+pub struct Job {
+    /// Server-assigned id (sequential, starting at 1).
+    pub id: u64,
+    /// The request as submitted.
+    pub request: JobRequest,
+    /// The resolved experiment grid.
+    pub spec: ExperimentSpec,
+    /// Cells in the grid.
+    pub total_cells: usize,
+    /// Per-job telemetry bus: created at admission so `events`
+    /// subscribers opened before the job runs still see every phase;
+    /// handed to the worker's `Runner` via
+    /// [`interleave_bench::Runner::with_bus`].
+    pub bus: Watch<Snapshot>,
+    phase: Mutex<JobPhase>,
+}
+
+impl Job {
+    /// Admits a request: resolves its spec and publishes the initial
+    /// (0-cells-done) snapshot on a fresh bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec-resolution message (unknown artifact).
+    pub fn new(id: u64, request: JobRequest) -> Result<Job, String> {
+        let spec = request.to_spec()?;
+        let total_cells = spec.cells().len();
+        let bus = Watch::new();
+        bus.publish(Snapshot {
+            artifact: spec.name().to_string(),
+            scale: spec.scale().name(),
+            done: 0,
+            total: total_cells,
+            wall_ms: 0,
+            cells_per_sec: 0.0,
+            eta_secs: 0.0,
+            sim_cycles: 0,
+            sim_cycles_per_sec: 0.0,
+            finished: false,
+            last_cell: String::new(),
+            metrics: Registry::new(),
+        });
+        Ok(Job { id, request, spec, total_cells, bus, phase: Mutex::new(JobPhase::Queued) })
+    }
+
+    /// Runs `f` with the current phase (the lock is held only for the
+    /// closure).
+    pub fn with_phase<R>(&self, f: impl FnOnce(&JobPhase) -> R) -> R {
+        f(&self.phase.lock().expect("job phase lock"))
+    }
+
+    /// Whether the job has reached `done` or `failed`.
+    pub fn is_terminal(&self) -> bool {
+        self.with_phase(|p| matches!(p, JobPhase::Done(_) | JobPhase::Failed(_)))
+    }
+
+    /// Transitions the phase.
+    pub fn set_phase(&self, phase: JobPhase) {
+        *self.phase.lock().expect("job phase lock") = phase;
+    }
+
+    /// The `GET /jobs/<id>` status document.
+    pub fn status_json(&self) -> String {
+        let mut fields = vec![
+            "\"schema\": \"interleave-job-v1\"".to_string(),
+            format!("\"id\": {}", self.id),
+            format!("\"artifact\": {}", escape(&self.request.artifact)),
+            format!("\"scale\": \"{}\"", self.spec.scale().name()),
+            format!("\"cells\": {}", self.total_cells),
+        ];
+        self.with_phase(|phase| {
+            fields.push(format!("\"state\": \"{}\"", phase.name()));
+            match phase {
+                JobPhase::Done(out) => {
+                    fields.push(format!("\"cached_cells\": {}", out.cached_cells));
+                    fields.push(format!("\"wall_ms\": {}", out.wall_ms));
+                    fields.push(format!("\"sim_cycles\": {}", out.sim_cycles));
+                }
+                JobPhase::Failed(error) => fields.push(format!("\"error\": {}", escape(error))),
+                JobPhase::Queued | JobPhase::Running => {}
+            }
+        });
+        format!("{{{}}}\n", fields.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interleave_obs::json;
+
+    fn request(body: &str) -> Result<JobRequest, String> {
+        JobRequest::from_value(&json::parse(body).expect("test body parses"))
+    }
+
+    #[test]
+    fn parses_full_and_minimal_requests() {
+        let minimal = request(r#"{"artifact": "smoke"}"#).unwrap();
+        assert_eq!(minimal.artifact, "smoke");
+        assert_eq!(minimal.seed, None);
+        let full = request(
+            r#"{"artifact": "table7", "scale": "ci", "seed": 7, "jobs": 2,
+                "mp_jobs": 4, "adaptive": false}"#,
+        )
+        .unwrap();
+        assert_eq!(full.scale, Some(Scale::Ci));
+        assert_eq!(full.seed, Some(7));
+        assert_eq!(full.jobs, Some(2));
+        assert_eq!(full.mp_jobs, Some(4));
+        assert_eq!(full.adaptive, Some(false));
+        // Wire round-trip: to_json parses back to the same request.
+        let reparsed = request(&full.to_json()).unwrap();
+        assert_eq!(reparsed, full);
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_field_names() {
+        for (body, needle) in [
+            (r#"{"scale": "ci"}"#, "artifact"),
+            (r#"{"artifact": 7}"#, "artifact"),
+            (r#"{"artifact": "smoke", "scale": "huge"}"#, "scale"),
+            (r#"{"artifact": "smoke", "seed": -1}"#, "seed"),
+            (r#"{"artifact": "smoke", "adaptive": "maybe"}"#, "adaptive"),
+            (r#"{"artifact": "smoke", "sede": 1}"#, "sede"),
+            (r#"[1, 2]"#, "object"),
+        ] {
+            let err = request(body).unwrap_err();
+            assert!(err.contains(needle), "`{body}` -> `{err}` should mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn job_resolves_spec_and_tracks_phase() {
+        let job = Job::new(3, request(r#"{"artifact": "smoke", "seed": 5}"#).unwrap()).unwrap();
+        assert_eq!(job.spec.name(), "smoke");
+        assert!(job.total_cells > 0);
+        assert!(!job.is_terminal());
+        assert!(job.status_json().contains("\"state\": \"queued\""));
+        // The initial snapshot is already on the bus for early
+        // subscribers.
+        let mut sub = job.bus.subscribe();
+        let snap = sub.latest().expect("initial snapshot published");
+        assert_eq!((snap.done, snap.total), (0, job.total_cells));
+        job.set_phase(JobPhase::Failed("boom".into()));
+        assert!(job.is_terminal());
+        let status = job.status_json();
+        assert!(status.contains("\"state\": \"failed\""), "{status}");
+        assert!(status.contains("\"error\": \"boom\""), "{status}");
+        // Unknown artifacts fail at admission, not on the worker.
+        assert!(Job::new(4, request(r#"{"artifact": "nope"}"#).unwrap()).is_err());
+    }
+}

@@ -9,6 +9,8 @@
 #                (INTERLEAVE_VALIDATE=1 and --features validate) and
 #                enforce the <2x wall-clock overhead budget on the
 #                smoke grid
+#   --serve-only release build + the serve daemon smoke alone (the CI
+#                serve-e2e job's entry point)
 #
 # Set INTERLEAVE_ARTIFACT_DIR to keep the BENCH_*/METRICS_* smoke
 # artifacts (CI uploads them); otherwise they go to a temp dir.
@@ -17,13 +19,89 @@ cd "$(dirname "$0")/.."
 
 quick=0
 validate=0
+serve_only=0
 for arg in "$@"; do
   case "$arg" in
     --quick) quick=1 ;;
     --validate) validate=1 ;;
-    *) echo "usage: scripts/check.sh [--quick] [--validate]" >&2; exit 2 ;;
+    --serve-only) serve_only=1 ;;
+    *) echo "usage: scripts/check.sh [--quick] [--validate] [--serve-only]" >&2; exit 2 ;;
   esac
 done
+
+# Serve smoke: boot the daemon on an ephemeral port, submit the same
+# CI-scale spec twice, and enforce the service contract end to end —
+# the second submit is served fully from the result cache, both wire
+# round-trips byte-match an offline sweep of the same spec (METRICS
+# strict, BENCH with volatile host keys stripped), the cached
+# round-trip clears the latency ceiling, and SIGTERM shuts the daemon
+# down without leaving an orphan listener.
+serve_pid=""
+serve_smoke() {
+  local sdir="$tmpdir/serve"
+  mkdir -p "$sdir"
+  local log="$sdir/serve.log"
+  ./target/release/interleave-sim serve --addr 127.0.0.1:0 \
+    --cache-dir "$sdir/cache" >"$log" 2>&1 &
+  serve_pid=$!
+  # The daemon prints `serve: listening on http://host:port` first;
+  # grep the resolved ephemeral port out of the log.
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr="$(grep -o 'http://[0-9.]*:[0-9]*' "$log" | head -1 || true)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "check.sh: serve never reported a listening address:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  addr="${addr#http://}"
+  ./target/release/interleave-sim submit --artifact smoke --scale ci \
+    --addr "$addr" --wait --json "$sdir/sub1" >/dev/null
+  ./target/release/interleave-sim submit --artifact smoke --scale ci \
+    --addr "$addr" --wait --json "$sdir/sub2" >/dev/null
+  # The cached-path key is written only when every cell came out of
+  # the cache, so its absence means the dedupe contract broke.
+  if ! grep -q '"serve_cached_roundtrip_ms"' "$sdir/sub2/SERVE_smoke.json"; then
+    echo "check.sh: second submit was not served from the result cache:" >&2
+    cat "$sdir/sub2/SERVE_smoke.json" >&2
+    exit 1
+  fi
+  ./target/release/interleave-sim sweep --artifact smoke --scale ci \
+    --json "$sdir/offline" >/dev/null
+  scripts/determinism_gate.sh "$sdir/sub1" "$sdir/offline"
+  scripts/determinism_gate.sh "$sdir/sub2" "$sdir/offline"
+  scripts/throughput_gate.sh "$sdir/sub2/SERVE_smoke.json" \
+    ci/baseline_smoke.json serve_cached_roundtrip_ms
+  kill -TERM "$serve_pid"
+  wait "$serve_pid" 2>/dev/null || true
+  serve_pid=""
+  # No orphan listener: a reconnect to the old port must be refused.
+  local host="${addr%:*}" port="${addr##*:}"
+  if (exec 3<>"/dev/tcp/$host/$port") 2>/dev/null; then
+    exec 3>&- 3<&- || true
+    echo "check.sh: serve left an orphan listener on $addr after SIGTERM" >&2
+    exit 1
+  fi
+  echo "check.sh: serve smoke ok (cached resubmit byte-identical to offline sweep, clean shutdown)"
+}
+
+if [ "$serve_only" -eq 1 ]; then
+  cargo build --release
+  if [ -n "${INTERLEAVE_ARTIFACT_DIR:-}" ]; then
+    tmpdir="$INTERLEAVE_ARTIFACT_DIR"
+    mkdir -p "$tmpdir"
+    trap '[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+  else
+    tmpdir="$(mktemp -d)"
+    trap '{ [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; rm -rf "$tmpdir"; } || true' EXIT
+  fi
+  serve_smoke
+  echo "check.sh: all green (serve-only mode)"
+  exit 0
+fi
 
 cargo build --release
 cargo clippy --workspace -- -D warnings
@@ -45,9 +123,10 @@ fi
 if [ -n "${INTERLEAVE_ARTIFACT_DIR:-}" ]; then
   tmpdir="$INTERLEAVE_ARTIFACT_DIR"
   mkdir -p "$tmpdir"
+  trap '[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
 else
   tmpdir="$(mktemp -d)"
-  trap 'rm -rf "$tmpdir"' EXIT
+  trap '{ [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; rm -rf "$tmpdir"; } || true' EXIT
 fi
 
 # Smoke: export a Chrome trace from the release binary and feed it back
@@ -197,6 +276,9 @@ mkdir -p "$tmpdir/shards" "$tmpdir/merged"
 ./target/release/interleave-sim merge --out "$tmpdir/merged" "$tmpdir/shards"
 scripts/determinism_gate.sh "$tmpdir/merged" "$tmpdir/unprofiled"
 echo "check.sh: shard smoke ok (2-way shard set merged byte-identical)"
+
+# Serve smoke: the daemon round-trip contract (see the function above).
+serve_smoke
 
 if [ "$validate" -eq 1 ]; then
   # Overhead budget: the same smoke grid with every checker enabled

@@ -18,6 +18,14 @@
 # the nightly MP tier passes `table10_sim_cycles_per_sec` to gate the
 # multiprocessor loop against the same baseline file).
 #
+# A baseline key ending in `_ms` flips the gate into latency mode:
+# lower is better, the current document must carry the same key (e.g.
+# the `SERVE_*.json` round-trip timing `submit --json` writes, gated
+# via `serve_cached_roundtrip_ms`), and the gate fails when the current
+# value exceeds baseline / 0.7 — the same 30% headroom as the rate
+# gate, applied on the latency axis. Pass the current document as a
+# file in this mode; directory resolution targets BENCH artifacts.
+#
 # The optional fourth/fifth arguments attribute the verdict to host
 # phases: both are `interleave-profile-v1` documents (as written by
 # `interleave-sim profile --json` or a sweep under INTERLEAVE_PROFILE=1).
@@ -137,6 +145,24 @@ phase_table() {
     }
   ' "$cur" | sort -rn
 }
+
+# Latency keys (`*_ms`) invert the verdict: the current document
+# carries the same key as the baseline, and lower is better.
+case "$baseline_key" in
+  *_ms)
+    current="$(extract_rate "$current_json" "$baseline_key")"
+    baseline="$(extract_rate "$baseline_json" "$baseline_key")"
+    ceiling="$(awk -v b="$baseline" 'BEGIN { printf "%.1f", b / 0.7 }')"
+    if awk -v cur="$current" -v base="$baseline" \
+        'BEGIN { exit (cur + 0 <= base / 0.7) ? 0 : 1 }'; then
+      echo "throughput_gate: ok (${current}ms vs baseline $baseline_key=${baseline}ms, ceiling ${ceiling}ms)"
+      exit 0
+    fi
+    echo "throughput_gate: FAIL — ${current}ms exceeds the $baseline_key ceiling of ${ceiling}ms (baseline ${baseline}ms)" >&2
+    echo "throughput_gate: if this is an accepted slowdown, re-baseline ci/baseline_smoke.json (see EXPERIMENTS.md)" >&2
+    exit 1
+    ;;
+esac
 
 current="$(extract_rate "$current_json" sim_cycles_per_sec)"
 baseline="$(extract_rate "$baseline_json" "$baseline_key")"

@@ -1,12 +1,14 @@
 //! Argument parsing and report rendering for the `interleave-sim` binary.
 //!
 //! Hand-rolled (no external dependencies): subcommands `uni`, `mp`,
-//! `sweep`, `profile`, `watch`, `trace`, `metrics`, and `list`, each
-//! with `--flag value` options (plus bare switches such as `--progress`
-//! and `--once`); `watch` additionally takes a positional status-file
-//! path.
+//! `sweep`, `profile`, `serve`, `submit`, `poll`, `watch`, `trace`,
+//! `metrics`, and `list`, each with `--flag value` options (plus bare
+//! switches such as `--progress` and `--once`); `watch` additionally
+//! takes a positional status-file path or a
+//! `http://host:port/jobs/<id>/events` stream URL, and `poll` an
+//! optional positional job id.
 
-use crate::bench::{merge, ExperimentSpec, Runner, Scale, Shard};
+use crate::bench::{merge, Runner, Scale, Shard};
 use crate::core::Scheme;
 use crate::mp::{splash_suite, MpSim, SplashProfile};
 use crate::obs::Metric;
@@ -105,9 +107,65 @@ pub enum Command {
         /// Where to write a Chrome trace of the recorded host spans.
         trace_out: Option<String>,
     },
-    /// Tail a `STATUS_*.json` file written by a concurrent sweep.
+    /// Run the simulation service daemon (`interleave-sim serve`).
+    Serve {
+        /// `host:port` to bind (`None` = `INTERLEAVE_ADDR` /
+        /// `127.0.0.1:4994`). Port 0 binds an ephemeral port; the bound
+        /// address is printed for scripts to capture.
+        addr: Option<String>,
+        /// Pending-queue bound before `POST /jobs` answers 429 (`None`
+        /// = `INTERLEAVE_QUEUE_DEPTH` / 64).
+        queue_depth: Option<usize>,
+        /// Worker threads draining the queue (`None` = machine-sized).
+        workers: Option<usize>,
+        /// Content-addressed result-cache directory (`None` =
+        /// `INTERLEAVE_CACHE_DIR` / no caching).
+        cache_dir: Option<String>,
+        /// Per-job `STATUS_*.json` mirror root (`None` = bus-only).
+        status_dir: Option<String>,
+    },
+    /// Submit a job to a running daemon and optionally wait for it.
+    Submit {
+        /// Daemon address (`None` = `INTERLEAVE_ADDR` /
+        /// `127.0.0.1:4994`); `http://host:port` prefixes are accepted.
+        addr: Option<String>,
+        /// Grid to run (same names as `sweep`).
+        artifact: String,
+        /// Problem scale (`None` = the server default, ci).
+        scale: Option<Scale>,
+        /// Explicit stream seed (result-affecting).
+        seed: Option<u64>,
+        /// Worker threads for this job (bit-invisible, server-capped).
+        jobs: Option<usize>,
+        /// Host threads per multiprocessor cell (bit-invisible).
+        mp_jobs: Option<usize>,
+        /// Adaptive lookahead widening (bit-invisible).
+        adaptive: Option<bool>,
+        /// Poll the job to completion before exiting.
+        wait: bool,
+        /// Fetch the finished `BENCH_*`/`METRICS_*` artifacts into this
+        /// directory (implies `wait`) along with a `SERVE_*` round-trip
+        /// timing document.
+        json: Option<String>,
+        /// Give up waiting after this many seconds.
+        timeout_secs: u64,
+    },
+    /// Query a running daemon: job status, `--stats`, or (with no id)
+    /// `/healthz`.
+    Poll {
+        /// Daemon address (`None` = `INTERLEAVE_ADDR` /
+        /// `127.0.0.1:4994`).
+        addr: Option<String>,
+        /// Job id to query (positional; `None` = server health).
+        id: Option<u64>,
+        /// Query `/stats` instead of a job.
+        stats: bool,
+    },
+    /// Tail a `STATUS_*.json` file written by a concurrent sweep, or
+    /// stream a daemon's `/jobs/<id>/events` URL.
     Watch {
-        /// Status file to poll (positional argument).
+        /// Status file to poll, or a `http://host:port/jobs/<id>/events`
+        /// URL to stream (positional argument).
         file: String,
         /// Render the current snapshot once and exit.
         once: bool,
@@ -284,7 +342,15 @@ USAGE:
   interleave-sim profile --artifact table7|table10|smoke [--jobs N]
                        [--scale ci|full] [--json DIR] [--seed N]
                        [--trace-out PATH]
-  interleave-sim watch STATUS_FILE [--once] [--interval-ms N] [--timeout-secs N]
+  interleave-sim serve [--addr HOST:PORT] [--queue-depth N] [--workers N]
+                       [--cache-dir DIR] [--status-dir DIR]
+  interleave-sim submit --artifact table7|table10|smoke [--addr HOST:PORT]
+                       [--scale ci|full] [--seed N] [--jobs N] [--mp-jobs N]
+                       [--adaptive on|off] [--wait] [--json DIR]
+                       [--timeout-secs N]
+  interleave-sim poll  [JOB_ID] [--addr HOST:PORT] [--stats]
+  interleave-sim watch STATUS_FILE_OR_EVENTS_URL [--once] [--interval-ms N]
+                       [--timeout-secs N]
   interleave-sim trace [--file PATH] [--workload W] [--scheme S] [--contexts N]
                        [--max-cycles N] [--seed N] [--out PATH]
   interleave-sim metrics [--workload W] [--scheme S] [--contexts N] [--quota N]
@@ -342,7 +408,25 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         let out = out.ok_or_else(|| CliError("merge requires --out DIR".into()))?;
         return Ok(Command::Merge { out, dirs });
     }
-    let flags = Flags::parse(&args[1..], &["progress"])?;
+    // `poll` takes an optional positional job id.
+    if sub == "poll" {
+        let (id, rest) = match args.get(1).filter(|a| !a.starts_with("--")) {
+            Some(raw) => {
+                let id = raw
+                    .parse::<u64>()
+                    .map_err(|_| CliError(format!("poll expects a numeric job id, got `{raw}`")))?;
+                (Some(id), &args[2..])
+            }
+            None => (None, &args[1..]),
+        };
+        let flags = Flags::parse(rest, &["stats"])?;
+        return Ok(Command::Poll {
+            addr: flags.get("addr").map(str::to_string),
+            id,
+            stats: flags.switch("stats"),
+        });
+    }
+    let flags = Flags::parse(&args[1..], &["progress", "wait"])?;
     match sub.as_str() {
         "uni" => Ok(Command::Uni {
             workload: flags.get("workload").unwrap_or("FP").to_string(),
@@ -402,6 +486,28 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             seed: flags.num("seed", 0x19940501)?,
             json: flags.get("json").map(str::to_string),
         }),
+        "serve" => Ok(Command::Serve {
+            addr: flags.get("addr").map(str::to_string),
+            queue_depth: flags.opt_num("queue-depth")?.map(|n| n as usize),
+            workers: flags.opt_num("workers")?.map(|n| n as usize),
+            cache_dir: flags.get("cache-dir").map(str::to_string),
+            status_dir: flags.get("status-dir").map(str::to_string),
+        }),
+        "submit" => Ok(Command::Submit {
+            addr: flags.get("addr").map(str::to_string),
+            artifact: flags
+                .get("artifact")
+                .ok_or_else(|| CliError("submit requires --artifact table7|table10|smoke".into()))?
+                .to_string(),
+            scale: flags.scale()?,
+            seed: flags.opt_num("seed")?,
+            jobs: flags.opt_num("jobs")?.map(|n| n as usize),
+            mp_jobs: flags.opt_num("mp-jobs")?.map(|n| n as usize),
+            adaptive: flags.on_off("adaptive")?,
+            wait: flags.switch("wait"),
+            json: flags.get("json").map(str::to_string),
+            timeout_secs: flags.num("timeout-secs", 600)?,
+        }),
         "list" => Ok(Command::List),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(CliError(format!("unknown subcommand `{other}` (try `help`)"))),
@@ -422,36 +528,21 @@ fn find_app(name: &str) -> Result<SplashProfile, CliError> {
         .ok_or_else(|| CliError(format!("unknown application `{name}` (try `list`)")))
 }
 
-/// Builds the experiment grid behind an artifact name. Shared by the
-/// `sweep` and `profile` subcommands so both run identical cells.
-fn artifact_spec(artifact: &str, scale: Scale) -> Result<ExperimentSpec, CliError> {
-    match artifact {
-        "table7" => {
-            let mut spec = ExperimentSpec::new("table7", scale).contexts([2, 4]);
-            for w in mixes::all() {
-                spec = spec.uni(w);
-            }
-            Ok(spec)
-        }
-        "table10" => {
-            let mut spec = ExperimentSpec::new("table10", scale).contexts([2, 4, 8]);
-            for app in splash_suite() {
-                spec = spec.mp(app);
-            }
-            Ok(spec)
-        }
-        // A seconds-long single-workload grid for CI throughput checks
-        // (`scripts/check.sh` reads the cycles/sec rates from its BENCH
-        // json).
-        "smoke" => Ok(ExperimentSpec::new("smoke", scale)
-            .uni(mixes::fp())
-            .contexts([2])
-            .quota(2_000)
-            .warmup(500)),
-        other => Err(CliError(format!(
-            "unknown artifact `{other}` (expected table7, table10, or smoke)"
-        ))),
-    }
+/// Builds the experiment grid behind an artifact name. Delegates to
+/// [`crate::bench::artifact_spec`], the single resolver shared with
+/// the serve daemon, so `sweep`, `profile`, and a served job all run
+/// identical cells.
+fn artifact_spec(artifact: &str, scale: Scale) -> Result<crate::bench::ExperimentSpec, CliError> {
+    crate::bench::artifact_spec(artifact, scale).map_err(CliError)
+}
+
+/// Resolves a daemon address: flag value, else `INTERLEAVE_ADDR`, else
+/// the default port. Tolerates a pasted `http://` prefix.
+fn service_addr(addr: Option<String>) -> String {
+    let addr = addr
+        .or_else(|| std::env::var("INTERLEAVE_ADDR").ok())
+        .unwrap_or_else(|| "127.0.0.1:4994".into());
+    addr.strip_prefix("http://").unwrap_or(&addr).trim_end_matches('/').to_string()
 }
 
 /// Renders a host-phase profile as a table sorted by self time, with
@@ -757,7 +848,205 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 );
             }
         }
+        Command::Serve { addr, queue_depth, workers, cache_dir, status_dir } => {
+            let mut config = crate::server::ServerConfig::from_env();
+            if let Some(addr) = addr {
+                config.addr = addr;
+            }
+            if let Some(depth) = queue_depth {
+                config.queue_depth = depth.max(1);
+            }
+            if let Some(workers) = workers {
+                config.workers = workers;
+            }
+            if let Some(dir) = cache_dir {
+                config.cache_dir = Some(dir.into());
+            }
+            if let Some(dir) = status_dir {
+                config.status_dir = Some(dir.into());
+            }
+            let bind_addr = config.addr.clone();
+            let cache_note = config
+                .cache_dir
+                .as_ref()
+                .map(|d| format!(", cache {}", d.display()))
+                .unwrap_or_default();
+            let server = crate::server::Server::bind(config)
+                .map_err(|e| CliError(format!("cannot bind `{bind_addr}`: {e}")))?;
+            // Scripts grep this line to capture the resolved ephemeral
+            // port, so flush it before blocking in the accept loop.
+            println!("serve: listening on http://{}{cache_note}", server.local_addr());
+            {
+                use std::io::Write;
+                std::io::stdout().flush().ok();
+            }
+            server.run().map_err(|e| CliError(format!("server error: {e}")))?;
+            println!("serve: shut down cleanly");
+        }
+        Command::Submit {
+            addr,
+            artifact,
+            scale,
+            seed,
+            jobs,
+            mp_jobs,
+            adaptive,
+            wait,
+            json,
+            timeout_secs,
+        } => {
+            let addr = service_addr(addr);
+            let request = crate::server::job::JobRequest {
+                artifact: artifact.clone(),
+                scale,
+                seed,
+                jobs,
+                mp_jobs,
+                adaptive,
+            };
+            let started = std::time::Instant::now();
+            let response = crate::server::client::post(&addr, "/jobs", &request.to_json())
+                .map_err(|e| CliError(format!("cannot reach daemon at `{addr}`: {e}")))?;
+            if response.status != 202 {
+                return Err(CliError(format!(
+                    "submit rejected (HTTP {}): {}",
+                    response.status,
+                    response.body.trim_end()
+                )));
+            }
+            let doc = crate::obs::json::parse(&response.body)
+                .map_err(|e| CliError(format!("daemon sent invalid JSON: {e}")))?;
+            let id = doc
+                .get("id")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| CliError("daemon response has no job id".into()))?;
+            let cells = doc.get("cells").and_then(|v| v.as_u64()).unwrap_or(0);
+            println!("job {id}: {artifact} ({cells} cells) queued on http://{addr}");
+            if !wait && json.is_none() {
+                println!("poll with `interleave-sim poll {id} --addr {addr}`");
+                return Ok(());
+            }
+            let deadline = started + std::time::Duration::from_secs(timeout_secs);
+            let status = loop {
+                let response = crate::server::client::get(&addr, &format!("/jobs/{id}"))
+                    .map_err(|e| CliError(format!("cannot poll job {id}: {e}")))?;
+                let doc = crate::obs::json::parse(&response.body)
+                    .map_err(|e| CliError(format!("daemon sent invalid JSON: {e}")))?;
+                match doc.get("state").and_then(|v| v.as_str()) {
+                    Some("done") => break doc,
+                    Some("failed") => {
+                        let why = doc
+                            .get("error")
+                            .and_then(|v| v.as_str())
+                            .unwrap_or("unknown error")
+                            .to_string();
+                        return Err(CliError(format!("job {id} failed: {why}")));
+                    }
+                    _ => {}
+                }
+                if std::time::Instant::now() >= deadline {
+                    return Err(CliError(format!(
+                        "timed out after {timeout_secs}s waiting on job {id}"
+                    )));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            };
+            let roundtrip_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            let cached = status.get("cached_cells").and_then(|v| v.as_u64()).unwrap_or(0);
+            let total = status.get("cells").and_then(|v| v.as_u64()).unwrap_or(cells);
+            println!("job {id} done in {roundtrip_ms} ms: {total} cells, {cached} from cache");
+            if let Some(dir) = json {
+                let dir = std::path::Path::new(&dir);
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| CliError(format!("cannot create `{}`: {e}", dir.display())))?;
+                for (route, prefix) in [("bench", "BENCH"), ("metrics", "METRICS")] {
+                    let response =
+                        crate::server::client::get(&addr, &format!("/jobs/{id}/{route}"))
+                            .map_err(|e| CliError(format!("cannot fetch job {id} {route}: {e}")))?;
+                    if response.status != 200 {
+                        return Err(CliError(format!(
+                            "fetching job {id} {route} failed (HTTP {}): {}",
+                            response.status,
+                            response.body.trim_end()
+                        )));
+                    }
+                    let path = dir.join(format!("{prefix}_{artifact}.json"));
+                    std::fs::write(&path, &response.body)
+                        .map_err(|e| CliError(format!("cannot write `{}`: {e}", path.display())))?;
+                    println!("wrote {}", path.display());
+                }
+                let mut fields = vec![
+                    "\"schema\": \"interleave-serve-v1\"".to_string(),
+                    format!("\"artifact\": {}", crate::obs::json::escape(&artifact)),
+                    format!("\"job\": {id}"),
+                    format!("\"cells\": {total}"),
+                    format!("\"cached_cells\": {cached}"),
+                    format!("\"serve_roundtrip_ms\": {roundtrip_ms}"),
+                ];
+                // Present only when every cell came out of the result
+                // cache, so a gate keyed on it fails loudly (missing
+                // key) if the cache missed.
+                if total > 0 && cached == total {
+                    fields.push(format!("\"serve_cached_roundtrip_ms\": {roundtrip_ms}"));
+                }
+                let path = dir.join(format!("SERVE_{artifact}.json"));
+                std::fs::write(&path, format!("{{{}}}\n", fields.join(", ")))
+                    .map_err(|e| CliError(format!("cannot write `{}`: {e}", path.display())))?;
+                println!("wrote {}", path.display());
+            }
+        }
+        Command::Poll { addr, id, stats } => {
+            let addr = service_addr(addr);
+            let path = if stats {
+                "/stats".to_string()
+            } else {
+                match id {
+                    Some(id) => format!("/jobs/{id}"),
+                    None => "/healthz".to_string(),
+                }
+            };
+            let response = crate::server::client::get(&addr, &path)
+                .map_err(|e| CliError(format!("cannot reach daemon at `{addr}`: {e}")))?;
+            if response.status != 200 {
+                return Err(CliError(format!(
+                    "poll {path} failed (HTTP {}): {}",
+                    response.status,
+                    response.body.trim_end()
+                )));
+            }
+            print!("{}", response.body);
+        }
         Command::Watch { file, once, interval_ms, timeout_secs } => {
+            // A daemon events URL streams NDJSON frames instead of
+            // polling a file; the server closes the stream at the
+            // `finished` snapshot.
+            if let Some((authority, path)) = crate::server::client::split_url(&file) {
+                let mut bad_frame: Option<String> = None;
+                let mut last_line = String::new();
+                crate::server::client::stream_lines(authority, path, |frame| {
+                    let doc = crate::obs::json::parse(frame).ok();
+                    match doc.as_ref().and_then(render_status) {
+                        Some(line) => {
+                            if line != last_line {
+                                println!("{line}");
+                                last_line = line;
+                            }
+                            !once
+                        }
+                        None => {
+                            bad_frame = Some(frame.to_string());
+                            false
+                        }
+                    }
+                })
+                .map_err(|e| CliError(format!("cannot stream `{file}`: {e}")))?;
+                if let Some(frame) = bad_frame {
+                    return Err(CliError(format!(
+                        "`{file}` sent a non-interleave-status-v1 frame: {frame}"
+                    )));
+                }
+                return Ok(());
+            }
             let deadline =
                 timeout_secs.map(|s| std::time::Instant::now() + std::time::Duration::from_secs(s));
             let interval = std::time::Duration::from_millis(interval_ms.max(1));
@@ -1120,6 +1409,140 @@ mod tests {
         // The status file is positional and required.
         assert!(parse(&argv("watch")).is_err());
         assert!(parse(&argv("watch --once")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_submit_and_poll() {
+        assert_eq!(
+            parse(&argv(
+                "serve --addr 127.0.0.1:0 --queue-depth 8 --workers 2 --cache-dir c \
+                 --status-dir s"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: Some("127.0.0.1:0".into()),
+                queue_depth: Some(8),
+                workers: Some(2),
+                cache_dir: Some("c".into()),
+                status_dir: Some("s".into()),
+            }
+        );
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve {
+                addr: None,
+                queue_depth: None,
+                workers: None,
+                cache_dir: None,
+                status_dir: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "submit --artifact smoke --addr 127.0.0.1:4994 --seed 7 --wait --json out \
+                 --timeout-secs 30"
+            ))
+            .unwrap(),
+            Command::Submit {
+                addr: Some("127.0.0.1:4994".into()),
+                artifact: "smoke".into(),
+                scale: None,
+                seed: Some(7),
+                jobs: None,
+                mp_jobs: None,
+                adaptive: None,
+                wait: true,
+                json: Some("out".into()),
+                timeout_secs: 30,
+            }
+        );
+        assert!(parse(&argv("submit")).is_err(), "submit needs --artifact");
+        assert!(parse(&argv("submit --artifact smoke --adaptive maybe")).is_err());
+        assert_eq!(
+            parse(&argv("poll 3 --addr a:1")).unwrap(),
+            Command::Poll { addr: Some("a:1".into()), id: Some(3), stats: false }
+        );
+        assert_eq!(
+            parse(&argv("poll --stats")).unwrap(),
+            Command::Poll { addr: None, id: None, stats: true }
+        );
+        assert!(parse(&argv("poll nope")).is_err(), "job ids are numeric");
+    }
+
+    #[test]
+    fn service_addr_strips_http_prefix() {
+        assert_eq!(service_addr(Some("http://127.0.0.1:9/".into())), "127.0.0.1:9");
+        assert_eq!(service_addr(Some("host:1".into())), "host:1");
+    }
+
+    #[test]
+    fn submit_wait_fetches_artifacts_and_watch_streams() {
+        let dir = std::env::temp_dir().join(format!("ilv_cli_serve_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let server = crate::server::Server::bind(crate::server::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            queue_depth: 4,
+            workers: 1,
+            cache_dir: Some(dir.join("cache")),
+            status_dir: None,
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run());
+        let submit = |addr: String, out: &std::path::Path| {
+            run(Command::Submit {
+                addr: Some(addr),
+                artifact: "smoke".into(),
+                scale: Some(Scale::Ci),
+                seed: Some(11),
+                jobs: Some(1),
+                mp_jobs: None,
+                adaptive: None,
+                wait: true,
+                json: Some(out.to_string_lossy().into_owned()),
+                timeout_secs: 120,
+            })
+        };
+        let out = dir.join("out");
+        // `http://` prefixes are tolerated on --addr.
+        submit(format!("http://{addr}"), &out).unwrap();
+        for name in ["BENCH_smoke.json", "METRICS_smoke.json", "SERVE_smoke.json"] {
+            assert!(out.join(name).is_file(), "{name} missing");
+        }
+        let serve_doc = std::fs::read_to_string(out.join("SERVE_smoke.json")).unwrap();
+        assert!(serve_doc.contains("\"serve_roundtrip_ms\""), "{serve_doc}");
+        // Nothing was cached on the first submit, so the cached-path
+        // key must be absent.
+        assert!(!serve_doc.contains("serve_cached_roundtrip_ms"), "{serve_doc}");
+        // A resubmit of the same spec is served fully from the cache.
+        let out2 = dir.join("out2");
+        submit(addr.clone(), &out2).unwrap();
+        let serve_doc = std::fs::read_to_string(out2.join("SERVE_smoke.json")).unwrap();
+        assert!(serve_doc.contains("\"serve_cached_roundtrip_ms\""), "{serve_doc}");
+        // The deterministic METRICS document is byte-identical across
+        // the fresh and the cached round-trip.
+        assert_eq!(
+            std::fs::read(out.join("METRICS_smoke.json")).unwrap(),
+            std::fs::read(out2.join("METRICS_smoke.json")).unwrap()
+        );
+        // `watch` accepts the events URL and renders to completion.
+        run(Command::Watch {
+            file: format!("http://{addr}/jobs/2/events"),
+            once: false,
+            interval_ms: 10,
+            timeout_secs: None,
+        })
+        .unwrap();
+        // `poll` answers for a job, the stats page, and health.
+        run(Command::Poll { addr: Some(addr.clone()), id: Some(1), stats: false }).unwrap();
+        run(Command::Poll { addr: Some(addr.clone()), id: None, stats: true }).unwrap();
+        run(Command::Poll { addr: Some(addr.clone()), id: None, stats: false }).unwrap();
+        assert!(
+            run(Command::Poll { addr: Some(addr.clone()), id: Some(99), stats: false }).is_err()
+        );
+        let _ = crate::server::client::post(&addr, "/shutdown", "");
+        handle.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

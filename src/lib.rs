@@ -65,5 +65,6 @@ pub use interleave_mem as mem;
 pub use interleave_mp as mp;
 pub use interleave_obs as obs;
 pub use interleave_pipeline as pipeline;
+pub use interleave_server as server;
 pub use interleave_stats as stats;
 pub use interleave_workloads as workloads;
